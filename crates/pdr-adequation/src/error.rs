@@ -1,0 +1,90 @@
+//! Error type for the adequation step.
+
+use pdr_graph::GraphError;
+use std::fmt;
+
+/// Errors raised while mapping, scheduling, or generating executives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdequationError {
+    /// An operation has no operator it can execute on (empty feasible set,
+    /// possibly after constraints filtering).
+    Unmappable {
+        /// Operation name.
+        operation: String,
+        /// Why the feasible set is empty.
+        reason: String,
+    },
+    /// The constraints file contradicts the mapping (e.g. a module pinned to
+    /// a region that is not a dynamic operator of the architecture).
+    ConstraintConflict(String),
+    /// A selector trace entry is out of range for the conditioned operation.
+    BadSelector {
+        /// Conditioned operation name.
+        operation: String,
+        /// Offending selector value.
+        value: usize,
+        /// Number of alternatives.
+        alternatives: usize,
+    },
+    /// Underlying graph error (validation, missing characterization, routing).
+    Graph(GraphError),
+    /// Schedule failed an internal consistency check.
+    InvalidSchedule(String),
+}
+
+impl fmt::Display for AdequationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdequationError::Unmappable { operation, reason } => {
+                write!(f, "operation `{operation}` cannot be mapped: {reason}")
+            }
+            AdequationError::ConstraintConflict(msg) => {
+                write!(f, "constraints conflict: {msg}")
+            }
+            AdequationError::BadSelector {
+                operation,
+                value,
+                alternatives,
+            } => write!(
+                f,
+                "selector value {value} out of range for `{operation}` \
+                 ({alternatives} alternatives)"
+            ),
+            AdequationError::Graph(e) => write!(f, "{e}"),
+            AdequationError::InvalidSchedule(msg) => write!(f, "invalid schedule: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AdequationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AdequationError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for AdequationError {
+    fn from(e: GraphError) -> Self {
+        AdequationError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = AdequationError::Unmappable {
+            operation: "ifft".into(),
+            reason: "no feasible operator".into(),
+        };
+        assert!(e.to_string().contains("ifft"));
+
+        let g: AdequationError = GraphError::UnknownVertex("x".into()).into();
+        assert!(std::error::Error::source(&g).is_some());
+        assert!(g.to_string().contains("`x`"));
+    }
+}

@@ -1,0 +1,476 @@
+//! Synchronized-executive (macro-code) generation.
+//!
+//! §3: *"The result is a synchronized executive represented by a macro-code
+//! for each vertex of the architecture."* §5 then translates each
+//! macro-code into VHDL (or C, for processors).
+//!
+//! The executive of an operator is a straight-line instruction sequence —
+//! one iteration's worth, repeated infinitely by the run-time — drawn from:
+//!
+//! * [`MacroInstr::Compute`] — run a function for a known duration;
+//! * [`MacroInstr::Send`] / [`MacroInstr::Receive`] — rendezvous transfers
+//!   over a named medium, matched by tag. Multi-hop routes materialize as
+//!   receive-then-send pairs on the relay operator (the FPGA static part
+//!   relays DSP ↔ dynamic-region traffic in the paper's platform);
+//! * [`MacroInstr::Configure`] — (dynamic operators only) ensure the named
+//!   module is resident before the following compute; at run time this is a
+//!   request to the configuration manager, which may already have satisfied
+//!   it by prefetching.
+//!
+//! Instruction order per operator is the schedule's time order, so a simple
+//! in-order interpreter (see `pdr-sim`) reproduces the schedule exactly when
+//! nothing varies at run time.
+
+use crate::error::AdequationError;
+use crate::mapping::Mapping;
+use crate::schedule::{ItemKind, Schedule};
+use pdr_fabric::TimePs;
+use pdr_graph::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One macro-code instruction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MacroInstr {
+    /// Execute `function` (the operation's WCET-labeled implementation).
+    Compute {
+        /// Operation name (diagnostic).
+        op: String,
+        /// Function symbol.
+        function: String,
+        /// Characterized duration.
+        duration: TimePs,
+    },
+    /// Send `bits` to `to` over `medium`; blocks until the peer receives.
+    Send {
+        /// Receiving operator name.
+        to: String,
+        /// Medium name.
+        medium: String,
+        /// Payload bits.
+        bits: u64,
+        /// Rendezvous tag (unique per transfer hop).
+        tag: u32,
+    },
+    /// Receive `bits` from `from` over `medium`; blocks until sent.
+    Receive {
+        /// Sending operator name.
+        from: String,
+        /// Medium name.
+        medium: String,
+        /// Payload bits.
+        bits: u64,
+        /// Rendezvous tag.
+        tag: u32,
+    },
+    /// Ensure `module` is configured on this (dynamic) operator before
+    /// proceeding. `worst_case` is the characterized full reconfiguration
+    /// time; the runtime may do better (cache hit, prefetch).
+    Configure {
+        /// Module (function) that must be resident.
+        module: String,
+        /// Characterized worst-case reconfiguration time.
+        worst_case: TimePs,
+    },
+}
+
+impl MacroInstr {
+    /// Is this a communication instruction?
+    pub fn is_comm(&self) -> bool {
+        matches!(self, MacroInstr::Send { .. } | MacroInstr::Receive { .. })
+    }
+}
+
+/// Macro-code for every operator of an architecture: the synchronized
+/// executive.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Executive {
+    /// Instruction streams keyed by operator name (stable order).
+    pub per_operator: BTreeMap<String, Vec<MacroInstr>>,
+}
+
+impl Executive {
+    /// Instruction stream of one operator (empty if none).
+    pub fn of(&self, operator: &str) -> &[MacroInstr] {
+        self.per_operator
+            .get(operator)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Total instruction count.
+    pub fn len(&self) -> usize {
+        self.per_operator.values().map(Vec::len).sum()
+    }
+
+    /// Is the executive empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sanity check: every `Send` has exactly one matching `Receive` with
+    /// the same tag, medium, bits, and mirrored endpoints.
+    pub fn validate(&self) -> Result<(), AdequationError> {
+        let mut sends: BTreeMap<u32, (String, String, String, u64)> = BTreeMap::new();
+        let mut recvs: BTreeMap<u32, (String, String, String, u64)> = BTreeMap::new();
+        for (opr, instrs) in &self.per_operator {
+            for i in instrs {
+                match i {
+                    MacroInstr::Send {
+                        to,
+                        medium,
+                        bits,
+                        tag,
+                    }
+                        if sends
+                            .insert(*tag, (opr.clone(), to.clone(), medium.clone(), *bits))
+                            .is_some()
+                        => {
+                            return Err(AdequationError::InvalidSchedule(format!(
+                                "duplicate send tag {tag}"
+                            )));
+                        }
+                    MacroInstr::Receive {
+                        from,
+                        medium,
+                        bits,
+                        tag,
+                    }
+                        if recvs
+                            .insert(*tag, (from.clone(), opr.clone(), medium.clone(), *bits))
+                            .is_some()
+                        => {
+                            return Err(AdequationError::InvalidSchedule(format!(
+                                "duplicate receive tag {tag}"
+                            )));
+                        }
+                    _ => {}
+                }
+            }
+        }
+        if sends != recvs {
+            let missing: Vec<u32> = sends
+                .keys()
+                .chain(recvs.keys())
+                .filter(|t| sends.get(t) != recvs.get(t))
+                .copied()
+                .collect();
+            return Err(AdequationError::InvalidSchedule(format!(
+                "unmatched send/receive pairs for tags {missing:?}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Pretty-print the executive (one block per operator) — the human
+    /// artifact of the §3 "macro-code".
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (opr, instrs) in &self.per_operator {
+            out.push_str(&format!("operator {opr}:\n"));
+            for i in instrs {
+                let line = match i {
+                    MacroInstr::Compute {
+                        op,
+                        function,
+                        duration,
+                    } => format!("  compute {op} [{function}] ({duration})"),
+                    MacroInstr::Send {
+                        to,
+                        medium,
+                        bits,
+                        tag,
+                    } => format!("  send -> {to} via {medium} ({bits} bits, tag {tag})"),
+                    MacroInstr::Receive {
+                        from,
+                        medium,
+                        bits,
+                        tag,
+                    } => format!("  recv <- {from} via {medium} ({bits} bits, tag {tag})"),
+                    MacroInstr::Configure { module, worst_case } => {
+                        format!("  configure {module} (wcet {worst_case})")
+                    }
+                };
+                out.push_str(&line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// Generate the synchronized executive from a single-iteration schedule.
+pub fn generate_executive(
+    algo: &AlgorithmGraph,
+    arch: &ArchGraph,
+    chars: &Characterization,
+    mapping: &Mapping,
+    schedule: &Schedule,
+) -> Result<Executive, AdequationError> {
+    // Timed event stream per operator: (time, sequence, instruction).
+    let mut events: BTreeMap<OperatorId, Vec<(TimePs, u32, MacroInstr)>> = BTreeMap::new();
+    let mut seq: u32 = 0;
+    let next = |s: &mut u32| {
+        *s += 1;
+        *s
+    };
+
+    // Transfers: walk each algorithm edge's route; hop k of the medium
+    // timeline tells us the times. We re-derive hop endpoints from the
+    // route (deterministic, same call the scheduler made).
+    let mut tag: u32 = 0;
+    for e in algo.edges() {
+        let src = mapping.operator_of(e.from).ok_or_else(|| {
+            AdequationError::Unmappable {
+                operation: algo.op(e.from).name.clone(),
+                reason: "not assigned".into(),
+            }
+        })?;
+        let dst = mapping.operator_of(e.to).ok_or_else(|| {
+            AdequationError::Unmappable {
+                operation: algo.op(e.to).name.clone(),
+                reason: "not assigned".into(),
+            }
+        })?;
+        if src == dst {
+            continue;
+        }
+        let route = arch.route(src, dst)?;
+        // Endpoints of each hop: src, relays..., dst. A relay between media
+        // m1 and m2 is the (unique, lowest-id) operator on both.
+        let mut endpoints = vec![src];
+        for w in route.media.windows(2) {
+            let relay = arch
+                .operators_on(w[0])
+                .iter()
+                .find(|o| arch.operators_on(w[1]).contains(o))
+                .copied()
+                .ok_or_else(|| {
+                    AdequationError::InvalidSchedule(format!(
+                        "no relay operator between media {} and {}",
+                        arch.medium(w[0]).name,
+                        arch.medium(w[1]).name
+                    ))
+                })?;
+            endpoints.push(relay);
+        }
+        endpoints.push(dst);
+
+        // Find this edge's hop items in the schedule for timing.
+        for (hop, &m) in route.media.iter().enumerate() {
+            let item = schedule
+                .of_medium(m)
+                .iter()
+                .find(|i| {
+                    matches!(&i.kind, ItemKind::Transfer { from, to, .. }
+                        if *from == e.from && *to == e.to)
+                })
+                .ok_or_else(|| {
+                    AdequationError::InvalidSchedule(format!(
+                        "edge {} -> {} missing from medium {} timeline",
+                        algo.op(e.from).name,
+                        algo.op(e.to).name,
+                        arch.medium(m).name
+                    ))
+                })?;
+            tag += 1;
+            let sender = endpoints[hop];
+            let receiver = endpoints[hop + 1];
+            let med_name = arch.medium(m).name.clone();
+            events.entry(sender).or_default().push((
+                item.start,
+                next(&mut seq),
+                MacroInstr::Send {
+                    to: arch.operator(receiver).name.clone(),
+                    medium: med_name.clone(),
+                    bits: e.bits,
+                    tag,
+                },
+            ));
+            events.entry(receiver).or_default().push((
+                item.end,
+                next(&mut seq),
+                MacroInstr::Receive {
+                    from: arch.operator(sender).name.clone(),
+                    medium: med_name,
+                    bits: e.bits,
+                    tag,
+                },
+            ));
+        }
+    }
+
+    // Computations (with Configure prologues on dynamic operators).
+    for (&opr, items) in &schedule.operator_items {
+        for item in items {
+            if let ItemKind::Compute { op, function, .. } = &item.kind {
+                let op_name = algo.op(*op).name.clone();
+                if algo.op(*op).kind.is_conditioned()
+                    && arch.operator(opr).kind.is_dynamic()
+                {
+                    let wc = chars.reconfig_time(function, &arch.operator(opr).name)?;
+                    events.entry(opr).or_default().push((
+                        item.start,
+                        next(&mut seq),
+                        MacroInstr::Configure {
+                            module: function.clone(),
+                            worst_case: wc,
+                        },
+                    ));
+                }
+                events.entry(opr).or_default().push((
+                    item.start,
+                    next(&mut seq),
+                    MacroInstr::Compute {
+                        op: op_name,
+                        function: function.clone(),
+                        duration: item.duration(),
+                    },
+                ));
+            }
+        }
+    }
+
+    let mut exec = Executive::default();
+    for (opr, mut evs) in events {
+        evs.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        exec.per_operator.insert(
+            arch.operator(opr).name.clone(),
+            evs.into_iter().map(|(_, _, i)| i).collect(),
+        );
+    }
+    exec.validate()?;
+    Ok(exec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristic::{adequate, AdequationOptions};
+    use pdr_graph::paper;
+
+    fn paper_executive() -> (Executive, ArchGraph) {
+        let algo = paper::mccdma_algorithm();
+        let arch = paper::sundance_architecture();
+        let chars = paper::mccdma_characterization();
+        let cons = paper::mccdma_constraints();
+        let opts = AdequationOptions::default()
+            .pin("interface_in", "dsp")
+            .pin("select", "dsp")
+            .pin("interface_out", "fpga_static");
+        let r = adequate(&algo, &arch, &chars, &cons, &opts).unwrap();
+        let e = generate_executive(&algo, &arch, &chars, &r.mapping, &r.schedule).unwrap();
+        (e, arch)
+    }
+
+    #[test]
+    fn executive_validates_and_covers_operators() {
+        let (e, _) = paper_executive();
+        e.validate().unwrap();
+        assert!(!e.is_empty());
+        // DSP sends, FPGA static computes, op_dyn configures+computes.
+        assert!(e.of("dsp").iter().any(|i| matches!(i, MacroInstr::Send { .. })));
+        assert!(e
+            .of("fpga_static")
+            .iter()
+            .any(|i| matches!(i, MacroInstr::Compute { .. })));
+        assert!(e
+            .of("op_dyn")
+            .iter()
+            .any(|i| matches!(i, MacroInstr::Configure { .. })));
+    }
+
+    #[test]
+    fn configure_precedes_the_conditioned_compute() {
+        let (e, _) = paper_executive();
+        let stream = e.of("op_dyn");
+        let cfg = stream
+            .iter()
+            .position(|i| matches!(i, MacroInstr::Configure { .. }))
+            .expect("configure present");
+        let cmp = stream
+            .iter()
+            .position(
+                |i| matches!(i, MacroInstr::Compute { op, .. } if op == "modulation"),
+            )
+            .expect("modulation compute present");
+        assert!(cfg < cmp);
+    }
+
+    #[test]
+    fn relay_operator_receives_then_sends() {
+        // DSP -> op_dyn traffic relays through fpga_static: its stream must
+        // contain a Receive from dsp and a Send to op_dyn.
+        let (e, _) = paper_executive();
+        let fs = e.of("fpga_static");
+        assert!(fs
+            .iter()
+            .any(|i| matches!(i, MacroInstr::Receive { from, .. } if from == "dsp")));
+        assert!(fs
+            .iter()
+            .any(|i| matches!(i, MacroInstr::Send { to, .. } if to == "op_dyn")));
+    }
+
+    #[test]
+    fn render_is_readable() {
+        let (e, _) = paper_executive();
+        let text = e.render();
+        assert!(text.contains("operator dsp:"));
+        assert!(text.contains("configure"));
+        assert!(text.contains("compute"));
+    }
+
+    #[test]
+    fn mismatched_tags_fail_validation() {
+        let mut e = Executive::default();
+        e.per_operator.insert(
+            "a".into(),
+            vec![MacroInstr::Send {
+                to: "b".into(),
+                medium: "m".into(),
+                bits: 8,
+                tag: 1,
+            }],
+        );
+        assert!(e.validate().is_err());
+        // Matching receive fixes it.
+        e.per_operator.insert(
+            "b".into(),
+            vec![MacroInstr::Receive {
+                from: "a".into(),
+                medium: "m".into(),
+                bits: 8,
+                tag: 1,
+            }],
+        );
+        e.validate().unwrap();
+        // Wrong bits breaks it again.
+        e.per_operator.insert(
+            "b".into(),
+            vec![MacroInstr::Receive {
+                from: "a".into(),
+                medium: "m".into(),
+                bits: 9,
+                tag: 1,
+            }],
+        );
+        assert!(e.validate().is_err());
+    }
+
+    #[test]
+    fn is_comm_classifier() {
+        assert!(MacroInstr::Send {
+            to: "x".into(),
+            medium: "m".into(),
+            bits: 1,
+            tag: 0
+        }
+        .is_comm());
+        assert!(!MacroInstr::Compute {
+            op: "o".into(),
+            function: "f".into(),
+            duration: TimePs::ZERO
+        }
+        .is_comm());
+    }
+}

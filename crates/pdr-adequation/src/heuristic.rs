@@ -1,0 +1,558 @@
+//! The greedy list-scheduling adequation heuristic.
+//!
+//! The heuristic follows the SynDEx recipe §3 describes: operations are
+//! considered in order of *schedule pressure* (critical-path bottom levels),
+//! and each is placed on the feasible operator minimizing its earliest
+//! finish time, accounting for data-transfer times across the media route
+//! from its predecessors.
+//!
+//! The runtime-reconfiguration extension (§4) enters in two places:
+//!
+//! * **feasibility** — conditioned operations may only go to operators on
+//!   which *every* alternative is feasible, and constraints-file region
+//!   pins are honored;
+//! * **cost** — with [`AdequationOptions::reconfig_aware`] set, placing a
+//!   conditioned operation on a dynamic operator charges the *expected*
+//!   reconfiguration penalty `switch_probability × reconfig_time` to the
+//!   finish-time estimate. The oblivious variant (`reconfig_aware = false`)
+//!   reproduces a scheduler that ignores reconfiguration latency — the
+//!   ablation the paper's conclusion motivates ("SynDEx's heuristic needs
+//!   additional developments to optimize time reconfiguration").
+//!
+//! Durations of conditioned operations are taken as the worst case across
+//! alternatives (WCET labeling), so single-iteration makespans are safe
+//! bounds. Sources and sinks model interfaces: they are mapped (possibly
+//! pinned) but consume no operator time.
+
+use crate::error::AdequationError;
+use crate::mapping::Mapping;
+use crate::schedule::{ItemKind, Schedule, ScheduledItem};
+use pdr_fabric::TimePs;
+use pdr_graph::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Tunables of the adequation heuristic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdequationOptions {
+    /// Charge expected reconfiguration penalties during operator selection.
+    pub reconfig_aware: bool,
+    /// Expected per-iteration probability that a conditioned operation
+    /// switches alternatives (drives the expected penalty).
+    pub switch_probability: f64,
+    /// Pre-assignments by name: (operation, operator). Used to pin
+    /// interface sources/sinks to their physical side (e.g. `select` to the
+    /// DSP).
+    pub pins: Vec<(String, String)>,
+}
+
+impl Default for AdequationOptions {
+    fn default() -> Self {
+        AdequationOptions {
+            reconfig_aware: true,
+            switch_probability: 0.1,
+            pins: Vec::new(),
+        }
+    }
+}
+
+impl AdequationOptions {
+    /// The reconfiguration-oblivious baseline.
+    pub fn oblivious() -> Self {
+        AdequationOptions {
+            reconfig_aware: false,
+            ..Default::default()
+        }
+    }
+
+    /// Add a pin.
+    pub fn pin(mut self, operation: &str, operator: &str) -> Self {
+        self.pins.push((operation.to_string(), operator.to_string()));
+        self
+    }
+}
+
+/// Output of [`adequate`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdequationResult {
+    /// Operation → operator assignment.
+    pub mapping: Mapping,
+    /// One steady-state iteration (iteration index 0), WCET-labeled.
+    pub schedule: Schedule,
+    /// Schedule makespan.
+    pub makespan: TimePs,
+    /// Finish time of each operation within the iteration (sources/sinks
+    /// included, although they occupy no operator time).
+    pub finish_times: HashMap<OpId, TimePs>,
+}
+
+/// Worst-case duration of an operation on a given operator (max over the
+/// functions the vertex may execute), or `None` if any function is
+/// infeasible there. Sources/sinks cost zero everywhere.
+fn wcet_on(
+    op: &Operation,
+    operator: &str,
+    chars: &Characterization,
+) -> Option<(TimePs, String)> {
+    let funcs = op.kind.functions();
+    if funcs.is_empty() {
+        return Some((TimePs::ZERO, String::new()));
+    }
+    let mut best: Option<(TimePs, String)> = None;
+    for f in funcs {
+        let d = chars.duration(f, operator)?;
+        if best.as_ref().map(|(t, _)| d > *t).unwrap_or(true) {
+            best = Some((d, f.clone()));
+        }
+    }
+    best
+}
+
+/// Feasible operators of an operation, honoring constraints-file pins.
+fn feasible_operators(
+    op: &Operation,
+    arch: &ArchGraph,
+    chars: &Characterization,
+    constraints: &ConstraintsFile,
+    pinned: Option<OperatorId>,
+) -> Vec<OperatorId> {
+    if let Some(p) = pinned {
+        return vec![p];
+    }
+    // Region constraint: if any function is constrained, only that region.
+    let constrained_region: Option<&str> = op
+        .kind
+        .functions()
+        .iter()
+        .find_map(|f| constraints.module(f).map(|mc| mc.region.as_str()));
+    arch.operators()
+        .filter(|(_, o)| {
+            if let Some(region) = constrained_region {
+                return o.name == region;
+            }
+            wcet_on(op, &o.name, chars).is_some()
+        })
+        .map(|(id, _)| id)
+        .collect()
+}
+
+/// Critical-path bottom levels (operation → longest downstream path length,
+/// using each operation's best-case duration and ignoring communications).
+fn bottom_levels(
+    algo: &AlgorithmGraph,
+    arch: &ArchGraph,
+    chars: &Characterization,
+) -> Result<HashMap<OpId, TimePs>, AdequationError> {
+    let order = algo.topo_order()?;
+    let mut bl: HashMap<OpId, TimePs> = HashMap::with_capacity(algo.len());
+    let best_duration = |id: OpId| -> TimePs {
+        let op = algo.op(id);
+        arch.operators()
+            .filter_map(|(_, o)| wcet_on(op, &o.name, chars).map(|(t, _)| t))
+            .min()
+            .unwrap_or(TimePs::ZERO)
+    };
+    for &id in order.iter().rev() {
+        let succ_max = algo
+            .successors(id)
+            .into_iter()
+            .map(|s| bl.get(&s).copied().unwrap_or(TimePs::ZERO))
+            .max()
+            .unwrap_or(TimePs::ZERO);
+        bl.insert(id, best_duration(id) + succ_max);
+    }
+    Ok(bl)
+}
+
+/// Run the adequation: map and schedule one iteration of `algo` onto `arch`.
+pub fn adequate(
+    algo: &AlgorithmGraph,
+    arch: &ArchGraph,
+    chars: &Characterization,
+    constraints: &ConstraintsFile,
+    options: &AdequationOptions,
+) -> Result<AdequationResult, AdequationError> {
+    algo.validate()?;
+    constraints.validate()?;
+
+    // Resolve pins.
+    let mut pinned: HashMap<OpId, OperatorId> = HashMap::new();
+    for (op_name, opr_name) in &options.pins {
+        let op = algo
+            .by_name(op_name)
+            .ok_or_else(|| AdequationError::Graph(GraphError::UnknownVertex(op_name.clone())))?;
+        let opr = arch.operator_by_name(opr_name).ok_or_else(|| {
+            AdequationError::Graph(GraphError::UnknownVertex(opr_name.clone()))
+        })?;
+        pinned.insert(op, opr);
+    }
+
+    let bl = bottom_levels(algo, arch, chars)?;
+    let mut mapping = Mapping::new();
+    let mut schedule = Schedule::new();
+    let mut finish: HashMap<OpId, TimePs> = HashMap::with_capacity(algo.len());
+    let mut operator_free: HashMap<OperatorId, TimePs> = HashMap::new();
+    let mut medium_free: HashMap<MediumId, TimePs> = HashMap::new();
+
+    // Ready list driven by remaining predecessor counts.
+    let mut remaining: HashMap<OpId, usize> = algo
+        .ops()
+        .map(|(id, _)| (id, algo.predecessors(id).len()))
+        .collect();
+    let mut scheduled = 0usize;
+    while scheduled < algo.len() {
+        // Highest bottom level among ready ops; ties by lowest id.
+        let next = algo
+            .ops()
+            .map(|(id, _)| id)
+            .filter(|id| !finish.contains_key(id) && remaining[id] == 0)
+            .max_by(|a, b| bl[a].cmp(&bl[b]).then(b.cmp(a)))
+            .ok_or_else(|| {
+                AdequationError::InvalidSchedule(
+                    "no ready operation although schedule incomplete (cycle?)".into(),
+                )
+            })?;
+        let op = algo.op(next);
+
+        let candidates =
+            feasible_operators(op, arch, chars, constraints, pinned.get(&next).copied());
+        if candidates.is_empty() {
+            return Err(AdequationError::Unmappable {
+                operation: op.name.clone(),
+                reason: "no feasible operator".into(),
+            });
+        }
+
+        // Pick the operator minimizing finish-time estimate.
+        let mut best: Option<(TimePs, TimePs, OperatorId, TimePs, String)> = None;
+        for cand in candidates {
+            let Some((dur, wcet_fn)) = wcet_on(op, &arch.operator(cand).name, chars) else {
+                continue;
+            };
+            // Earliest start: operator free + data arrivals (simulated, not
+            // committed).
+            let mut est = operator_free.get(&cand).copied().unwrap_or(TimePs::ZERO);
+            let mut routable = true;
+            for e in algo.in_edges(next) {
+                let src_opr = mapping
+                    .operator_of(e.from)
+                    .expect("predecessors scheduled first");
+                let t0 = finish[&e.from];
+                let arrival = match arch.route(src_opr, cand) {
+                    Ok(route) => {
+                        // Estimate without reserving: each hop waits for the
+                        // medium then transfers.
+                        let mut t = t0;
+                        for &m in &route.media {
+                            let free = medium_free.get(&m).copied().unwrap_or(TimePs::ZERO);
+                            t = t.max(free) + arch.medium(m).transfer_time(e.bits);
+                        }
+                        t
+                    }
+                    Err(_) => {
+                        routable = false;
+                        break;
+                    }
+                };
+                est = est.max(arrival);
+            }
+            if !routable {
+                continue;
+            }
+            // Expected reconfiguration penalty (selection pressure only).
+            let mut eft = est + dur;
+            if options.reconfig_aware
+                && op.kind.is_conditioned()
+                && arch.operator(cand).kind.is_dynamic()
+            {
+                let worst_fn = op
+                    .kind
+                    .functions()
+                    .iter()
+                    .filter_map(|f| chars.reconfig_time(f, &arch.operator(cand).name).ok())
+                    .max()
+                    .unwrap_or(TimePs::ZERO);
+                let penalty_ps =
+                    (worst_fn.as_ps() as f64 * options.switch_probability).round() as u64;
+                eft += TimePs::from_ps(penalty_ps);
+            }
+            let better = match &best {
+                None => true,
+                Some((b_eft, ..)) => eft < *b_eft,
+            };
+            if better {
+                best = Some((eft, est, cand, dur, wcet_fn));
+            }
+        }
+        let (_, est, chosen, dur, wcet_fn) = best.ok_or_else(|| AdequationError::Unmappable {
+            operation: op.name.clone(),
+            reason: "no routable operator".into(),
+        })?;
+
+        // Commit: reserve media for incoming transfers, then the operator.
+        let mut data_ready = TimePs::ZERO;
+        for e in algo.in_edges(next) {
+            let src_opr = mapping.operator_of(e.from).expect("scheduled");
+            let route = arch.route(src_opr, chosen)?;
+            let mut t = finish[&e.from];
+            for &m in &route.media {
+                let free = medium_free.get(&m).copied().unwrap_or(TimePs::ZERO);
+                let start = t.max(free);
+                let end = start + arch.medium(m).transfer_time(e.bits);
+                schedule.push_medium_item(
+                    m,
+                    ScheduledItem {
+                        kind: ItemKind::Transfer {
+                            from: e.from,
+                            to: e.to,
+                            bits: e.bits,
+                            iteration: 0,
+                        },
+                        start,
+                        end,
+                    },
+                );
+                medium_free.insert(m, end);
+                t = end;
+            }
+            data_ready = data_ready.max(t);
+        }
+        let opr_free = operator_free.get(&chosen).copied().unwrap_or(TimePs::ZERO);
+        let start = est.max(data_ready).max(opr_free);
+        let end = start + dur;
+        if !dur.is_zero() {
+            schedule.push_operator_item(
+                chosen,
+                ScheduledItem {
+                    kind: ItemKind::Compute {
+                        op: next,
+                        function: wcet_fn,
+                        iteration: 0,
+                    },
+                    start,
+                    end,
+                },
+            );
+            operator_free.insert(chosen, end);
+        }
+        mapping.assign(next, chosen);
+        finish.insert(next, end);
+        for s in algo.successors(next) {
+            *remaining.get_mut(&s).expect("known op") -= 1;
+        }
+        scheduled += 1;
+    }
+
+    schedule.validate()?;
+    mapping.validate(algo, arch, chars, constraints)?;
+    let makespan = schedule.makespan();
+    Ok(AdequationResult {
+        mapping,
+        schedule,
+        makespan,
+        finish_times: finish,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdr_graph::paper;
+
+    fn paper_setup() -> (AlgorithmGraph, ArchGraph, Characterization, ConstraintsFile) {
+        (
+            paper::mccdma_algorithm(),
+            paper::sundance_architecture(),
+            paper::mccdma_characterization(),
+            paper::mccdma_constraints(),
+        )
+    }
+
+    fn paper_options() -> AdequationOptions {
+        AdequationOptions::default()
+            .pin("interface_in", "dsp")
+            .pin("select", "dsp")
+            .pin("interface_out", "fpga_static")
+    }
+
+    #[test]
+    fn paper_case_study_maps_modulation_to_dynamic_region() {
+        let (algo, arch, chars, cons) = paper_setup();
+        let r = adequate(&algo, &arch, &chars, &cons, &paper_options()).unwrap();
+        let modu = algo.by_name("modulation").unwrap();
+        let opr = r.mapping.operator_of(modu).unwrap();
+        assert_eq!(arch.operator(opr).name, "op_dyn");
+        assert!(r.makespan > TimePs::ZERO);
+        r.schedule.validate().unwrap();
+    }
+
+    #[test]
+    fn datapath_blocks_land_on_fpga() {
+        let (algo, arch, chars, cons) = paper_setup();
+        let r = adequate(&algo, &arch, &chars, &cons, &paper_options()).unwrap();
+        for name in ["ifft64", "spreading", "framing"] {
+            let id = algo.by_name(name).unwrap();
+            let opr = r.mapping.operator_of(id).unwrap();
+            assert_eq!(
+                arch.operator(opr).name,
+                "fpga_static",
+                "{name} should prefer the FPGA (10-100x faster than the DSP)"
+            );
+        }
+    }
+
+    #[test]
+    fn pinned_sources_stay_pinned() {
+        let (algo, arch, chars, cons) = paper_setup();
+        let r = adequate(&algo, &arch, &chars, &cons, &paper_options()).unwrap();
+        let sel = algo.by_name("select").unwrap();
+        assert_eq!(
+            arch.operator(r.mapping.operator_of(sel).unwrap()).name,
+            "dsp"
+        );
+    }
+
+    #[test]
+    fn precedence_is_respected() {
+        let (algo, arch, chars, cons) = paper_setup();
+        let r = adequate(&algo, &arch, &chars, &cons, &paper_options()).unwrap();
+        for e in algo.edges() {
+            assert!(
+                r.finish_times[&e.from] <= r.finish_times[&e.to],
+                "edge {} -> {} violates precedence",
+                algo.op(e.from).name,
+                algo.op(e.to).name
+            );
+        }
+    }
+
+    #[test]
+    fn unmappable_function_errors() {
+        let (mut algo, arch, chars, cons) = paper_setup();
+        // An operation with a function nobody implements.
+        let ghost = algo.add_compute("ghost_fn").unwrap();
+        let fec = algo.by_name("fec_conv").unwrap();
+        let sink = algo.by_name("interface_out").unwrap();
+        algo.connect(fec, ghost, 8).unwrap();
+        algo.connect(ghost, sink, 8).unwrap();
+        let err = adequate(&algo, &arch, &chars, &cons, &paper_options()).unwrap_err();
+        assert!(matches!(err, AdequationError::Unmappable { .. }));
+    }
+
+    #[test]
+    fn reconfig_aware_avoids_dynamic_region_under_high_switching() {
+        // With near-certain switching each iteration, the expected 4 ms
+        // penalty dwarfs the µs compute gain: the aware heuristic keeps
+        // modulation on the static FPGA (when constraints allow), while the
+        // oblivious one happily uses op_dyn.
+        let (algo, arch, chars, _) = paper_setup();
+        let free = ConstraintsFile::new(); // no region pin
+        let aware = AdequationOptions {
+            reconfig_aware: true,
+            switch_probability: 0.9,
+            ..paper_options()
+        };
+        let oblivious = AdequationOptions {
+            reconfig_aware: false,
+            ..paper_options()
+        };
+        let modu = algo.by_name("modulation").unwrap();
+        let r_aware = adequate(&algo, &arch, &chars, &free, &aware).unwrap();
+        let r_obl = adequate(&algo, &arch, &chars, &free, &oblivious).unwrap();
+        let name_of = |r: &AdequationResult| {
+            arch.operator(r.mapping.operator_of(modu).unwrap()).name.clone()
+        };
+        assert_ne!(
+            name_of(&r_aware),
+            "op_dyn",
+            "aware heuristic must avoid the dynamic region at 90% switch rate"
+        );
+        // The oblivious heuristic sees identical WCETs on both FPGA operators
+        // and picks deterministically; it must not be *repelled* by the
+        // reconfiguration cost it ignores.
+        assert!(["op_dyn", "fpga_static"].contains(&name_of(&r_obl).as_str()));
+    }
+
+    #[test]
+    fn single_operator_architecture_serializes_everything() {
+        let mut arch = ArchGraph::new("mono");
+        arch.add_operator("cpu", OperatorKind::Processor).unwrap();
+        let mut algo = AlgorithmGraph::new("chain");
+        let s = algo.add_op("s", pdr_graph::OpKind::Source).unwrap();
+        let a = algo.add_compute("a").unwrap();
+        let b = algo.add_compute("b").unwrap();
+        let k = algo.add_op("k", pdr_graph::OpKind::Sink).unwrap();
+        algo.connect(s, a, 8).unwrap();
+        algo.connect(s, b, 8).unwrap();
+        algo.connect(a, k, 8).unwrap();
+        algo.connect(b, k, 8).unwrap();
+        let mut chars = Characterization::new();
+        chars.set_duration("a", "cpu", TimePs::from_us(10));
+        chars.set_duration("b", "cpu", TimePs::from_us(10));
+        let r = adequate(
+            &algo,
+            &arch,
+            &chars,
+            &ConstraintsFile::new(),
+            &AdequationOptions::default(),
+        )
+        .unwrap();
+        // a and b cannot overlap on one operator: makespan = 20 us.
+        assert_eq!(r.makespan, TimePs::from_us(20));
+    }
+
+    #[test]
+    fn parallel_operators_overlap_independent_work() {
+        let mut arch = ArchGraph::new("dual");
+        let c1 = arch.add_operator("cpu1", OperatorKind::Processor).unwrap();
+        let c2 = arch.add_operator("cpu2", OperatorKind::Processor).unwrap();
+        let m = arch
+            .add_medium("bus", MediumKind::Bus, 1_000_000_000, TimePs::ZERO)
+            .unwrap();
+        arch.link(c1, m).unwrap();
+        arch.link(c2, m).unwrap();
+        let mut algo = AlgorithmGraph::new("fork");
+        let s = algo.add_op("s", pdr_graph::OpKind::Source).unwrap();
+        let a = algo.add_compute("a").unwrap();
+        let b = algo.add_compute("b").unwrap();
+        let k = algo.add_op("k", pdr_graph::OpKind::Sink).unwrap();
+        algo.connect(s, a, 8).unwrap();
+        algo.connect(s, b, 8).unwrap();
+        algo.connect(a, k, 8).unwrap();
+        algo.connect(b, k, 8).unwrap();
+        let mut chars = Characterization::new();
+        for f in ["a", "b"] {
+            chars.set_duration(f, "cpu1", TimePs::from_us(10));
+            chars.set_duration(f, "cpu2", TimePs::from_us(10));
+        }
+        let r = adequate(
+            &algo,
+            &arch,
+            &chars,
+            &ConstraintsFile::new(),
+            &AdequationOptions::default(),
+        )
+        .unwrap();
+        // Transfers are nanoseconds; a and b overlap on two CPUs.
+        assert!(r.makespan < TimePs::from_us(12), "makespan {}", r.makespan);
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let (algo, arch, chars, cons) = paper_setup();
+        let r1 = adequate(&algo, &arch, &chars, &cons, &paper_options()).unwrap();
+        let r2 = adequate(&algo, &arch, &chars, &cons, &paper_options()).unwrap();
+        assert_eq!(r1.mapping, r2.mapping);
+        assert_eq!(r1.makespan, r2.makespan);
+        assert_eq!(r1.schedule, r2.schedule);
+    }
+
+    #[test]
+    fn bad_pin_name_errors() {
+        let (algo, arch, chars, cons) = paper_setup();
+        let opts = AdequationOptions::default().pin("no_such_op", "dsp");
+        assert!(adequate(&algo, &arch, &chars, &cons, &opts).is_err());
+        let opts = AdequationOptions::default().pin("select", "no_such_operator");
+        assert!(adequate(&algo, &arch, &chars, &cons, &opts).is_err());
+    }
+}

@@ -1,0 +1,181 @@
+//! Operation → operator mappings.
+
+use crate::error::AdequationError;
+use pdr_graph::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The mapping half of an adequation result: which operator executes each
+/// operation (conditioned operations map as a single unit; their
+/// alternatives become configurations of that one operator).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mapping {
+    assignments: BTreeMap<OpId, OperatorId>,
+}
+
+impl Mapping {
+    /// Empty mapping.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Assign `op` to `operator` (overwrites).
+    pub fn assign(&mut self, op: OpId, operator: OperatorId) {
+        self.assignments.insert(op, operator);
+    }
+
+    /// Operator executing `op`, if assigned.
+    pub fn operator_of(&self, op: OpId) -> Option<OperatorId> {
+        self.assignments.get(&op).copied()
+    }
+
+    /// Operations assigned to `operator`, in id order.
+    pub fn ops_on(&self, operator: OperatorId) -> Vec<OpId> {
+        self.assignments
+            .iter()
+            .filter(|(_, &o)| o == operator)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Number of assignments.
+    pub fn len(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Is the mapping empty?
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+
+    /// Iterate (operation, operator) pairs in operation-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (OpId, OperatorId)> + '_ {
+        self.assignments.iter().map(|(&a, &b)| (a, b))
+    }
+
+    /// Validate a mapping against graphs, characterization and constraints:
+    ///
+    /// * every operation is assigned;
+    /// * every function of the operation is feasible on its operator;
+    /// * sources/sinks may sit anywhere (they model interfaces);
+    /// * constrained modules sit on their constrained region.
+    pub fn validate(
+        &self,
+        algo: &AlgorithmGraph,
+        arch: &ArchGraph,
+        chars: &Characterization,
+        constraints: &ConstraintsFile,
+    ) -> Result<(), AdequationError> {
+        for (id, op) in algo.ops() {
+            let Some(opr) = self.operator_of(id) else {
+                return Err(AdequationError::Unmappable {
+                    operation: op.name.clone(),
+                    reason: "not assigned".into(),
+                });
+            };
+            let opr_name = &arch.operator(opr).name;
+            for f in op.kind.functions() {
+                if !chars.feasible(f, opr_name) {
+                    return Err(AdequationError::Unmappable {
+                        operation: op.name.clone(),
+                        reason: format!("function `{f}` infeasible on `{opr_name}`"),
+                    });
+                }
+                if let Some(mc) = constraints.module(f) {
+                    if &mc.region != opr_name {
+                        return Err(AdequationError::ConstraintConflict(format!(
+                            "module `{f}` is constrained to region `{}` but mapped to `{opr_name}`",
+                            mc.region
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdr_graph::paper;
+
+    fn setup() -> (AlgorithmGraph, ArchGraph, Characterization, ConstraintsFile) {
+        (
+            paper::mccdma_algorithm(),
+            paper::sundance_architecture(),
+            paper::mccdma_characterization(),
+            paper::mccdma_constraints(),
+        )
+    }
+
+    fn full_mapping(algo: &AlgorithmGraph, arch: &ArchGraph) -> Mapping {
+        let fs = arch.operator_by_name("fpga_static").unwrap();
+        let dy = arch.operator_by_name("op_dyn").unwrap();
+        let mut m = Mapping::new();
+        for (id, op) in algo.ops() {
+            if op.kind.is_conditioned() {
+                m.assign(id, dy);
+            } else {
+                m.assign(id, fs);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn valid_paper_mapping_passes() {
+        let (algo, arch, chars, cons) = setup();
+        let m = full_mapping(&algo, &arch);
+        m.validate(&algo, &arch, &chars, &cons).unwrap();
+        assert_eq!(m.len(), algo.len());
+    }
+
+    #[test]
+    fn missing_assignment_detected() {
+        let (algo, arch, chars, cons) = setup();
+        let mut m = full_mapping(&algo, &arch);
+        m = {
+            let mut m2 = Mapping::new();
+            for (op, opr) in m.iter().skip(1) {
+                m2.assign(op, opr);
+            }
+            m2
+        };
+        assert!(m.validate(&algo, &arch, &chars, &cons).is_err());
+    }
+
+    #[test]
+    fn constraint_conflict_detected() {
+        let (algo, arch, chars, cons) = setup();
+        let mut m = full_mapping(&algo, &arch);
+        // Force modulation onto the static part: constrained to op_dyn.
+        let modu = algo.by_name("modulation").unwrap();
+        m.assign(modu, arch.operator_by_name("fpga_static").unwrap());
+        let err = m.validate(&algo, &arch, &chars, &cons).unwrap_err();
+        assert!(matches!(err, AdequationError::ConstraintConflict(_)));
+    }
+
+    #[test]
+    fn infeasible_function_detected() {
+        let (algo, arch, chars, _) = setup();
+        let mut m = full_mapping(&algo, &arch);
+        // ifft64 is not characterized on op_dyn.
+        let ifft = algo.by_name("ifft64").unwrap();
+        m.assign(ifft, arch.operator_by_name("op_dyn").unwrap());
+        let err = m
+            .validate(&algo, &arch, &chars, &ConstraintsFile::new())
+            .unwrap_err();
+        assert!(err.to_string().contains("infeasible"));
+    }
+
+    #[test]
+    fn ops_on_lists_assignments() {
+        let (algo, arch, ..) = setup();
+        let m = full_mapping(&algo, &arch);
+        let dy = arch.operator_by_name("op_dyn").unwrap();
+        let on_dyn = m.ops_on(dy);
+        assert_eq!(on_dyn.len(), 1);
+        assert_eq!(algo.op(on_dyn[0]).name, "modulation");
+    }
+}

@@ -1,0 +1,46 @@
+//! Criterion bench behind the adequation study: heuristic cost over graph
+//! sizes (the automation cost of Fig. 3's first arrow).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdr_adequation::{adequate, AdequationOptions};
+use pdr_bench::adequation_study::synthetic_graph;
+use pdr_graph::{paper, ConstraintsFile};
+use std::hint::black_box;
+
+fn bench_adequation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("adequation");
+    let arch = paper::sundance_architecture();
+    // The paper case study itself.
+    let algo = paper::mccdma_algorithm();
+    let chars = paper::mccdma_characterization();
+    let cons = paper::mccdma_constraints();
+    let opts = AdequationOptions::default()
+        .pin("interface_in", "dsp")
+        .pin("select", "dsp")
+        .pin("interface_out", "fpga_static");
+    g.bench_function("paper_case_study", |b| {
+        b.iter(|| black_box(adequate(&algo, &arch, &chars, &cons, &opts).expect("maps")))
+    });
+    // Synthetic scaling.
+    for (layers, width) in [(4usize, 4usize), (8, 8), (12, 12)] {
+        let (graph, gchars) = synthetic_graph(layers, width);
+        let n = graph.len();
+        g.bench_with_input(BenchmarkId::new("synthetic_ops", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    adequate(
+                        &graph,
+                        &arch,
+                        &gchars,
+                        &ConstraintsFile::new(),
+                        &AdequationOptions::default(),
+                    )
+                    .expect("maps"),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_adequation);
+criterion_main!(benches);

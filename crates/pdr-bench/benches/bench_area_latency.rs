@@ -1,0 +1,46 @@
+//! Criterion bench behind the area-latency sweep: partial bitstream
+//! generation and encode/decode across region widths.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdr_fabric::{Bitstream, BitstreamKind, Device, ReconfigRegion};
+use std::hint::black_box;
+
+fn bench_bitstreams(c: &mut Criterion) {
+    let mut g = c.benchmark_group("area_latency");
+    let d = Device::xc2v2000();
+    for width in [2u32, 4, 8, 16] {
+        let region = ReconfigRegion::new("r", 1, width).unwrap();
+        g.bench_with_input(BenchmarkId::new("generate_partial", width), &width, |b, _| {
+            b.iter(|| black_box(Bitstream::partial_for_region(&d, &region, 7)))
+        });
+        let bs = Bitstream::partial_for_region(&d, &region, 7);
+        g.bench_with_input(BenchmarkId::new("encode", width), &width, |b, _| {
+            b.iter(|| black_box(bs.encode()))
+        });
+        let bytes = bs.encode();
+        g.bench_with_input(BenchmarkId::new("decode_verify", width), &width, |b, _| {
+            b.iter(|| {
+                black_box(
+                    Bitstream::decode(
+                        &bytes,
+                        &d,
+                        BitstreamKind::Partial { region: "r".into() },
+                        7,
+                    )
+                    .expect("valid stream"),
+                )
+            })
+        });
+    }
+    g.bench_function("full_sweep", |b| {
+        b.iter(|| {
+            black_box(pdr_bench::area_latency::run(
+                &["XC2V500", "XC2V2000"],
+                &[2, 4, 8],
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_bitstreams);
+criterion_main!(benches);

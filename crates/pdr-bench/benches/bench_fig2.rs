@@ -1,0 +1,25 @@
+//! Criterion bench behind Figure 2: latency decomposition across the four
+//! reconfiguration architectures.
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdr_fabric::TimePs;
+use pdr_rtr::ReconfigArchitecture;
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2");
+    let bytes = pdr_bench::fig2::paper_module_bytes();
+    g.bench_function("latency_all_variants", |b| {
+        b.iter(|| {
+            for v in ReconfigArchitecture::all_variants() {
+                black_box(v.latency(black_box(bytes), TimePs::from_ms(3)));
+            }
+        })
+    });
+    g.bench_function("full_experiment", |b| {
+        b.iter(|| black_box(pdr_bench::fig2::run()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Criterion bench behind Figure 3: the complete push-button flow.
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdr_core::paper::PaperCaseStudy;
+use std::hint::black_box;
+
+fn bench_flow(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_flow");
+    g.sample_size(10);
+    g.bench_function("complete_flow_case_study", |b| {
+        b.iter(|| black_box(PaperCaseStudy::build().expect("flow runs")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_flow);
+criterion_main!(benches);

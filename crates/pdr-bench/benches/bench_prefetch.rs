@@ -1,0 +1,53 @@
+//! Criterion bench behind the prefetching study: manager request service.
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdr_fabric::{Bitstream, Device, PortProfile, ReconfigRegion, TimePs};
+use pdr_rtr::prelude::*;
+use std::hint::black_box;
+
+fn manager(prefetch: bool) -> ConfigurationManager {
+    let d = Device::xc2v2000();
+    let r = ReconfigRegion::new("op_dyn", 20, 4).unwrap();
+    let mut store = BitstreamStore::new();
+    let a = Bitstream::partial_for_region(&d, &r, 1);
+    let bytes = a.len_bytes();
+    store.insert("a", a);
+    store.insert("b", Bitstream::partial_for_region(&d, &r, 2));
+    let mut builder = ProtocolBuilder::new(d, PortProfile::icap_virtex2());
+    builder.verify_streams = false; // measure the manager, not the CRC
+    let mut m = ConfigurationManager::new(
+        builder,
+        store,
+        BitstreamCache::sized_for(2, bytes),
+        MemoryModel::paper_flash(),
+        "op_dyn",
+    );
+    if prefetch {
+        m = m.with_predictor(Box::new(FirstOrderMarkov::new()));
+    }
+    m
+}
+
+fn bench_manager(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prefetch");
+    for (name, pf) in [("manager_no_prefetch", false), ("manager_markov", true)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut m = manager(pf);
+                let mut t = TimePs::ZERO;
+                for i in 0..64u64 {
+                    let module = if (i / 4) % 2 == 0 { "a" } else { "b" };
+                    let out = m.request(black_box(module), t).expect("request ok");
+                    t = out.ready_at + TimePs::from_ms(1);
+                }
+                black_box(m.stats())
+            })
+        });
+    }
+    g.bench_function("full_study_small", |b| {
+        b.iter(|| black_box(pdr_bench::prefetch::run(&[8], 8).expect("study runs")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_manager);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Criterion bench behind Table 1: the full generation flow for the fixed
+//! and dynamic variants, and the amortization sweep.
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("regenerate_full_table", |b| {
+        b.iter(|| black_box(pdr_bench::table1::run().expect("flow runs")))
+    });
+    g.bench_function("amortization_sweep_n8", |b| {
+        b.iter(|| black_box(pdr_bench::table1::amortization(8)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

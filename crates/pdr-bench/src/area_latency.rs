@@ -1,0 +1,167 @@
+//! Area ↔ latency arithmetic — §6's "8 % ↔ ≈ 4 ms" generalized.
+//!
+//! Reconfiguration time on Virtex-II is proportional to the frames of the
+//! region: this sweep regenerates that line across region widths and
+//! devices, through the real bitstream generator and the paper-calibrated
+//! port chain, and verifies the paper's operating point sits on it.
+
+use pdr_fabric::{Bitstream, Device, PortProfile, ReconfigRegion, TimePs};
+
+/// One sweep point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaLatencyPoint {
+    /// Device name.
+    pub device: String,
+    /// Region width in CLB columns.
+    pub width_cols: u32,
+    /// Device area fraction of the region.
+    pub area_fraction: f64,
+    /// Partial-bitstream size in bytes.
+    pub bitstream_bytes: usize,
+    /// Reconfiguration (load) time through the paper chain.
+    pub reconfig_time: TimePs,
+}
+
+/// The sweep result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaLatency {
+    /// Points, grouped by device then width.
+    pub points: Vec<AreaLatencyPoint>,
+}
+
+impl AreaLatency {
+    /// Render the sweep.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Region area vs reconfiguration time (paper chain: memory-limited ICAP)\n\n{:<10} {:>6} {:>8} {:>10} {:>12}\n",
+            "device", "cols", "area %", "KB", "reconfig"
+        );
+        for p in &self.points {
+            out.push_str(&format!(
+                "{:<10} {:>6} {:>8.2} {:>10.1} {:>12}\n",
+                p.device,
+                p.width_cols,
+                100.0 * p.area_fraction,
+                p.bitstream_bytes as f64 / 1024.0,
+                p.reconfig_time.to_string()
+            ));
+        }
+        out
+    }
+
+    /// The point closest to the paper's configuration (XC2V2000, 4 cols).
+    pub fn paper_point(&self) -> Option<&AreaLatencyPoint> {
+        self.points
+            .iter()
+            .find(|p| p.device == "XC2V2000" && p.width_cols == 4)
+    }
+}
+
+/// Run the sweep over the given devices and widths.
+pub fn run(devices: &[&str], widths: &[u32]) -> AreaLatency {
+    let port = PortProfile::paper_calibrated();
+    let mut points = Vec::new();
+    for name in devices {
+        let device = Device::by_name(name).expect("catalog device");
+        for &w in widths {
+            if w < 2 || w + 2 > device.clb_cols {
+                continue;
+            }
+            // Place the window where it spans the fewest frames (a pure
+            // logic window, avoiding embedded BRAM/GCLK columns), so the
+            // sweep isolates the width→latency relationship.
+            let start = (1..device.clb_cols - w)
+                .min_by_key(|&s| device.frames_in_clb_window(s, w))
+                .expect("device wide enough");
+            let region = ReconfigRegion::new("sweep", start, w).expect("legal width");
+            if region.validate_on(&device).is_err() {
+                continue;
+            }
+            let bs = Bitstream::partial_for_region(&device, &region, 0xA5);
+            points.push(AreaLatencyPoint {
+                device: device.name.clone(),
+                width_cols: w,
+                area_fraction: region.area_fraction(&device),
+                bitstream_bytes: bs.len_bytes(),
+                reconfig_time: port.transfer_time(bs.len_bytes()),
+            });
+        }
+    }
+    AreaLatency { points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep() -> AreaLatency {
+        run(&["XC2V500", "XC2V2000", "XC2V6000"], &[2, 4, 8, 16])
+    }
+
+    #[test]
+    fn paper_point_is_8_percent_4ms() {
+        let s = sweep();
+        let p = s.paper_point().expect("paper point in sweep");
+        assert!((p.area_fraction - 4.0 / 48.0).abs() < 1e-9);
+        let ms = p.reconfig_time.as_millis_f64();
+        assert!((3.5..4.5).contains(&ms), "{ms} ms");
+    }
+
+    #[test]
+    fn latency_is_monotone_in_width_per_device() {
+        let s = sweep();
+        for dev in ["XC2V500", "XC2V2000", "XC2V6000"] {
+            let times: Vec<TimePs> = s
+                .points
+                .iter()
+                .filter(|p| p.device == dev)
+                .map(|p| p.reconfig_time)
+                .collect();
+            assert!(times.windows(2).all(|w| w[0] < w[1]), "{dev}: {times:?}");
+        }
+    }
+
+    #[test]
+    fn same_width_costs_more_on_taller_devices() {
+        // Frames scale with device height: 4 columns of an XC2V6000 take
+        // longer than 4 columns of an XC2V500.
+        let s = sweep();
+        let t = |dev: &str| {
+            s.points
+                .iter()
+                .find(|p| p.device == dev && p.width_cols == 4)
+                .unwrap()
+                .reconfig_time
+        };
+        assert!(t("XC2V500") < t("XC2V2000"));
+        assert!(t("XC2V2000") < t("XC2V6000"));
+    }
+
+    #[test]
+    fn area_fraction_scales_inversely_with_device_size() {
+        let s = sweep();
+        let f = |dev: &str| {
+            s.points
+                .iter()
+                .find(|p| p.device == dev && p.width_cols == 4)
+                .unwrap()
+                .area_fraction
+        };
+        assert!(f("XC2V500") > f("XC2V2000"));
+        assert!(f("XC2V2000") > f("XC2V6000"));
+    }
+
+    #[test]
+    fn render_contains_all_devices() {
+        let text = sweep().render();
+        for dev in ["XC2V500", "XC2V2000", "XC2V6000"] {
+            assert!(text.contains(dev));
+        }
+    }
+
+    #[test]
+    fn oversized_widths_are_skipped_not_fatal() {
+        let s = run(&["XC2V40"], &[2, 4, 32]);
+        assert!(s.points.iter().all(|p| p.width_cols < 32));
+    }
+}

@@ -1,0 +1,68 @@
+//! Run every experiment and print one combined report — the full
+//! `EXPERIMENTS.md` regeneration in one command.
+//!
+//! ```text
+//! cargo run --release -p pdr-bench --bin all_experiments
+//! ```
+
+fn main() {
+    println!("================================================================");
+    println!(" pdr — full experiment suite (Berthelot et al., IPDPS 2006)");
+    println!("================================================================\n");
+
+    println!("--- T1: Table 1 -------------------------------------------------");
+    let table = pdr_bench::table1::run().expect("table1");
+    println!("{}", table.render());
+    println!("Amortization (fixed-all vs dynamic-shared slices):");
+    for (n, fix, dy) in pdr_bench::table1::amortization(8) {
+        println!(
+            "  n={n}: fixed-all {fix}, dynamic {dy}{}",
+            if dy < fix { "  <- dynamic wins" } else { "" }
+        );
+    }
+
+    println!("\n--- F2: Figure 2 ------------------------------------------------");
+    println!("{}", pdr_bench::fig2::run().render());
+
+    println!("--- F3: Figure 3 ------------------------------------------------");
+    let f3 = pdr_bench::fig3::run().expect("fig3");
+    println!("{}", f3.render());
+
+    println!("--- F4: Figure 4 / §6 -------------------------------------------");
+    let sys = pdr_bench::fig4::run_system(192).expect("fig4 system");
+    println!("{}", sys.render());
+    let ber = pdr_bench::fig4::run_ber(&[-14.0, -10.0, -6.0, -2.0, 2.0], 6);
+    println!("{}", ber.render());
+
+    println!("--- E-PF: prefetching study -------------------------------------");
+    let pf = pdr_bench::prefetch::run(&[4, 16, 64, 256], 8).expect("prefetch");
+    println!("{}", pf.render());
+
+    println!("--- E-AD: adequation study --------------------------------------");
+    let ablation =
+        pdr_bench::adequation_study::run_ablation(&[0.01, 0.1, 0.5, 0.9]).expect("ablation");
+    let scaling =
+        pdr_bench::adequation_study::run_scaling(&[(2, 2), (4, 4), (8, 8)]).expect("scaling");
+    println!(
+        "{}",
+        pdr_bench::adequation_study::render(&ablation, &scaling)
+    );
+    let strategies =
+        pdr_bench::adequation_study::run_strategies(&[(3, 3), (5, 5)], 1_500).expect("strategies");
+    println!(
+        "{}",
+        pdr_bench::adequation_study::render_strategies(&strategies)
+    );
+
+    println!("\n--- E-AR: area vs latency ---------------------------------------");
+    let ar = pdr_bench::area_latency::run(&["XC2V500", "XC2V2000", "XC2V6000"], &[2, 4, 8, 16]);
+    println!("{}", ar.render());
+
+    println!("--- X-CMP: compression study ------------------------------------");
+    let cs = pdr_bench::compression::run(96).expect("compression");
+    println!("{}", cs.render());
+
+    println!("================================================================");
+    println!(" suite complete");
+    println!("================================================================");
+}

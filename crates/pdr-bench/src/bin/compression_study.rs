@@ -1,0 +1,5 @@
+//! Regenerates the bitstream-compression study (extension experiment).
+fn main() {
+    let s = pdr_bench::compression::run(192).expect("study runs");
+    println!("{}", s.render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the Figure 2 experiment (reconfiguration architectures).
+fn main() {
+    println!("{}", pdr_bench::fig2::run().render());
+}

@@ -1,0 +1,9 @@
+//! Regenerates the Figure 3 experiment (complete design flow, staged).
+fn main() {
+    let f = pdr_bench::fig3::run().expect("flow runs");
+    println!("{}", f.render());
+    println!(
+        "total flow wall time: {:.3} ms",
+        f.total_wall().as_secs_f64() * 1e3
+    );
+}

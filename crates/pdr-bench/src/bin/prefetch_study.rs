@@ -1,0 +1,5 @@
+//! Regenerates the prefetching study (abstract claim).
+fn main() {
+    let s = pdr_bench::prefetch::run(&[2, 4, 8, 16, 32, 64, 128, 256, 512], 8).expect("study runs");
+    println!("{}", s.render());
+}

@@ -1,0 +1,11 @@
+//! Regenerates Table 1 of the paper (fixed vs dynamic modulation).
+fn main() {
+    let table = pdr_bench::table1::run().expect("flow runs");
+    println!("{}", table.render());
+    println!("Amortization (fixed-all vs dynamic-shared slices):");
+    println!("{:>4} {:>12} {:>12}", "n", "fixed-all", "dynamic");
+    for (n, fix, dy) in pdr_bench::table1::amortization(8) {
+        let marker = if dy < fix { "  <- dynamic wins" } else { "" };
+        println!("{n:>4} {fix:>12} {dy:>12}{marker}");
+    }
+}

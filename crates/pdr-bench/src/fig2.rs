@@ -1,0 +1,134 @@
+//! Figure 2 — "Different ways to reconfigure dynamic parts of a FPGA".
+//!
+//! The figure is a design-space diagram; the quantitative claim behind it
+//! is that *"locations of these functionalities [manager M, protocol
+//! builder P] have a direct impact on the reconfiguration latency"*. The
+//! regenerator measures the request→ready latency decomposition of all
+//! four placements of (M, P), cold (fetch from external memory) and warm
+//! (staged by cache/prefetch), for the paper's ≈ 50 KB module.
+
+use pdr_fabric::{Bitstream, Device, ReconfigRegion, TimePs};
+use pdr_rtr::{LatencyBreakdown, MemoryModel, ReconfigArchitecture};
+
+/// One measured variant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig2Row {
+    /// Variant name (placement of M and P).
+    pub name: String,
+    /// Cold latency decomposition.
+    pub cold: LatencyBreakdown,
+    /// Warm (fetch-hidden) decomposition.
+    pub warm: LatencyBreakdown,
+}
+
+/// The regenerated Figure 2 experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig2 {
+    /// Module size used (bytes).
+    pub module_bytes: usize,
+    /// All four variants, case (a) first.
+    pub rows: Vec<Fig2Row>,
+}
+
+impl Fig2 {
+    /// Render the latency table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Figure 2 — reconfiguration architectures ({} byte module)\n\n{:<36} {:>12} {:>12} {:>10} {:>10} {:>10}\n",
+            self.module_bytes, "variant", "cold total", "warm total", "irq", "build", "load"
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<36} {:>12} {:>12} {:>10} {:>10} {:>10}\n",
+                r.name,
+                r.cold.total().to_string(),
+                r.warm.total().to_string(),
+                r.cold.irq.to_string(),
+                r.cold.build.to_string(),
+                r.cold.load.to_string(),
+            ));
+        }
+        out
+    }
+}
+
+/// The paper's module: 4 CLB columns of an XC2V2000.
+pub fn paper_module_bytes() -> usize {
+    let d = Device::xc2v2000();
+    let r = ReconfigRegion::new("op_dyn", 20, 4).expect("legal region");
+    Bitstream::partial_for_region(&d, &r, 0).len_bytes()
+}
+
+/// Run the Fig. 2 sweep.
+pub fn run() -> Fig2 {
+    let bytes = paper_module_bytes();
+    let fetch = MemoryModel::paper_flash().read_time(bytes);
+    let rows = ReconfigArchitecture::all_variants()
+        .into_iter()
+        .map(|v| Fig2Row {
+            name: v.name.clone(),
+            cold: v.latency(bytes, fetch),
+            warm: v.latency(bytes, TimePs::ZERO),
+        })
+        .collect();
+    Fig2 {
+        module_bytes: bytes,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_variants_measured() {
+        let f = run();
+        assert_eq!(f.rows.len(), 4);
+        assert!(f.module_bytes > 40_000);
+        assert!(f.render().contains("case-a"));
+    }
+
+    #[test]
+    fn case_a_is_fastest_cold_and_warm() {
+        let f = run();
+        let a = &f.rows[0];
+        assert!(a.name.contains("case-a"));
+        for other in &f.rows[1..] {
+            assert!(a.cold.total() < other.cold.total(), "{}", other.name);
+            assert!(a.warm.total() < other.warm.total(), "{}", other.name);
+        }
+    }
+
+    #[test]
+    fn warm_is_always_faster_than_cold() {
+        for r in run().rows {
+            assert!(r.warm.total() < r.cold.total(), "{}", r.name);
+            assert_eq!(r.cold.total() - r.warm.total(), r.cold.fetch);
+        }
+    }
+
+    #[test]
+    fn case_b_pays_irq_and_software_build() {
+        let f = run();
+        let b = f
+            .rows
+            .iter()
+            .find(|r| r.name.contains("case-b"))
+            .expect("case-b present");
+        assert!(b.cold.irq > TimePs::ZERO);
+        assert!(b.cold.build > TimePs::from_us(500)); // software loop on ~50 KB
+        let a = &f.rows[0];
+        assert_eq!(a.cold.irq, TimePs::ZERO);
+        assert!(a.cold.build < TimePs::from_us(10));
+    }
+
+    #[test]
+    fn cold_latencies_sit_in_the_paper_regime() {
+        // Everything between ~3.5 ms (case a) and ~10 ms (worst hybrid).
+        for r in run().rows {
+            let ms = r.cold.total().as_millis_f64();
+            assert!((3.0..11.0).contains(&ms), "{}: {ms} ms", r.name);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # pdr-bench — the experiment harness
+//!
+//! One module per paper artifact, each exposing a `run()` that returns a
+//! structured result plus a `render()` into the table/series the paper
+//! prints. The binaries in `src/bin/` wrap these for the command line; the
+//! Criterion benches in `benches/` measure the computational kernels
+//! behind each experiment. `EXPERIMENTS.md` records paper-vs-measured for
+//! every entry.
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`table1`] | Table 1 — fixed vs dynamic modulation implementation |
+//! | [`fig2`] | Figure 2 — reconfiguration architecture latency |
+//! | [`fig3`] | Figure 3 — complete-flow automation (stage timing/sizes) |
+//! | [`fig4`] | Figure 4 + §6 — the reconfigurable MC-CDMA transmitter |
+//! | [`prefetch`] | abstract/§1 — prefetching vs reconfiguration stall |
+//! | [`adequation_study`] | §3/§7 — reconfiguration-aware adequation |
+//! | [`area_latency`] | §6 — region size ↔ reconfiguration time |
+//! | [`compression`] | extension — compressed bitstream storage |
+
+pub mod adequation_study;
+pub mod compression;
+pub mod area_latency;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod prefetch;
+pub mod table1;

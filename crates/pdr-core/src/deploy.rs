@@ -1,0 +1,390 @@
+//! Deployment: flow artifacts → a runnable simulated system.
+//!
+//! [`DeployedSystem`] wires the generated bitstreams into per-region
+//! [`ConfigurationManager`]s (external store + staging cache + protocol
+//! builder on the chosen port) and runs the synchronized executive on the
+//! discrete-event simulator. [`RuntimeOptions`] selects the Fig. 2
+//! reconfiguration chain and the prefetching policy.
+
+use crate::error::FlowError;
+use crate::flow::FlowArtifacts;
+use pdr_fabric::{Device, PortProfile};
+use pdr_graph::ArchGraph;
+use parking_lot::Mutex;
+use pdr_rtr::{
+    BitstreamCache, BitstreamStore, ConfigurationManager, DeviceLoader, ExclusionLedger,
+    FirstOrderMarkov, LastValue, LoaderStats, MemoryModel, Predictor, ProtocolBuilder,
+    ScheduleDriven,
+};
+use pdr_sim::{SimConfig, SimReport, SimSystem};
+use std::sync::Arc;
+
+/// Prefetching policy selection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrefetchChoice {
+    /// No prefetching: every miss pays the full fetch.
+    None,
+    /// Schedule-driven: replay the known load sequence (the paper's
+    /// off-line setting).
+    ScheduleDriven(Vec<String>),
+    /// Predict "no change" (straw man).
+    LastValue,
+    /// First-order Markov learner.
+    Markov,
+}
+
+/// Runtime plumbing choices for deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeOptions {
+    /// Configuration-port timing (Fig. 2 chain).
+    pub port: PortProfile,
+    /// External bitstream memory.
+    pub memory: MemoryModel,
+    /// Staging-cache capacity in module-sized units.
+    pub cache_modules: usize,
+    /// Prefetching policy.
+    pub prefetch: PrefetchChoice,
+    /// Store bitstreams zero-RLE-compressed in external memory (an on-chip
+    /// decompressor restores them before the port; only the fetch leg
+    /// shrinks).
+    pub compressed_storage: bool,
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> Self {
+        RuntimeOptions {
+            port: PortProfile::icap_virtex2(),
+            memory: MemoryModel::paper_flash(),
+            cache_modules: 1,
+            prefetch: PrefetchChoice::None,
+            compressed_storage: false,
+        }
+    }
+}
+
+impl RuntimeOptions {
+    /// The paper's §6 chain: self-reconfiguration over ICAP from board
+    /// flash, no prefetching — the configuration whose request-to-ready
+    /// time is "about 4 ms".
+    pub fn paper_baseline() -> Self {
+        Self::default()
+    }
+
+    /// The prefetching configuration promised by the abstract:
+    /// schedule-driven prediction into a 2-module staging cache.
+    pub fn paper_prefetch(load_sequence: Vec<String>) -> Self {
+        RuntimeOptions {
+            cache_modules: 2,
+            prefetch: PrefetchChoice::ScheduleDriven(load_sequence),
+            ..Self::default()
+        }
+    }
+}
+
+/// A deployed system ready to simulate.
+pub struct DeployedSystem<'a> {
+    arch: &'a ArchGraph,
+    artifacts: &'a FlowArtifacts,
+    device: Device,
+    options: RuntimeOptions,
+}
+
+impl<'a> DeployedSystem<'a> {
+    /// Deploy flow artifacts onto their architecture.
+    pub fn new(
+        arch: &'a ArchGraph,
+        artifacts: &'a FlowArtifacts,
+        device: Device,
+        options: RuntimeOptions,
+    ) -> Self {
+        DeployedSystem {
+            arch,
+            artifacts,
+            device,
+            options,
+        }
+    }
+
+    /// Build the configuration manager for one region from the generated
+    /// bitstreams.
+    fn manager_for(&self, region: &str) -> Result<ConfigurationManager, FlowError> {
+        let mut store = if self.options.compressed_storage {
+            BitstreamStore::with_compression()
+        } else {
+            BitstreamStore::new()
+        };
+        let mut module_bytes = 0usize;
+        for (module, target) in &self.artifacts.design.floorplan.region_of {
+            if target == region {
+                let bs = self
+                    .artifacts
+                    .design
+                    .floorplan
+                    .bitstream_of(module)
+                    .ok_or_else(|| {
+                        FlowError::Config(format!("no bitstream generated for `{module}`"))
+                    })?
+                    .clone();
+                module_bytes = module_bytes.max(bs.len_bytes());
+                store.insert(module.clone(), bs);
+            }
+        }
+        if store.is_empty() {
+            return Err(FlowError::Config(format!(
+                "region `{region}` has no modules"
+            )));
+        }
+        let cache = BitstreamCache::sized_for(self.options.cache_modules.max(1), module_bytes);
+        let builder = ProtocolBuilder::new(self.device.clone(), self.options.port.clone());
+        let mut mgr =
+            ConfigurationManager::new(builder, store, cache, self.options.memory, region);
+        let predictor: Option<Box<dyn Predictor>> = match &self.options.prefetch {
+            PrefetchChoice::None => None,
+            PrefetchChoice::ScheduleDriven(seq) => {
+                Some(Box::new(ScheduleDriven::new(seq.clone())))
+            }
+            PrefetchChoice::LastValue => Some(Box::new(LastValue)),
+            PrefetchChoice::Markov => Some(Box::new(FirstOrderMarkov::new())),
+        };
+        if let Some(p) = predictor {
+            mgr = mgr.with_predictor(p);
+        }
+        // Honor load = at_start from the constraints file.
+        let constraints =
+            pdr_graph::ConstraintsFile::parse(&self.artifacts.constraints_text)
+                .map_err(FlowError::Graph)?;
+        for mc in constraints.modules_in_region(region) {
+            if mc.load == pdr_graph::LoadPolicy::AtStart {
+                mgr.preload(&mc.module).map_err(FlowError::Runtime)?;
+            }
+        }
+        Ok(mgr)
+    }
+
+    /// The shared exclusion ledger implied by the constraints file.
+    fn exclusion_ledger(&self) -> Result<Arc<Mutex<ExclusionLedger>>, FlowError> {
+        let constraints = pdr_graph::ConstraintsFile::parse(&self.artifacts.constraints_text)
+            .map_err(FlowError::Graph)?;
+        Ok(Arc::new(Mutex::new(ExclusionLedger::from_constraints(
+            &constraints,
+        ))))
+    }
+
+    /// Simulate the deployed system. Cross-region exclusions from the
+    /// constraints file are enforced at run time by a shared ledger.
+    pub fn simulate(&self, config: &SimConfig) -> Result<SimReport, FlowError> {
+        let ledger = self.exclusion_ledger()?;
+        let mut sys = SimSystem::new(self.arch, &self.artifacts.executive);
+        for region in self.artifacts.design.floorplan.floorplan.regions() {
+            sys.add_manager(
+                &region.name,
+                self.manager_for(&region.name)?.with_exclusions(ledger.clone()),
+            );
+        }
+        sys.run(config).map_err(FlowError::Sim)
+    }
+
+    /// Simulate with *functional fidelity*: every reconfiguration is also
+    /// applied to a real [`pdr_fabric::ConfigMemory`] and readback-verified
+    /// by a shared [`DeviceLoader`]. Returns the loader statistics next to
+    /// the report (verify failures would surface as simulation errors).
+    pub fn simulate_verified(
+        &self,
+        config: &SimConfig,
+    ) -> Result<(SimReport, LoaderStats), FlowError> {
+        let mut loader = DeviceLoader::new(self.device.clone());
+        for region in self.artifacts.design.floorplan.floorplan.regions() {
+            loader.add_region(region.clone()).map_err(FlowError::Runtime)?;
+        }
+        let loader = Arc::new(Mutex::new(loader));
+        let ledger = self.exclusion_ledger()?;
+        let mut sys = SimSystem::new(self.arch, &self.artifacts.executive);
+        for region in self.artifacts.design.floorplan.floorplan.regions() {
+            let mgr = self
+                .manager_for(&region.name)?
+                .with_loader(loader.clone())
+                .with_exclusions(ledger.clone());
+            sys.add_manager(&region.name, mgr);
+        }
+        let report = sys.run(config).map_err(FlowError::Sim)?;
+        let stats = loader.lock().stats();
+        Ok((report, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::DesignFlow;
+    use pdr_adequation::AdequationOptions;
+    use pdr_fabric::TimePs;
+    use pdr_graph::paper;
+
+    fn build() -> (ArchGraph, FlowArtifacts) {
+        let arch = paper::sundance_architecture();
+        let art = DesignFlow::new(
+            paper::mccdma_algorithm(),
+            arch.clone(),
+            paper::mccdma_characterization(),
+            Device::xc2v2000(),
+        )
+        .with_constraints(paper::mccdma_constraints())
+        .with_adequation_options(
+            AdequationOptions::default()
+                .pin("interface_in", "dsp")
+                .pin("select", "dsp")
+                .pin("interface_out", "fpga_static"),
+        )
+        .run()
+        .unwrap();
+        (arch, art)
+    }
+
+    fn switching(n: u32) -> Vec<String> {
+        (0..n)
+            .map(|i| {
+                if (i / 8) % 2 == 0 {
+                    "mod_qpsk".to_string()
+                } else {
+                    "mod_qam16".to_string()
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn baseline_deployment_reconfigures_in_about_4ms() {
+        let (arch, art) = build();
+        let dep = DeployedSystem::new(
+            &arch,
+            &art,
+            Device::xc2v2000(),
+            RuntimeOptions::paper_baseline(),
+        );
+        let cfg = SimConfig::iterations(32).with_selection("op_dyn", switching(32));
+        let report = dep.simulate(&cfg).unwrap();
+        assert_eq!(report.reconfig_count(), 3);
+        for rc in &report.reconfigs {
+            let ms = rc.latency().as_millis_f64();
+            assert!((3.5..4.6).contains(&ms), "latency {ms} ms");
+        }
+    }
+
+    #[test]
+    fn prefetch_deployment_beats_baseline() {
+        let (arch, art) = build();
+        let cfg = SimConfig::iterations(32).with_selection("op_dyn", switching(32));
+        let base = DeployedSystem::new(
+            &arch,
+            &art,
+            Device::xc2v2000(),
+            RuntimeOptions::paper_baseline(),
+        )
+        .simulate(&cfg)
+        .unwrap();
+        // The load sequence after the preloaded qpsk: qam16, qpsk, qam16...
+        let loads: Vec<String> = (0..3)
+            .map(|i| {
+                if i % 2 == 0 {
+                    "mod_qam16".to_string()
+                } else {
+                    "mod_qpsk".to_string()
+                }
+            })
+            .collect();
+        let pf = DeployedSystem::new(
+            &arch,
+            &art,
+            Device::xc2v2000(),
+            RuntimeOptions::paper_prefetch(loads),
+        )
+        .simulate(&cfg)
+        .unwrap();
+        assert_eq!(base.reconfig_count(), pf.reconfig_count());
+        assert!(pf.lockup_time() < base.lockup_time());
+        assert!(pf.makespan < base.makespan);
+    }
+
+    #[test]
+    fn at_start_module_is_preloaded() {
+        let (arch, art) = build();
+        let dep = DeployedSystem::new(
+            &arch,
+            &art,
+            Device::xc2v2000(),
+            RuntimeOptions::paper_baseline(),
+        );
+        // All-qpsk: the preloaded module means zero reconfigurations.
+        let cfg = SimConfig::iterations(8)
+            .with_selection("op_dyn", vec!["mod_qpsk".to_string(); 8]);
+        let report = dep.simulate(&cfg).unwrap();
+        assert_eq!(report.reconfig_count(), 0);
+        assert_eq!(report.lockup_time(), TimePs::ZERO);
+    }
+
+    #[test]
+    fn markov_prefetch_learns_alternation() {
+        let (arch, art) = build();
+        let opts = RuntimeOptions {
+            cache_modules: 2,
+            prefetch: PrefetchChoice::Markov,
+            ..RuntimeOptions::default()
+        };
+        let dep = DeployedSystem::new(&arch, &art, Device::xc2v2000(), opts);
+        // Fast alternation: after training, Markov predicts the follower.
+        let sel: Vec<String> = (0..64)
+            .map(|i| {
+                if (i / 4) % 2 == 0 {
+                    "mod_qpsk".to_string()
+                } else {
+                    "mod_qam16".to_string()
+                }
+            })
+            .collect();
+        let cfg = SimConfig::iterations(64).with_selection("op_dyn", sel);
+        let report = dep.simulate(&cfg).unwrap();
+        assert!(report.reconfig_count() > 10);
+        // Later reconfigurations benefit from learned prefetches (and the
+        // 2-module cache): at least half the fetches are hidden.
+        assert!(
+            report.hidden_fetches() * 2 >= report.reconfig_count(),
+            "{} of {} hidden",
+            report.hidden_fetches(),
+            report.reconfig_count()
+        );
+    }
+}
+
+#[cfg(test)]
+mod verified_tests {
+    use super::*;
+    use crate::paper::PaperCaseStudy;
+    use pdr_sim::SimConfig;
+
+    #[test]
+    fn verified_simulation_applies_and_checks_every_load() {
+        let study = PaperCaseStudy::build().unwrap();
+        let sel: Vec<String> = (0..24u32)
+            .map(|i| {
+                if (i / 6) % 2 == 0 {
+                    "mod_qpsk".to_string()
+                } else {
+                    "mod_qam16".to_string()
+                }
+            })
+            .collect();
+        let dep = study.deploy(RuntimeOptions::paper_baseline());
+        let cfg = SimConfig::iterations(24).with_selection("op_dyn", sel);
+        let (report, loader_stats) = dep.simulate_verified(&cfg).unwrap();
+        assert_eq!(report.reconfig_count(), 3);
+        assert_eq!(loader_stats.loads, 3);
+        assert_eq!(loader_stats.verifications, 3);
+        assert_eq!(loader_stats.verify_failures, 0);
+        // Timing is identical to the unverified run (fidelity is free).
+        let plain = study
+            .deploy(RuntimeOptions::paper_baseline())
+            .simulate(&cfg)
+            .unwrap();
+        assert_eq!(plain.makespan, report.makespan);
+    }
+}

@@ -1,0 +1,92 @@
+//! Error type for the top-level flow.
+
+use pdr_adequation::AdequationError;
+use pdr_codegen::CodegenError;
+use pdr_graph::GraphError;
+use pdr_rtr::RtrError;
+use pdr_sim::SimError;
+use std::fmt;
+
+/// Any failure along the Fig. 3 pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowError {
+    /// Modeling / validation failure.
+    Graph(GraphError),
+    /// Adequation failure.
+    Adequation(AdequationError),
+    /// Design generation / floorplanning failure.
+    Codegen(CodegenError),
+    /// Runtime (manager/bitstream) failure during deployment.
+    Runtime(RtrError),
+    /// Simulation failure.
+    Sim(SimError),
+    /// Flow configuration error (missing input, inconsistent options).
+    Config(String),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Graph(e) => write!(f, "modeling: {e}"),
+            FlowError::Adequation(e) => write!(f, "adequation: {e}"),
+            FlowError::Codegen(e) => write!(f, "design generation: {e}"),
+            FlowError::Runtime(e) => write!(f, "runtime: {e}"),
+            FlowError::Sim(e) => write!(f, "simulation: {e}"),
+            FlowError::Config(msg) => write!(f, "flow configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FlowError::Graph(e) => Some(e),
+            FlowError::Adequation(e) => Some(e),
+            FlowError::Codegen(e) => Some(e),
+            FlowError::Runtime(e) => Some(e),
+            FlowError::Sim(e) => Some(e),
+            FlowError::Config(_) => None,
+        }
+    }
+}
+
+impl From<GraphError> for FlowError {
+    fn from(e: GraphError) -> Self {
+        FlowError::Graph(e)
+    }
+}
+impl From<AdequationError> for FlowError {
+    fn from(e: AdequationError) -> Self {
+        FlowError::Adequation(e)
+    }
+}
+impl From<CodegenError> for FlowError {
+    fn from(e: CodegenError) -> Self {
+        FlowError::Codegen(e)
+    }
+}
+impl From<RtrError> for FlowError {
+    fn from(e: RtrError) -> Self {
+        FlowError::Runtime(e)
+    }
+}
+impl From<SimError> for FlowError {
+    fn from(e: SimError) -> Self {
+        FlowError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: FlowError = GraphError::UnknownVertex("x".into()).into();
+        assert!(e.to_string().starts_with("modeling:"));
+        assert!(std::error::Error::source(&e).is_some());
+        let c = FlowError::Config("no device".into());
+        assert!(c.to_string().contains("no device"));
+        assert!(std::error::Error::source(&c).is_none());
+    }
+}

@@ -1,0 +1,241 @@
+//! The [`DesignFlow`] builder: Fig. 3 end to end.
+
+use crate::error::FlowError;
+use pdr_adequation::executive::generate_executive;
+use pdr_adequation::{adequate, AdequationOptions, AdequationResult, Executive};
+use pdr_codegen::{generate_design, ucf, vhdl, CostModel, GeneratedDesign};
+use pdr_fabric::Device;
+use pdr_graph::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Every artifact the flow produces, stage by stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowArtifacts {
+    /// Stage 1: mapping + schedule (the adequation).
+    pub adequation: AdequationResult,
+    /// Stage 2: the synchronized executive (macro-code).
+    pub executive: Executive,
+    /// Stage 2b: the §4 constraints file, serialized (travels with the
+    /// design to the placement step, as in Fig. 3).
+    pub constraints_text: String,
+    /// Stage 3+4: structural design, floorplan, bitstreams, estimates.
+    pub design: GeneratedDesign,
+    /// Stage 3 artifact: VHDL-like source per entity and module.
+    pub vhdl: BTreeMap<String, String>,
+    /// Stage 4 artifact: the UCF-style placement constraints (area groups
+    /// + bus-macro LOCs) handed to the Modular Design analog.
+    pub ucf: String,
+}
+
+impl FlowArtifacts {
+    /// Total generated VHDL-like source size (a Fig. 3 "artifact size"
+    /// metric for the flow benchmark).
+    pub fn vhdl_bytes(&self) -> usize {
+        self.vhdl.values().map(String::len).sum()
+    }
+}
+
+/// The top-down flow builder.
+#[derive(Debug, Clone)]
+pub struct DesignFlow {
+    algo: AlgorithmGraph,
+    arch: ArchGraph,
+    chars: Characterization,
+    constraints: ConstraintsFile,
+    device: Device,
+    adequation_options: AdequationOptions,
+    cost_model: CostModel,
+}
+
+impl DesignFlow {
+    /// A flow over the given models, targeting `device`.
+    pub fn new(
+        algo: AlgorithmGraph,
+        arch: ArchGraph,
+        chars: Characterization,
+        device: Device,
+    ) -> Self {
+        DesignFlow {
+            algo,
+            arch,
+            chars,
+            constraints: ConstraintsFile::new(),
+            device,
+            adequation_options: AdequationOptions::default(),
+            cost_model: CostModel::default(),
+        }
+    }
+
+    /// Attach the §4 dynamic-constraints file.
+    pub fn with_constraints(mut self, constraints: ConstraintsFile) -> Self {
+        self.constraints = constraints;
+        self
+    }
+
+    /// Override the adequation options (pins, reconfiguration awareness).
+    pub fn with_adequation_options(mut self, options: AdequationOptions) -> Self {
+        self.adequation_options = options;
+        self
+    }
+
+    /// Override the synthesis-analog cost model.
+    pub fn with_cost_model(mut self, cost: CostModel) -> Self {
+        self.cost_model = cost;
+        self
+    }
+
+    /// The algorithm graph.
+    pub fn algorithm(&self) -> &AlgorithmGraph {
+        &self.algo
+    }
+
+    /// The architecture graph.
+    pub fn architecture(&self) -> &ArchGraph {
+        &self.arch
+    }
+
+    /// The characterization tables.
+    pub fn characterization(&self) -> &Characterization {
+        &self.chars
+    }
+
+    /// The target device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Run the complete pipeline.
+    pub fn run(&self) -> Result<FlowArtifacts, FlowError> {
+        // 1. Modelisation is validated inside adequation; run it.
+        let adequation = adequate(
+            &self.algo,
+            &self.arch,
+            &self.chars,
+            &self.constraints,
+            &self.adequation_options,
+        )?;
+        // 2. Macro-code generation.
+        let executive = generate_executive(
+            &self.algo,
+            &self.arch,
+            &self.chars,
+            &adequation.mapping,
+            &adequation.schedule,
+        )?;
+        // 3+4. VHDL generation + Modular Design analog.
+        let design = generate_design(
+            &self.algo,
+            &self.arch,
+            &self.chars,
+            &self.constraints,
+            &adequation.mapping,
+            &executive,
+            &self.device,
+            &self.cost_model,
+        )?;
+        let mut vhdl_out = BTreeMap::new();
+        for (name, entity) in &design.entities {
+            vhdl_out.insert(format!("{name}.vhd"), vhdl::emit_entity(entity));
+        }
+        for module in &design.modules {
+            vhdl_out.insert(
+                format!("dyn_{}.vhd", module.module),
+                vhdl::emit_module(module),
+            );
+        }
+        let ucf_text = ucf::emit_ucf(&design.floorplan);
+        Ok(FlowArtifacts {
+            adequation,
+            executive,
+            constraints_text: self.constraints.to_string(),
+            design,
+            vhdl: vhdl_out,
+            ucf: ucf_text,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdr_graph::paper;
+
+    fn paper_flow() -> DesignFlow {
+        DesignFlow::new(
+            paper::mccdma_algorithm(),
+            paper::sundance_architecture(),
+            paper::mccdma_characterization(),
+            Device::xc2v2000(),
+        )
+        .with_constraints(paper::mccdma_constraints())
+        .with_adequation_options(
+            AdequationOptions::default()
+                .pin("interface_in", "dsp")
+                .pin("select", "dsp")
+                .pin("interface_out", "fpga_static"),
+        )
+    }
+
+    #[test]
+    fn full_pipeline_produces_all_artifacts() {
+        let art = paper_flow().run().unwrap();
+        assert!(art.adequation.makespan > pdr_fabric::TimePs::ZERO);
+        assert!(!art.executive.is_empty());
+        assert!(art.constraints_text.contains("[module mod_qpsk]"));
+        assert_eq!(art.design.floorplan.bitstreams.len(), 3);
+        // VHDL for the static entity and both dynamic modules.
+        assert!(art.vhdl.contains_key("fpga_static.vhd"));
+        assert!(art.vhdl.contains_key("dyn_mod_qpsk.vhd"));
+        assert!(art.vhdl.contains_key("dyn_mod_qam16.vhd"));
+        assert!(art.vhdl_bytes() > 1000);
+        // The UCF pins the paper region and its bus macros.
+        assert!(art.ucf.contains("AG_op_dyn"));
+        assert!(art.ucf.contains("MODE = RECONFIG"));
+        assert!(art.ucf.matches("LOC = ").count() >= 10);
+    }
+
+    #[test]
+    fn constraints_text_roundtrips() {
+        let art = paper_flow().run().unwrap();
+        let parsed = ConstraintsFile::parse(&art.constraints_text).unwrap();
+        assert_eq!(parsed, paper::mccdma_constraints());
+    }
+
+    #[test]
+    fn flow_is_deterministic() {
+        let a = paper_flow().run().unwrap();
+        let b = paper_flow().run().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fixed_variant_produces_no_dynamic_modules() {
+        // The same flow over the fixed-QPSK graph: everything static.
+        let flow = DesignFlow::new(
+            paper::mccdma_fixed("mod_qpsk"),
+            paper::sundance_architecture(),
+            paper::mccdma_characterization(),
+            Device::xc2v2000(),
+        )
+        .with_adequation_options(
+            AdequationOptions::default()
+                .pin("interface_in", "dsp")
+                .pin("interface_out", "fpga_static")
+                // Keep the fixed modulation out of the dynamic region.
+                .pin("modulation", "fpga_static"),
+        );
+        let art = flow.run().unwrap();
+        assert!(art.design.modules.is_empty());
+        assert!(art.design.floorplan.floorplan.regions().is_empty());
+    }
+
+    #[test]
+    fn accessors() {
+        let flow = paper_flow();
+        assert_eq!(flow.device().name, "XC2V2000");
+        assert_eq!(flow.algorithm().name, "mccdma_tx");
+        assert_eq!(flow.architecture().name, "sundance_c6201_xc2v2000");
+        assert!(flow.characterization().duration_entries() > 0);
+    }
+}

@@ -1,0 +1,401 @@
+//! Virtex-II-class device geometry.
+//!
+//! The model follows the column-oriented organization of Xilinx Virtex-II
+//! (UG002): the device is an array of `clb_rows × clb_cols` CLBs, each CLB
+//! containing four slices (2 × 2), each slice two 4-input LUTs and two
+//! flip-flops. Block RAM and 18×18 multipliers live in dedicated columns.
+//! Configuration memory is organized in vertical *frames* spanning the full
+//! device height; the per-column frame counts below are the documented
+//! Virtex-II values (CLB column: 22 frames, BRAM content: 64, BRAM
+//! interconnect: 22, IOB: 4, IOI: 22, global clock: 4).
+//!
+//! Absolute bitstream sizes produced by this model are within ~25 % of the
+//! vendor numbers — close enough that every latency/area *ratio* the paper
+//! reports is preserved (see `EXPERIMENTS.md` for the calibration note).
+
+use crate::frame::{frame_words, FrameCounts};
+use serde::{Deserialize, Serialize};
+
+/// Slices per CLB in Virtex-II.
+pub const SLICES_PER_CLB: u32 = 4;
+/// 4-input LUTs per slice.
+pub const LUTS_PER_SLICE: u32 = 2;
+/// Flip-flops per slice.
+pub const FFS_PER_SLICE: u32 = 2;
+/// A CLB is two slices wide and two slices tall.
+pub const SLICE_COLS_PER_CLB_COL: u32 = 2;
+/// BRAM blocks per BRAM column is `clb_rows / 4` in Virtex-II.
+pub const CLB_ROWS_PER_BRAM: u32 = 4;
+
+/// The kind of a configuration column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ColumnKind {
+    /// Global-clock spine column.
+    Gclk,
+    /// I/O block column (left or right edge).
+    Iob,
+    /// I/O interconnect column.
+    Ioi,
+    /// Logic (CLB) column.
+    Clb,
+    /// Block-RAM interconnect column.
+    BramInterconnect,
+    /// Block-RAM content column.
+    Bram,
+}
+
+impl ColumnKind {
+    /// Configuration frames occupied by one column of this kind
+    /// (Virtex-II documented values).
+    pub const fn frames(self) -> u32 {
+        match self {
+            ColumnKind::Gclk => 4,
+            ColumnKind::Iob => 4,
+            ColumnKind::Ioi => 22,
+            ColumnKind::Clb => 22,
+            ColumnKind::BramInterconnect => 22,
+            ColumnKind::Bram => 64,
+        }
+    }
+}
+
+/// Device family marker. Only Virtex-II is cataloged, but the geometry code
+/// is parametric so a Virtex-II Pro-style family could be added.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceFamily {
+    /// Xilinx Virtex-II (XC2Vxxxx).
+    VirtexII,
+}
+
+/// A concrete FPGA device: geometry plus derived configuration layout.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Device {
+    /// Part name, e.g. `"XC2V2000"`.
+    pub name: String,
+    /// Family.
+    pub family: DeviceFamily,
+    /// CLB rows.
+    pub clb_rows: u32,
+    /// CLB columns.
+    pub clb_cols: u32,
+    /// Number of BRAM columns.
+    pub bram_cols: u32,
+}
+
+impl Device {
+    /// Construct a custom Virtex-II-class device.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero.
+    pub fn custom(name: impl Into<String>, clb_rows: u32, clb_cols: u32, bram_cols: u32) -> Self {
+        assert!(clb_rows > 0 && clb_cols > 0, "device must be non-empty");
+        Device {
+            name: name.into(),
+            family: DeviceFamily::VirtexII,
+            clb_rows,
+            clb_cols,
+            bram_cols,
+        }
+    }
+
+    /// Look up a catalog device by (case-insensitive) part name.
+    pub fn by_name(name: &str) -> Result<Device, crate::FabricError> {
+        let upper = name.to_ascii_uppercase();
+        CATALOG
+            .iter()
+            .find(|(n, ..)| *n == upper)
+            .map(|&(n, r, c, b)| Device::custom(n, r, c, b))
+            .ok_or_else(|| crate::FabricError::UnknownDevice(name.to_string()))
+    }
+
+    /// All catalog part names, smallest to largest.
+    pub fn catalog_names() -> Vec<&'static str> {
+        CATALOG.iter().map(|(n, ..)| *n).collect()
+    }
+
+    /// The device of the paper's Sundance prototyping board.
+    pub fn xc2v2000() -> Device {
+        Device::by_name("XC2V2000").expect("XC2V2000 is in the catalog")
+    }
+
+    /// The smallest catalog device with at least the given resources —
+    /// the device-selection step of a real project. `None` when even the
+    /// largest part is too small.
+    pub fn smallest_fitting(r: &crate::resources::Resources) -> Option<Device> {
+        CATALOG
+            .iter()
+            .map(|&(n, rows, cols, brams)| Device::custom(n, rows, cols, brams))
+            .find(|d| r.fits_device(d))
+    }
+
+    /// Total CLBs.
+    pub fn clbs(&self) -> u32 {
+        self.clb_rows * self.clb_cols
+    }
+
+    /// Total slices (4 per CLB).
+    pub fn slices(&self) -> u32 {
+        self.clbs() * SLICES_PER_CLB
+    }
+
+    /// Total 4-input LUTs.
+    pub fn luts(&self) -> u32 {
+        self.slices() * LUTS_PER_SLICE
+    }
+
+    /// Total slice flip-flops.
+    pub fn ffs(&self) -> u32 {
+        self.slices() * FFS_PER_SLICE
+    }
+
+    /// Total 18-Kbit block RAMs.
+    pub fn brams(&self) -> u32 {
+        self.bram_cols * (self.clb_rows / CLB_ROWS_PER_BRAM)
+    }
+
+    /// Total 18×18 multipliers (one per BRAM in Virtex-II).
+    pub fn multipliers(&self) -> u32 {
+        self.brams()
+    }
+
+    /// The ordered column plan of the device, left to right:
+    /// IOB, IOI, then CLB columns with BRAM column pairs (interconnect +
+    /// content) distributed evenly, a GCLK spine in the middle, IOI, IOB.
+    pub fn column_plan(&self) -> Vec<ColumnKind> {
+        let mut plan = Vec::with_capacity((self.clb_cols + 2 * self.bram_cols + 5) as usize);
+        plan.push(ColumnKind::Iob);
+        plan.push(ColumnKind::Ioi);
+        // Distribute BRAM column pairs between CLB columns.
+        let stride = if self.bram_cols > 0 {
+            (self.clb_cols / (self.bram_cols + 1)).max(1)
+        } else {
+            u32::MAX
+        };
+        let mid = self.clb_cols / 2;
+        let mut brams_placed = 0;
+        for i in 0..self.clb_cols {
+            if i == mid {
+                plan.push(ColumnKind::Gclk);
+            }
+            if self.bram_cols > 0 && i > 0 && i % stride == 0 && brams_placed < self.bram_cols {
+                plan.push(ColumnKind::BramInterconnect);
+                plan.push(ColumnKind::Bram);
+                brams_placed += 1;
+            }
+            plan.push(ColumnKind::Clb);
+        }
+        // Any BRAM columns that did not fit in the stride pattern go at the end.
+        for _ in brams_placed..self.bram_cols {
+            plan.push(ColumnKind::BramInterconnect);
+            plan.push(ColumnKind::Bram);
+        }
+        plan.push(ColumnKind::Ioi);
+        plan.push(ColumnKind::Iob);
+        plan
+    }
+
+    /// Frame counts per column kind for the whole device.
+    pub fn frame_counts(&self) -> FrameCounts {
+        let mut counts = FrameCounts::default();
+        for kind in self.column_plan() {
+            counts.add(kind, kind.frames());
+        }
+        counts
+    }
+
+    /// Total configuration frames in the device.
+    pub fn total_frames(&self) -> u32 {
+        self.frame_counts().total()
+    }
+
+    /// Words (32-bit) per configuration frame for this device height.
+    pub fn words_per_frame(&self) -> u32 {
+        frame_words(self.clb_rows)
+    }
+
+    /// Bits per configuration frame.
+    pub fn bits_per_frame(&self) -> u64 {
+        self.words_per_frame() as u64 * 32
+    }
+
+    /// Total configuration bits of a full-device bitstream (frame payload
+    /// only; packet overhead is accounted by [`crate::Bitstream`]).
+    pub fn config_bits(&self) -> u64 {
+        self.total_frames() as u64 * self.bits_per_frame()
+    }
+
+    /// Frames occupied by a full-height window of `width` CLB columns
+    /// starting at CLB column `start` — the frame cost of a reconfigurable
+    /// region. Includes any BRAM columns falling inside the window.
+    pub fn frames_in_clb_window(&self, start: u32, width: u32) -> u32 {
+        assert!(
+            start + width <= self.clb_cols,
+            "window [{start}, {}) exceeds {} CLB columns",
+            start + width,
+            self.clb_cols
+        );
+        // Walk the column plan and count frames of columns whose CLB index
+        // falls inside [start, start+width).
+        let mut clb_index = 0u32;
+        let mut frames = 0u32;
+        let mut inside_prev = false;
+        for kind in self.column_plan() {
+            match kind {
+                ColumnKind::Clb => {
+                    let inside = clb_index >= start && clb_index < start + width;
+                    if inside {
+                        frames += kind.frames();
+                    }
+                    inside_prev = inside;
+                    clb_index += 1;
+                }
+                ColumnKind::Bram | ColumnKind::BramInterconnect | ColumnKind::Gclk => {
+                    // Embedded columns belong to the window if the window is
+                    // "open" at this point (previous CLB column was inside and
+                    // the next one will be too, approximated by inside_prev
+                    // and clb_index < start+width).
+                    if inside_prev && clb_index < start + width {
+                        frames += kind.frames();
+                    }
+                }
+                ColumnKind::Iob | ColumnKind::Ioi => {}
+            }
+        }
+        frames
+    }
+}
+
+/// Virtex-II catalog: (name, clb_rows, clb_cols, bram_cols).
+/// Geometry per the Virtex-II data sheet (DS031).
+const CATALOG: &[(&str, u32, u32, u32)] = &[
+    ("XC2V40", 8, 8, 2),
+    ("XC2V80", 16, 8, 2),
+    ("XC2V250", 24, 16, 4),
+    ("XC2V500", 32, 24, 4),
+    ("XC2V1000", 40, 32, 4),
+    ("XC2V1500", 48, 40, 4),
+    ("XC2V2000", 56, 48, 4),
+    ("XC2V3000", 64, 56, 6),
+    ("XC2V4000", 80, 72, 6),
+    ("XC2V6000", 96, 88, 6),
+    ("XC2V8000", 112, 104, 6),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xc2v2000_geometry_matches_datasheet() {
+        let d = Device::xc2v2000();
+        assert_eq!(d.clb_rows, 56);
+        assert_eq!(d.clb_cols, 48);
+        assert_eq!(d.slices(), 10_752);
+        assert_eq!(d.luts(), 21_504);
+        assert_eq!(d.ffs(), 21_504);
+        assert_eq!(d.brams(), 56);
+        assert_eq!(d.multipliers(), 56);
+    }
+
+    #[test]
+    fn catalog_is_ordered_and_resolvable() {
+        let names = Device::catalog_names();
+        assert_eq!(names.first(), Some(&"XC2V40"));
+        assert_eq!(names.last(), Some(&"XC2V8000"));
+        let mut prev_slices = 0;
+        for n in names {
+            let d = Device::by_name(n).unwrap();
+            assert!(d.slices() > prev_slices, "catalog not monotone at {n}");
+            prev_slices = d.slices();
+        }
+    }
+
+    #[test]
+    fn by_name_is_case_insensitive_and_errors_on_unknown() {
+        assert!(Device::by_name("xc2v1000").is_ok());
+        assert!(matches!(
+            Device::by_name("XC9999"),
+            Err(crate::FabricError::UnknownDevice(_))
+        ));
+    }
+
+    #[test]
+    fn column_plan_accounts_all_columns() {
+        let d = Device::xc2v2000();
+        let plan = d.column_plan();
+        let clbs = plan.iter().filter(|k| **k == ColumnKind::Clb).count() as u32;
+        let brams = plan.iter().filter(|k| **k == ColumnKind::Bram).count() as u32;
+        let gclk = plan.iter().filter(|k| **k == ColumnKind::Gclk).count();
+        let iob = plan.iter().filter(|k| **k == ColumnKind::Iob).count();
+        assert_eq!(clbs, 48);
+        assert_eq!(brams, 4);
+        assert_eq!(gclk, 1);
+        assert_eq!(iob, 2);
+    }
+
+    #[test]
+    fn frame_counts_total_is_plausible() {
+        let d = Device::xc2v2000();
+        // 48 CLB * 22 + 4 * (64 + 22) + 4 (gclk) + 2*4 (iob) + 2*22 (ioi)
+        assert_eq!(d.total_frames(), 48 * 22 + 4 * (64 + 22) + 4 + 8 + 44);
+    }
+
+    #[test]
+    fn config_bits_grow_with_device_size() {
+        let small = Device::by_name("XC2V250").unwrap();
+        let big = Device::xc2v2000();
+        assert!(big.config_bits() > 4 * small.config_bits());
+        // Sanity: XC2V2000 model total ~6-9 Mbit (vendor: ~8.4 Mbit).
+        let mbit = big.config_bits() as f64 / 1e6;
+        assert!((5.0..10.0).contains(&mbit), "got {mbit} Mbit");
+    }
+
+    #[test]
+    fn clb_window_frames_scale_with_width() {
+        let d = Device::xc2v2000();
+        let w2 = d.frames_in_clb_window(0, 2);
+        let w4 = d.frames_in_clb_window(0, 4);
+        assert!(w4 >= 2 * w2 - 64); // may differ by embedded BRAM columns
+        assert!(w4 > w2);
+        // Full width covers at least all CLB frames.
+        let all = d.frames_in_clb_window(0, d.clb_cols);
+        assert!(all >= d.clb_cols * 22);
+    }
+
+    #[test]
+    fn smallest_fitting_selects_by_size() {
+        use crate::resources::Resources;
+        // The paper's static + dynamic design (~3200 slices, 4 BRAMs, 8
+        // mults) fits an XC2V1000 on slices but needs the multipliers.
+        let small = Resources::logic(100, 180, 160);
+        assert_eq!(
+            Device::smallest_fitting(&small).unwrap().name,
+            "XC2V40"
+        );
+        let mid = Resources {
+            slices: 3_200,
+            luts: 5_600,
+            ffs: 4_800,
+            brams: 4,
+            mults: 8,
+            tbufs: 0,
+        };
+        let picked = Device::smallest_fitting(&mid).unwrap();
+        assert_eq!(picked.name, "XC2V1000");
+        let monster = Resources::logic(200_000, 0, 0);
+        assert!(Device::smallest_fitting(&monster).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn clb_window_out_of_bounds_panics() {
+        let d = Device::xc2v2000();
+        let _ = d.frames_in_clb_window(47, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_size_device_rejected() {
+        let _ = Device::custom("BAD", 0, 4, 0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Error type for fabric-level operations.
+
+use std::fmt;
+
+/// Errors raised by the fabric substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FabricError {
+    /// A reconfigurable region violates the paper's placement rules
+    /// (full height, width ≥ 4 slices ⇔ ≥ 2 CLB columns) or exceeds the
+    /// device bounds.
+    InvalidRegion {
+        /// Region name.
+        name: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Two regions (or a region and a pinned static resource) overlap.
+    RegionOverlap {
+        /// First region name.
+        a: String,
+        /// Second region name.
+        b: String,
+    },
+    /// A bus macro does not straddle the boundary it is supposed to bridge.
+    InvalidBusMacro {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A bitstream failed structural validation (bad sync word, CRC mismatch,
+    /// truncated packet, or frame data not matching the declared frame count).
+    MalformedBitstream {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A bitstream targets a different device than the one it is being
+    /// loaded into.
+    DeviceMismatch {
+        /// Device the bitstream was generated for.
+        expected: String,
+        /// Device it was applied to.
+        actual: String,
+    },
+    /// The named device is not in the catalog.
+    UnknownDevice(String),
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricError::InvalidRegion { name, reason } => {
+                write!(f, "invalid reconfigurable region `{name}`: {reason}")
+            }
+            FabricError::RegionOverlap { a, b } => {
+                write!(f, "reconfigurable regions `{a}` and `{b}` overlap")
+            }
+            FabricError::InvalidBusMacro { reason } => write!(f, "invalid bus macro: {reason}"),
+            FabricError::MalformedBitstream { reason } => {
+                write!(f, "malformed bitstream: {reason}")
+            }
+            FabricError::DeviceMismatch { expected, actual } => write!(
+                f,
+                "bitstream targets device `{expected}` but was applied to `{actual}`"
+            ),
+            FabricError::UnknownDevice(name) => write!(f, "unknown device `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = FabricError::InvalidRegion {
+            name: "op_dyn".into(),
+            reason: "width 1 < minimum 2 CLB columns".into(),
+        };
+        assert!(e.to_string().contains("op_dyn"));
+        assert!(e.to_string().contains("width 1"));
+
+        let e = FabricError::DeviceMismatch {
+            expected: "XC2V2000".into(),
+            actual: "XC2V1000".into(),
+        };
+        assert!(e.to_string().contains("XC2V2000"));
+        assert!(e.to_string().contains("XC2V1000"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<FabricError>();
+    }
+}

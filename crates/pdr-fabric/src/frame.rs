@@ -1,0 +1,194 @@
+//! Configuration frames: the atomic unit of (partial) reconfiguration.
+//!
+//! In Virtex-II the configuration memory is addressed by *frame*: a vertical
+//! slice of configuration bits spanning the full device height. The frame
+//! address register (FAR) selects a frame by block type / major (column) /
+//! minor (frame within column) address; writes to the frame data input
+//! register (FDRI) then stream frame payloads with address auto-increment.
+//!
+//! Everything in the paper's latency story reduces to *how many frames* a
+//! dynamic module occupies and *how fast* they move through the port, so this
+//! module is deliberately exact about counting.
+
+use crate::device::ColumnKind;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Words (32-bit) per configuration frame for a device of the given CLB-row
+/// count.
+///
+/// Virtex-II frames hold 80 bits per CLB row plus one pad word; this matches
+/// the documented XC2V2000 frame length (56 rows → 141 words) and scales the
+/// way the real family does.
+pub const fn frame_words(clb_rows: u32) -> u32 {
+    (clb_rows * 80).div_ceil(32) + 1
+}
+
+/// Configuration block types addressed by the FAR.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum BlockType {
+    /// CLB / IOB / interconnect configuration.
+    Clb,
+    /// Block-RAM content.
+    BramContent,
+    /// Block-RAM interconnect.
+    BramInterconnect,
+}
+
+impl BlockType {
+    /// FAR encoding of the block type (Virtex-II uses 0/1/2).
+    pub const fn code(self) -> u32 {
+        match self {
+            BlockType::Clb => 0,
+            BlockType::BramContent => 1,
+            BlockType::BramInterconnect => 2,
+        }
+    }
+}
+
+/// A frame address: (block type, major = column, minor = frame-in-column).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct FrameAddress {
+    /// Block type.
+    pub block: BlockType,
+    /// Column (major) address within the block type.
+    pub major: u16,
+    /// Frame (minor) address within the column.
+    pub minor: u16,
+}
+
+impl FrameAddress {
+    /// Construct a frame address.
+    pub const fn new(block: BlockType, major: u16, minor: u16) -> Self {
+        FrameAddress {
+            block,
+            major,
+            minor,
+        }
+    }
+
+    /// Pack into the 32-bit FAR register layout used by our bitstream
+    /// encoding: `[31:24] block | [23:8] major | [7:0] minor`.
+    pub const fn pack(self) -> u32 {
+        (self.block.code() << 24) | ((self.major as u32) << 8) | (self.minor as u32 & 0xFF)
+    }
+
+    /// Inverse of [`FrameAddress::pack`].
+    pub fn unpack(word: u32) -> Option<FrameAddress> {
+        let block = match word >> 24 {
+            0 => BlockType::Clb,
+            1 => BlockType::BramContent,
+            2 => BlockType::BramInterconnect,
+            _ => return None,
+        };
+        Some(FrameAddress {
+            block,
+            major: ((word >> 8) & 0xFFFF) as u16,
+            minor: (word & 0xFF) as u16,
+        })
+    }
+}
+
+impl fmt::Display for FrameAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}/maj{}/min{}", self.block, self.major, self.minor)
+    }
+}
+
+/// Per-column-kind frame tallies for a device or region.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameCounts {
+    counts: BTreeMap<String, u32>,
+    total: u32,
+}
+
+impl FrameCounts {
+    /// Add `frames` frames of the given column kind.
+    pub fn add(&mut self, kind: ColumnKind, frames: u32) {
+        *self.counts.entry(format!("{kind:?}")).or_insert(0) += frames;
+        self.total += frames;
+    }
+
+    /// Total frames across all column kinds.
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// Frames attributed to the given column kind.
+    pub fn of(&self, kind: ColumnKind) -> u32 {
+        self.counts.get(&format!("{kind:?}")).copied().unwrap_or(0)
+    }
+
+    /// Iterate (kind name, frames) pairs in stable order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.counts.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_words_matches_xc2v2000() {
+        // 56 rows * 80 bits = 4480 bits = 140 words, +1 pad = 141.
+        assert_eq!(frame_words(56), 141);
+        // Smallest device.
+        assert_eq!(frame_words(8), 21);
+    }
+
+    #[test]
+    fn frame_words_monotone_in_rows() {
+        let mut prev = 0;
+        for rows in [8, 16, 24, 32, 40, 48, 56, 64, 80, 96, 112] {
+            let w = frame_words(rows);
+            assert!(w > prev);
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn far_pack_unpack_roundtrip() {
+        for block in [
+            BlockType::Clb,
+            BlockType::BramContent,
+            BlockType::BramInterconnect,
+        ] {
+            for major in [0u16, 1, 47, 1023] {
+                for minor in [0u16, 1, 21, 63] {
+                    let a = FrameAddress::new(block, major, minor);
+                    assert_eq!(FrameAddress::unpack(a.pack()), Some(a));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn far_unpack_rejects_bad_block() {
+        assert_eq!(FrameAddress::unpack(0xFF00_0000), None);
+    }
+
+    #[test]
+    fn frame_counts_accumulate() {
+        let mut c = FrameCounts::default();
+        c.add(ColumnKind::Clb, 22);
+        c.add(ColumnKind::Clb, 22);
+        c.add(ColumnKind::Bram, 64);
+        assert_eq!(c.total(), 108);
+        assert_eq!(c.of(ColumnKind::Clb), 44);
+        assert_eq!(c.of(ColumnKind::Bram), 64);
+        assert_eq!(c.of(ColumnKind::Gclk), 0);
+        assert_eq!(c.iter().count(), 2);
+    }
+
+    #[test]
+    fn frame_address_display() {
+        let a = FrameAddress::new(BlockType::Clb, 20, 3);
+        assert_eq!(a.to_string(), "Clb/maj20/min3");
+    }
+}

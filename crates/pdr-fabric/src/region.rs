@@ -1,0 +1,297 @@
+//! Reconfigurable regions and device floorplans.
+//!
+//! §5 of the paper fixes the placement rules of the Xilinx Modular Design
+//! flow on Virtex-II: a reconfigurable module always spans the *full height*
+//! of the device, and its width is a minimum of *four slices* (two CLB
+//! columns, since a CLB is two slices wide). Communication with the static
+//! part crosses the boundary exclusively through pre-routed bus macros.
+//!
+//! [`ReconfigRegion`] is such a full-height column window; [`Floorplan`]
+//! assembles non-overlapping regions plus their bus macros on a device and is
+//! what the `pdr-codegen` modular back-end produces.
+
+use crate::busmacro::BusMacro;
+use crate::device::{Device, SLICES_PER_CLB};
+use crate::error::FabricError;
+use serde::{Deserialize, Serialize};
+
+/// Minimum region width in CLB columns (four slices).
+pub const MIN_REGION_CLB_COLS: u32 = 2;
+
+/// A full-height reconfigurable region: a window of consecutive CLB columns.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReconfigRegion {
+    /// Region (dynamic operator) name, e.g. `"op_dyn"`.
+    pub name: String,
+    /// First CLB column of the window.
+    pub clb_col_start: u32,
+    /// Width in CLB columns (≥ [`MIN_REGION_CLB_COLS`]).
+    pub clb_col_width: u32,
+}
+
+impl ReconfigRegion {
+    /// Create a region, enforcing the minimum-width rule. Device-bounds
+    /// checking happens when the region is added to a [`Floorplan`] (or via
+    /// [`ReconfigRegion::validate_on`]).
+    pub fn new(
+        name: impl Into<String>,
+        clb_col_start: u32,
+        clb_col_width: u32,
+    ) -> Result<Self, FabricError> {
+        let name = name.into();
+        if clb_col_width < MIN_REGION_CLB_COLS {
+            return Err(FabricError::InvalidRegion {
+                name,
+                reason: format!(
+                    "width {clb_col_width} CLB columns < minimum {MIN_REGION_CLB_COLS} \
+                     (four slices, per the Modular Design rules)"
+                ),
+            });
+        }
+        Ok(ReconfigRegion {
+            name,
+            clb_col_start,
+            clb_col_width,
+        })
+    }
+
+    /// One-past-the-last CLB column of the window.
+    pub fn clb_col_end(&self) -> u32 {
+        self.clb_col_start + self.clb_col_width
+    }
+
+    /// Does this region overlap another (column-wise)?
+    pub fn overlaps(&self, other: &ReconfigRegion) -> bool {
+        self.clb_col_start < other.clb_col_end() && other.clb_col_start < self.clb_col_end()
+    }
+
+    /// Check that the region fits the device.
+    pub fn validate_on(&self, device: &Device) -> Result<(), FabricError> {
+        if self.clb_col_end() > device.clb_cols {
+            return Err(FabricError::InvalidRegion {
+                name: self.name.clone(),
+                reason: format!(
+                    "columns [{}, {}) exceed device `{}` ({} CLB columns)",
+                    self.clb_col_start,
+                    self.clb_col_end(),
+                    device.name,
+                    device.clb_cols
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Slices contained in the region (full height × width).
+    pub fn slices(&self, device: &Device) -> u32 {
+        device.clb_rows * self.clb_col_width * SLICES_PER_CLB
+    }
+
+    /// Fraction of the device's slices covered by the region. The paper's
+    /// dynamic module occupies "8 % of the FPGA" — 4 of the XC2V2000's 48
+    /// CLB columns.
+    pub fn area_fraction(&self, device: &Device) -> f64 {
+        self.slices(device) as f64 / device.slices() as f64
+    }
+
+    /// Configuration frames covered by the region, including embedded BRAM /
+    /// GCLK columns falling inside the window.
+    pub fn frames(&self, device: &Device) -> u32 {
+        device.frames_in_clb_window(self.clb_col_start, self.clb_col_width)
+    }
+
+    /// Frame-payload bits of a partial bitstream for this region.
+    pub fn config_bits(&self, device: &Device) -> u64 {
+        self.frames(device) as u64 * device.bits_per_frame()
+    }
+}
+
+/// A device floorplan: the static part plus validated, non-overlapping
+/// reconfigurable regions and their bus macros.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Floorplan {
+    /// Target device.
+    pub device: Device,
+    /// Reconfigurable regions, in insertion order.
+    regions: Vec<ReconfigRegion>,
+    /// Bus macros bridging static ↔ dynamic boundaries.
+    bus_macros: Vec<BusMacro>,
+}
+
+impl Floorplan {
+    /// An empty floorplan (everything static) on the given device.
+    pub fn new(device: Device) -> Self {
+        Floorplan {
+            device,
+            regions: Vec::new(),
+            bus_macros: Vec::new(),
+        }
+    }
+
+    /// Add a reconfigurable region, enforcing bounds and non-overlap.
+    pub fn add_region(&mut self, region: ReconfigRegion) -> Result<(), FabricError> {
+        region.validate_on(&self.device)?;
+        if let Some(conflict) = self.regions.iter().find(|r| r.overlaps(&region)) {
+            return Err(FabricError::RegionOverlap {
+                a: conflict.name.clone(),
+                b: region.name,
+            });
+        }
+        self.regions.push(region);
+        Ok(())
+    }
+
+    /// Add a bus macro, validating it against the region set: it must
+    /// straddle the boundary of exactly one region and sit within the device
+    /// height.
+    pub fn add_bus_macro(&mut self, bm: BusMacro) -> Result<(), FabricError> {
+        bm.validate(&self.device, &self.regions)?;
+        if self
+            .bus_macros
+            .iter()
+            .any(|other| other.collides_with(&bm))
+        {
+            return Err(FabricError::InvalidBusMacro {
+                reason: format!(
+                    "bus macro at row {} col {} collides with an existing macro",
+                    bm.clb_row, bm.boundary_clb_col
+                ),
+            });
+        }
+        self.bus_macros.push(bm);
+        Ok(())
+    }
+
+    /// The regions of the floorplan.
+    pub fn regions(&self) -> &[ReconfigRegion] {
+        &self.regions
+    }
+
+    /// Region lookup by name.
+    pub fn region(&self, name: &str) -> Option<&ReconfigRegion> {
+        self.regions.iter().find(|r| r.name == name)
+    }
+
+    /// The bus macros of the floorplan.
+    pub fn bus_macros(&self) -> &[BusMacro] {
+        &self.bus_macros
+    }
+
+    /// Bus macros attached to the named region's boundaries.
+    pub fn bus_macros_of(&self, region_name: &str) -> Vec<&BusMacro> {
+        let Some(region) = self.region(region_name) else {
+            return Vec::new();
+        };
+        self.bus_macros
+            .iter()
+            .filter(|bm| {
+                bm.boundary_clb_col == region.clb_col_start
+                    || bm.boundary_clb_col == region.clb_col_end()
+            })
+            .collect()
+    }
+
+    /// Slices remaining for the static part.
+    pub fn static_slices(&self) -> u32 {
+        let dynamic: u32 = self.regions.iter().map(|r| r.slices(&self.device)).sum();
+        self.device.slices() - dynamic
+    }
+
+    /// Fraction of the device that is dynamically reconfigurable.
+    pub fn dynamic_fraction(&self) -> f64 {
+        self.regions
+            .iter()
+            .map(|r| r.area_fraction(&self.device))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::busmacro::BusMacroDirection;
+
+    fn dev() -> Device {
+        Device::xc2v2000()
+    }
+
+    #[test]
+    fn paper_region_is_about_8_percent() {
+        // 4 of 48 CLB columns = 8.33 %.
+        let r = ReconfigRegion::new("op_dyn", 20, 4).unwrap();
+        let f = r.area_fraction(&dev());
+        assert!((f - 4.0 / 48.0).abs() < 1e-12);
+        assert!((f - 0.08).abs() < 0.01, "paper says ~8 %, got {f}");
+    }
+
+    #[test]
+    fn min_width_enforced() {
+        let e = ReconfigRegion::new("too_thin", 0, 1).unwrap_err();
+        assert!(matches!(e, FabricError::InvalidRegion { .. }));
+        assert!(e.to_string().contains("four slices"));
+        assert!(ReconfigRegion::new("ok", 0, 2).is_ok());
+    }
+
+    #[test]
+    fn bounds_enforced_on_floorplan() {
+        let mut fp = Floorplan::new(dev());
+        let r = ReconfigRegion::new("off_edge", 47, 2).unwrap();
+        assert!(matches!(
+            fp.add_region(r),
+            Err(FabricError::InvalidRegion { .. })
+        ));
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let mut fp = Floorplan::new(dev());
+        fp.add_region(ReconfigRegion::new("a", 10, 4).unwrap()).unwrap();
+        let err = fp
+            .add_region(ReconfigRegion::new("b", 12, 4).unwrap())
+            .unwrap_err();
+        assert!(matches!(err, FabricError::RegionOverlap { .. }));
+        // Adjacent (touching) regions are fine.
+        fp.add_region(ReconfigRegion::new("c", 14, 2).unwrap()).unwrap();
+        assert_eq!(fp.regions().len(), 2);
+    }
+
+    #[test]
+    fn region_frames_and_bits() {
+        let d = dev();
+        let r = ReconfigRegion::new("op_dyn", 20, 4).unwrap();
+        let frames = r.frames(&d);
+        // At least the 4 CLB columns' worth.
+        assert!(frames >= 4 * 22);
+        assert_eq!(r.config_bits(&d), frames as u64 * d.bits_per_frame());
+    }
+
+    #[test]
+    fn static_slices_account_for_regions() {
+        let d = dev();
+        let mut fp = Floorplan::new(d.clone());
+        fp.add_region(ReconfigRegion::new("a", 0, 4).unwrap()).unwrap();
+        assert_eq!(fp.static_slices(), d.slices() - 56 * 4 * 4);
+        assert!((fp.dynamic_fraction() - 4.0 / 48.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bus_macros_of_matches_boundary() {
+        let mut fp = Floorplan::new(dev());
+        fp.add_region(ReconfigRegion::new("op_dyn", 20, 4).unwrap())
+            .unwrap();
+        let bm_in = BusMacro::new(5, 20, BusMacroDirection::IntoRegion);
+        let bm_out = BusMacro::new(7, 24, BusMacroDirection::OutOfRegion);
+        fp.add_bus_macro(bm_in).unwrap();
+        fp.add_bus_macro(bm_out).unwrap();
+        assert_eq!(fp.bus_macros_of("op_dyn").len(), 2);
+        assert!(fp.bus_macros_of("nonexistent").is_empty());
+    }
+
+    #[test]
+    fn region_lookup() {
+        let mut fp = Floorplan::new(dev());
+        fp.add_region(ReconfigRegion::new("x", 2, 2).unwrap()).unwrap();
+        assert!(fp.region("x").is_some());
+        assert!(fp.region("y").is_none());
+    }
+}

@@ -1,0 +1,503 @@
+//! Algorithm data-flow graphs.
+//!
+//! §3 of the paper: *"Application algorithm is represented by a data flow
+//! graph to exhibit the potential parallelism between operations. An
+//! operation is executed as soon as its inputs are available, and is
+//! infinitely repeated."*
+//!
+//! One [`AlgorithmGraph`] describes a single iteration of that infinite
+//! repetition: a DAG of [`Operation`]s connected by [`DataEdge`]s carrying a
+//! known number of bits. The paper's conditioned blocks (the adaptive
+//! `modulation` operation, selected by `Select` per OFDM symbol) are modeled
+//! by [`OpKind::Conditioned`], a vertex with several named *alternatives* —
+//! each alternative being a distinct hardware configuration of whichever
+//! dynamic operator the vertex is mapped onto.
+
+use crate::error::GraphError;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+
+/// Index of an operation within its [`AlgorithmGraph`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct OpId(pub usize);
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// What an operation vertex is.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpKind {
+    /// External input of the iteration (sensor, host interface). Produces
+    /// data, consumes none.
+    Source,
+    /// External output of the iteration. Consumes data, produces none.
+    Sink,
+    /// Ordinary computation implementing the named function.
+    Compute {
+        /// Function symbol looked up in the characterization tables.
+        function: String,
+    },
+    /// A conditioned computation with several alternative implementations;
+    /// exactly one is active per iteration, selected by the value arriving
+    /// on the control input (which is an ordinary data edge from the
+    /// selector operation).
+    Conditioned {
+        /// Alternative function symbols, in selector-value order: the
+        /// selector value `k` activates `alternatives[k]`.
+        alternatives: Vec<String>,
+    },
+}
+
+impl OpKind {
+    /// Function symbols this vertex may execute (one for `Compute`, several
+    /// for `Conditioned`, none for sources/sinks).
+    pub fn functions(&self) -> &[String] {
+        match self {
+            OpKind::Compute { function } => std::slice::from_ref(function),
+            OpKind::Conditioned { alternatives } => alternatives,
+            _ => &[],
+        }
+    }
+
+    /// Is this a conditioned (multi-alternative) vertex?
+    pub fn is_conditioned(&self) -> bool {
+        matches!(self, OpKind::Conditioned { .. })
+    }
+}
+
+/// One vertex of the algorithm graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Operation {
+    /// Unique name within the graph.
+    pub name: String,
+    /// Vertex kind.
+    pub kind: OpKind,
+}
+
+/// A data dependency: `bits` flow from `from` to `to` each iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DataEdge {
+    /// Producer operation.
+    pub from: OpId,
+    /// Consumer operation.
+    pub to: OpId,
+    /// Payload width in bits per iteration.
+    pub bits: u64,
+}
+
+/// A single-iteration data-flow graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AlgorithmGraph {
+    /// Graph name (application name).
+    pub name: String,
+    ops: Vec<Operation>,
+    edges: Vec<DataEdge>,
+    by_name: HashMap<String, OpId>,
+}
+
+impl AlgorithmGraph {
+    /// Create an empty graph.
+    pub fn new(name: impl Into<String>) -> Self {
+        AlgorithmGraph {
+            name: name.into(),
+            ops: Vec::new(),
+            edges: Vec::new(),
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// Add an operation; names must be unique.
+    pub fn add_op(&mut self, name: impl Into<String>, kind: OpKind) -> Result<OpId, GraphError> {
+        let name = name.into();
+        if self.by_name.contains_key(&name) {
+            return Err(GraphError::DuplicateName(name));
+        }
+        if let OpKind::Conditioned { alternatives } = &kind {
+            if alternatives.len() < 2 {
+                return Err(GraphError::Structural(format!(
+                    "conditioned operation `{name}` needs ≥ 2 alternatives"
+                )));
+            }
+            let uniq: HashSet<_> = alternatives.iter().collect();
+            if uniq.len() != alternatives.len() {
+                return Err(GraphError::Structural(format!(
+                    "conditioned operation `{name}` has duplicate alternatives"
+                )));
+            }
+        }
+        let id = OpId(self.ops.len());
+        self.by_name.insert(name.clone(), id);
+        self.ops.push(Operation { name, kind });
+        Ok(id)
+    }
+
+    /// Shorthand: add a `Compute` vertex whose function symbol equals its name.
+    pub fn add_compute(&mut self, name: &str) -> Result<OpId, GraphError> {
+        self.add_op(
+            name,
+            OpKind::Compute {
+                function: name.to_string(),
+            },
+        )
+    }
+
+    /// Add a data edge of `bits` bits per iteration.
+    pub fn connect(&mut self, from: OpId, to: OpId, bits: u64) -> Result<(), GraphError> {
+        self.check_id(from)?;
+        self.check_id(to)?;
+        if bits == 0 {
+            return Err(GraphError::Structural(format!(
+                "edge {} -> {} has zero width",
+                self.op(from).name,
+                self.op(to).name
+            )));
+        }
+        if from == to {
+            return Err(GraphError::Structural(format!(
+                "self-loop on `{}`",
+                self.op(from).name
+            )));
+        }
+        self.edges.push(DataEdge { from, to, bits });
+        Ok(())
+    }
+
+    fn check_id(&self, id: OpId) -> Result<(), GraphError> {
+        if id.0 >= self.ops.len() {
+            return Err(GraphError::UnknownVertex(id.to_string()));
+        }
+        Ok(())
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the graph has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Operation accessor.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range (ids are only minted by this graph).
+    pub fn op(&self, id: OpId) -> &Operation {
+        &self.ops[id.0]
+    }
+
+    /// Look an operation up by name.
+    pub fn by_name(&self, name: &str) -> Option<OpId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// All operations with their ids.
+    pub fn ops(&self) -> impl Iterator<Item = (OpId, &Operation)> {
+        self.ops.iter().enumerate().map(|(i, o)| (OpId(i), o))
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[DataEdge] {
+        &self.edges
+    }
+
+    /// Edges into `id`.
+    pub fn in_edges(&self, id: OpId) -> impl Iterator<Item = &DataEdge> {
+        self.edges.iter().filter(move |e| e.to == id)
+    }
+
+    /// Edges out of `id`.
+    pub fn out_edges(&self, id: OpId) -> impl Iterator<Item = &DataEdge> {
+        self.edges.iter().filter(move |e| e.from == id)
+    }
+
+    /// Direct predecessors of `id`.
+    pub fn predecessors(&self, id: OpId) -> Vec<OpId> {
+        self.in_edges(id).map(|e| e.from).collect()
+    }
+
+    /// Direct successors of `id`.
+    pub fn successors(&self, id: OpId) -> Vec<OpId> {
+        self.out_edges(id).map(|e| e.to).collect()
+    }
+
+    /// Validate the graph:
+    /// * acyclic (a single iteration must be a DAG),
+    /// * sources have no inputs, sinks no outputs,
+    /// * every non-source has at least one input and every non-sink at least
+    ///   one output (the data-flow semantics leave no dangling vertices),
+    /// * conditioned operations have a control input (some predecessor).
+    pub fn validate(&self) -> Result<(), GraphError> {
+        self.topo_order()?;
+        for (id, op) in self.ops() {
+            let ins = self.in_edges(id).count();
+            let outs = self.out_edges(id).count();
+            match &op.kind {
+                OpKind::Source => {
+                    if ins != 0 {
+                        return Err(GraphError::Structural(format!(
+                            "source `{}` has {ins} input(s)",
+                            op.name
+                        )));
+                    }
+                    if outs == 0 {
+                        return Err(GraphError::Structural(format!(
+                            "source `{}` feeds nothing",
+                            op.name
+                        )));
+                    }
+                }
+                OpKind::Sink => {
+                    if outs != 0 {
+                        return Err(GraphError::Structural(format!(
+                            "sink `{}` has {outs} output(s)",
+                            op.name
+                        )));
+                    }
+                    if ins == 0 {
+                        return Err(GraphError::Structural(format!(
+                            "sink `{}` receives nothing",
+                            op.name
+                        )));
+                    }
+                }
+                OpKind::Compute { .. } | OpKind::Conditioned { .. } => {
+                    if ins == 0 || outs == 0 {
+                        return Err(GraphError::Structural(format!(
+                            "operation `{}` must have inputs and outputs (has {ins} in, {outs} out)",
+                            op.name
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A topological order of the operations, or the cycle error.
+    /// Deterministic: ties broken by insertion order.
+    pub fn topo_order(&self) -> Result<Vec<OpId>, GraphError> {
+        let n = self.ops.len();
+        let mut indegree = vec![0usize; n];
+        for e in &self.edges {
+            indegree[e.to.0] += 1;
+        }
+        let mut queue: VecDeque<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = queue.pop_front() {
+            order.push(OpId(i));
+            for e in &self.edges {
+                if e.from.0 == i {
+                    indegree[e.to.0] -= 1;
+                    if indegree[e.to.0] == 0 {
+                        queue.push_back(e.to.0);
+                    }
+                }
+            }
+        }
+        if order.len() != n {
+            let stuck = (0..n)
+                .find(|&i| indegree[i] > 0)
+                .map(|i| self.ops[i].name.clone())
+                .unwrap_or_default();
+            return Err(GraphError::Cycle { involving: stuck });
+        }
+        Ok(order)
+    }
+
+    /// Total bits crossing the cut between two disjoint operation sets
+    /// (used by mapping heuristics to weigh inter-operator traffic).
+    pub fn cut_bits(&self, a: &HashSet<OpId>, b: &HashSet<OpId>) -> u64 {
+        self.edges
+            .iter()
+            .filter(|e| {
+                (a.contains(&e.from) && b.contains(&e.to))
+                    || (b.contains(&e.from) && a.contains(&e.to))
+            })
+            .map(|e| e.bits)
+            .sum()
+    }
+
+    /// The conditioned operations of the graph (the dynamic-implementation
+    /// candidates of §4).
+    pub fn conditioned_ops(&self) -> Vec<OpId> {
+        self.ops()
+            .filter(|(_, o)| o.kind.is_conditioned())
+            .map(|(id, _)| id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// source -> a -> cond(x|y) -> sink, with sel -> cond control edge.
+    fn small() -> (AlgorithmGraph, OpId, OpId, OpId, OpId, OpId) {
+        let mut g = AlgorithmGraph::new("t");
+        let src = g.add_op("src", OpKind::Source).unwrap();
+        let sel = g.add_op("sel", OpKind::Source).unwrap();
+        let a = g.add_compute("a").unwrap();
+        let cond = g
+            .add_op(
+                "cond",
+                OpKind::Conditioned {
+                    alternatives: vec!["x".into(), "y".into()],
+                },
+            )
+            .unwrap();
+        let sink = g.add_op("sink", OpKind::Sink).unwrap();
+        g.connect(src, a, 32).unwrap();
+        g.connect(a, cond, 64).unwrap();
+        g.connect(sel, cond, 2).unwrap();
+        g.connect(cond, sink, 64).unwrap();
+        (g, src, sel, a, cond, sink)
+    }
+
+    #[test]
+    fn build_and_validate() {
+        let (g, ..) = small();
+        g.validate().unwrap();
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.edges().len(), 4);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut g = AlgorithmGraph::new("t");
+        g.add_compute("a").unwrap();
+        // add_compute("a") must fail even with a different kind.
+        assert!(matches!(
+            g.add_op("a", OpKind::Source),
+            Err(GraphError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn zero_width_and_self_loop_rejected() {
+        let mut g = AlgorithmGraph::new("t");
+        let a = g.add_compute("a").unwrap();
+        let b = g.add_compute("b").unwrap();
+        assert!(g.connect(a, b, 0).is_err());
+        assert!(g.connect(a, a, 8).is_err());
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g = AlgorithmGraph::new("t");
+        let a = g.add_compute("a").unwrap();
+        let b = g.add_compute("b").unwrap();
+        g.connect(a, b, 8).unwrap();
+        g.connect(b, a, 8).unwrap();
+        assert!(matches!(g.topo_order(), Err(GraphError::Cycle { .. })));
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let (g, ..) = small();
+        let order = g.topo_order().unwrap();
+        let pos: HashMap<OpId, usize> =
+            order.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        for e in g.edges() {
+            assert!(pos[&e.from] < pos[&e.to]);
+        }
+    }
+
+    #[test]
+    fn source_with_input_rejected() {
+        let mut g = AlgorithmGraph::new("t");
+        let a = g.add_compute("a").unwrap();
+        let s = g.add_op("s", OpKind::Source).unwrap();
+        let k = g.add_op("k", OpKind::Sink).unwrap();
+        g.connect(a, s, 8).unwrap();
+        g.connect(s, k, 8).unwrap();
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn dangling_compute_rejected() {
+        let mut g = AlgorithmGraph::new("t");
+        let s = g.add_op("s", OpKind::Source).unwrap();
+        let a = g.add_compute("a").unwrap();
+        let _lonely = g.add_compute("lonely").unwrap();
+        let k = g.add_op("k", OpKind::Sink).unwrap();
+        g.connect(s, a, 8).unwrap();
+        g.connect(a, k, 8).unwrap();
+        let err = g.validate().unwrap_err();
+        assert!(err.to_string().contains("lonely"));
+    }
+
+    #[test]
+    fn conditioned_needs_two_distinct_alternatives() {
+        let mut g = AlgorithmGraph::new("t");
+        assert!(g
+            .add_op(
+                "c1",
+                OpKind::Conditioned {
+                    alternatives: vec!["only".into()]
+                }
+            )
+            .is_err());
+        assert!(g
+            .add_op(
+                "c2",
+                OpKind::Conditioned {
+                    alternatives: vec!["x".into(), "x".into()]
+                }
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn conditioned_ops_found() {
+        let (g, _, _, _, cond, _) = small();
+        assert_eq!(g.conditioned_ops(), vec![cond]);
+    }
+
+    #[test]
+    fn neighbors() {
+        let (g, src, sel, a, cond, sink) = small();
+        assert_eq!(g.successors(src), vec![a]);
+        let mut preds = g.predecessors(cond);
+        preds.sort();
+        let mut expect = vec![a, sel];
+        expect.sort();
+        assert_eq!(preds, expect);
+        assert_eq!(g.predecessors(sink), vec![cond]);
+    }
+
+    #[test]
+    fn cut_bits_counts_both_directions() {
+        let (g, src, sel, a, cond, sink) = small();
+        let left: HashSet<OpId> = [src, sel, a].into_iter().collect();
+        let right: HashSet<OpId> = [cond, sink].into_iter().collect();
+        // a->cond (64) + sel->cond (2).
+        assert_eq!(g.cut_bits(&left, &right), 66);
+        assert_eq!(g.cut_bits(&right, &left), 66);
+    }
+
+    #[test]
+    fn functions_listing() {
+        let (g, _, _, a, cond, _) = small();
+        assert_eq!(g.op(a).kind.functions(), ["a".to_string()]);
+        assert_eq!(
+            g.op(cond).kind.functions(),
+            ["x".to_string(), "y".to_string()]
+        );
+        assert!(g.op(OpId(0)).kind.functions().is_empty());
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        let (g, src, ..) = small();
+        assert_eq!(g.by_name("src"), Some(src));
+        assert_eq!(g.by_name("nope"), None);
+    }
+}

@@ -1,0 +1,219 @@
+//! Characterization tables: the metrics that guide adequation.
+//!
+//! §3 of the paper lists the metrics that guide the choice of dynamic
+//! implementation candidates: *"execution time, memory constraints, power
+//! efficiency, reconfiguration time, configuration prefetching capabilities
+//! and area constraints."* The adequation heuristic (crate
+//! `pdr-adequation`) consumes exactly these tables:
+//!
+//! * **durations** — worst-case execution time of a function on a given
+//!   operator; the *absence* of an entry means the function cannot execute
+//!   there (the feasibility oracle of the mapping);
+//! * **resources** — area footprint of each function when implemented in
+//!   FPGA logic (feeds the Table 1 estimator and region-fit checks);
+//! * **reconfiguration times** — time to load a function onto a dynamic
+//!   operator; defaulted per operator, overridable per (function, operator).
+//!
+//! Transfer costs live on the architecture's media ([`crate::Medium`]).
+
+use crate::architecture::{ArchGraph, OperatorId};
+use crate::error::GraphError;
+use pdr_fabric::{Resources, TimePs};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Characterization tables keyed by function symbol and operator name.
+///
+/// Operator *names* (not ids) are used as keys so one characterization can
+/// be reused across architecture variants that share operator names.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Characterization {
+    durations: HashMap<(String, String), TimePs>,
+    resources: HashMap<String, Resources>,
+    reconfig_default: HashMap<String, TimePs>,
+    reconfig_override: HashMap<(String, String), TimePs>,
+}
+
+impl Characterization {
+    /// Empty tables.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare that `function` runs on operator `operator` in `wcet`.
+    pub fn set_duration(
+        &mut self,
+        function: &str,
+        operator: &str,
+        wcet: TimePs,
+    ) -> &mut Self {
+        self.durations
+            .insert((function.to_string(), operator.to_string()), wcet);
+        self
+    }
+
+    /// Execution time of `function` on the operator named `operator`, if
+    /// the pair is feasible.
+    pub fn duration(&self, function: &str, operator: &str) -> Option<TimePs> {
+        self.durations
+            .get(&(function.to_string(), operator.to_string()))
+            .copied()
+    }
+
+    /// Like [`Characterization::duration`] but resolving the operator via an
+    /// architecture graph, and erroring when infeasible.
+    pub fn duration_on(
+        &self,
+        function: &str,
+        arch: &ArchGraph,
+        op: OperatorId,
+    ) -> Result<TimePs, GraphError> {
+        let name = &arch.operator(op).name;
+        self.duration(function, name).ok_or_else(|| {
+            GraphError::MissingCharacterization(format!(
+                "duration of `{function}` on operator `{name}`"
+            ))
+        })
+    }
+
+    /// Can `function` execute on the named operator at all?
+    pub fn feasible(&self, function: &str, operator: &str) -> bool {
+        self.durations
+            .contains_key(&(function.to_string(), operator.to_string()))
+    }
+
+    /// Operators (by name) on which `function` is feasible.
+    pub fn feasible_operators<'a>(&'a self, function: &str) -> Vec<&'a str> {
+        let mut v: Vec<&str> = self
+            .durations
+            .keys()
+            .filter(|(f, _)| f == function)
+            .map(|(_, o)| o.as_str())
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Area footprint of `function` in FPGA logic.
+    pub fn set_resources(&mut self, function: &str, r: Resources) -> &mut Self {
+        self.resources.insert(function.to_string(), r);
+        self
+    }
+
+    /// Footprint lookup (zero when never set — e.g. software-only functions).
+    pub fn resources(&self, function: &str) -> Resources {
+        self.resources
+            .get(function)
+            .copied()
+            .unwrap_or(Resources::ZERO)
+    }
+
+    /// Default reconfiguration time of the named dynamic operator.
+    pub fn set_reconfig_default(&mut self, operator: &str, t: TimePs) -> &mut Self {
+        self.reconfig_default.insert(operator.to_string(), t);
+        self
+    }
+
+    /// Override the reconfiguration time of one (function, operator) pair
+    /// (e.g. a smaller alternative needing fewer frames).
+    pub fn set_reconfig_override(
+        &mut self,
+        function: &str,
+        operator: &str,
+        t: TimePs,
+    ) -> &mut Self {
+        self.reconfig_override
+            .insert((function.to_string(), operator.to_string()), t);
+        self
+    }
+
+    /// Reconfiguration time to load `function` onto the named operator:
+    /// the override if present, else the operator default, else an error
+    /// (scheduling a reconfiguration with unknown cost is a methodology
+    /// violation, not a silent zero).
+    pub fn reconfig_time(&self, function: &str, operator: &str) -> Result<TimePs, GraphError> {
+        if let Some(&t) = self
+            .reconfig_override
+            .get(&(function.to_string(), operator.to_string()))
+        {
+            return Ok(t);
+        }
+        self.reconfig_default
+            .get(operator)
+            .copied()
+            .ok_or_else(|| {
+                GraphError::MissingCharacterization(format!(
+                    "reconfiguration time of operator `{operator}`"
+                ))
+            })
+    }
+
+    /// Number of duration entries (diagnostics).
+    pub fn duration_entries(&self) -> usize {
+        self.durations.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::architecture::OperatorKind;
+
+    fn chars() -> Characterization {
+        let mut c = Characterization::new();
+        c.set_duration("fft", "fpga_static", TimePs::from_us(10))
+            .set_duration("fft", "dsp", TimePs::from_us(80))
+            .set_duration("mod_qpsk", "op_dyn", TimePs::from_us(2))
+            .set_resources("fft", Resources::logic(400, 700, 650))
+            .set_reconfig_default("op_dyn", TimePs::from_ms(4))
+            .set_reconfig_override("mod_qpsk", "op_dyn", TimePs::from_ms(3));
+        c
+    }
+
+    #[test]
+    fn duration_lookup_and_feasibility() {
+        let c = chars();
+        assert_eq!(c.duration("fft", "dsp"), Some(TimePs::from_us(80)));
+        assert_eq!(c.duration("fft", "op_dyn"), None);
+        assert!(c.feasible("fft", "fpga_static"));
+        assert!(!c.feasible("viterbi", "dsp"));
+        assert_eq!(c.feasible_operators("fft"), ["dsp", "fpga_static"]);
+        assert!(c.feasible_operators("nothing").is_empty());
+    }
+
+    #[test]
+    fn duration_on_errors_when_missing() {
+        let c = chars();
+        let mut a = ArchGraph::new("t");
+        let dsp = a.add_operator("dsp", OperatorKind::Processor).unwrap();
+        assert!(c.duration_on("fft", &a, dsp).is_ok());
+        let err = c.duration_on("viterbi", &a, dsp).unwrap_err();
+        assert!(err.to_string().contains("viterbi"));
+    }
+
+    #[test]
+    fn resources_default_to_zero() {
+        let c = chars();
+        assert_eq!(c.resources("fft").slices, 400);
+        assert!(c.resources("software_thing").is_zero());
+    }
+
+    #[test]
+    fn reconfig_override_beats_default() {
+        let c = chars();
+        assert_eq!(
+            c.reconfig_time("mod_qpsk", "op_dyn").unwrap(),
+            TimePs::from_ms(3)
+        );
+        assert_eq!(
+            c.reconfig_time("mod_qam16", "op_dyn").unwrap(),
+            TimePs::from_ms(4)
+        );
+        assert!(c.reconfig_time("anything", "unknown_region").is_err());
+    }
+
+    #[test]
+    fn entries_counted() {
+        assert_eq!(chars().duration_entries(), 3);
+    }
+}

@@ -1,0 +1,120 @@
+//! Graphviz (DOT) export of algorithm and architecture graphs.
+//!
+//! The paper's Figures 1 and 4 are graph drawings; these exporters produce
+//! the same drawings from the live models (`dot -Tpdf` renders them).
+//! Conditioned operations are drawn as double octagons listing their
+//! alternatives; dynamic operators as dashed boxes; media as ellipses.
+
+use crate::algorithm::{AlgorithmGraph, OpKind};
+use crate::architecture::{ArchGraph, MediumKind, OperatorKind};
+use std::fmt::Write as _;
+
+/// Render an algorithm graph as DOT.
+pub fn algorithm_to_dot(g: &AlgorithmGraph) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{}\" {{", g.name);
+    let _ = writeln!(s, "  rankdir=LR;");
+    let _ = writeln!(s, "  node [fontname=\"Helvetica\"];");
+    for (id, op) in g.ops() {
+        let (shape, extra) = match &op.kind {
+            OpKind::Source => ("invhouse", String::new()),
+            OpKind::Sink => ("house", String::new()),
+            OpKind::Compute { function } => ("box", format!("\\n[{function}]")),
+            OpKind::Conditioned { alternatives } => {
+                ("doubleoctagon", format!("\\n[{}]", alternatives.join(" | ")))
+            }
+        };
+        let _ = writeln!(
+            s,
+            "  n{} [label=\"{}{extra}\", shape={shape}];",
+            id.0, op.name
+        );
+    }
+    for e in g.edges() {
+        let _ = writeln!(s, "  n{} -> n{} [label=\"{}b\"];", e.from.0, e.to.0, e.bits);
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Render an architecture graph as DOT (bipartite operator/medium layout,
+/// the paper's Fig. 1 style).
+pub fn architecture_to_dot(a: &ArchGraph) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "graph \"{}\" {{", a.name);
+    let _ = writeln!(s, "  layout=neato; overlap=false;");
+    let _ = writeln!(s, "  node [fontname=\"Helvetica\"];");
+    for (id, o) in a.operators() {
+        let style = match &o.kind {
+            OperatorKind::Processor => "shape=box3d",
+            OperatorKind::FpgaStatic => "shape=box",
+            OperatorKind::FpgaDynamic { .. } => "shape=box, style=dashed",
+        };
+        let kind = match &o.kind {
+            OperatorKind::Processor => "processor".to_string(),
+            OperatorKind::FpgaStatic => "FPGA static".to_string(),
+            OperatorKind::FpgaDynamic { host } => format!("dynamic @ {host}"),
+        };
+        let _ = writeln!(s, "  o{} [label=\"{}\\n({kind})\", {style}];", id.0, o.name);
+    }
+    for (id, m) in a.media() {
+        let kind = match m.kind {
+            MediumKind::Bus => "bus",
+            MediumKind::InternalLink => "internal link",
+        };
+        let _ = writeln!(
+            s,
+            "  m{} [label=\"{}\\n({kind}, {} Mb/s)\", shape=ellipse];",
+            id.0,
+            m.name,
+            m.bits_per_sec / 1_000_000
+        );
+        for op in a.operators_on(id) {
+            let _ = writeln!(s, "  o{} -- m{};", op.0, id.0);
+        }
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper;
+
+    #[test]
+    fn mccdma_algorithm_renders() {
+        let dot = algorithm_to_dot(&paper::mccdma_algorithm());
+        assert!(dot.starts_with("digraph \"mccdma_tx\""));
+        assert!(dot.contains("doubleoctagon"));
+        assert!(dot.contains("mod_qpsk | mod_qam16"));
+        assert!(dot.contains("invhouse")); // sources
+        assert!(dot.contains("house")); // sink
+        assert!(dot.contains("->"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn sundance_architecture_renders() {
+        let dot = architecture_to_dot(&paper::sundance_architecture());
+        assert!(dot.starts_with("graph \"sundance_c6201_xc2v2000\""));
+        assert!(dot.contains("box3d")); // DSP
+        assert!(dot.contains("style=dashed")); // dynamic region
+        assert!(dot.contains("internal link"));
+        assert!(dot.contains(" -- "));
+        // Every operator-medium link appears: dsp-shb, fs-shb, fs-lio, dyn-lio.
+        assert_eq!(dot.matches(" -- ").count(), 4);
+    }
+
+    #[test]
+    fn fig1_renders_two_dynamic_parts() {
+        let dot = architecture_to_dot(&paper::fig1_architecture());
+        assert_eq!(dot.matches("style=dashed").count(), 2);
+    }
+
+    #[test]
+    fn edge_labels_carry_bit_widths() {
+        let dot = algorithm_to_dot(&paper::mccdma_algorithm());
+        assert!(dot.contains("label=\"2b\"")); // the Select control edge
+    }
+}

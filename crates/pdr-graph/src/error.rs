@@ -1,0 +1,85 @@
+//! Error type for graph construction and validation.
+
+use std::fmt;
+
+/// Errors raised by the AAA front-end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An operation / operator / medium name was used twice.
+    DuplicateName(String),
+    /// An id refers to a vertex that does not exist.
+    UnknownVertex(String),
+    /// The algorithm graph has a data-dependency cycle (within one
+    /// iteration; inter-iteration delays are not modeled as edges).
+    Cycle {
+        /// A vertex on the detected cycle.
+        involving: String,
+    },
+    /// Structural rule violated (e.g. source with inputs, conditioned
+    /// operation without alternatives, edge of zero width).
+    Structural(String),
+    /// No route exists between two operators in the architecture graph.
+    NoRoute {
+        /// Source operator name.
+        from: String,
+        /// Destination operator name.
+        to: String,
+    },
+    /// A constraints-file line failed to parse.
+    ConstraintsParse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// Characterization is missing an entry the caller required.
+    MissingCharacterization(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::DuplicateName(n) => write!(f, "duplicate name `{n}`"),
+            GraphError::UnknownVertex(n) => write!(f, "unknown vertex `{n}`"),
+            GraphError::Cycle { involving } => {
+                write!(f, "algorithm graph has a cycle involving `{involving}`")
+            }
+            GraphError::Structural(msg) => write!(f, "structural error: {msg}"),
+            GraphError::NoRoute { from, to } => {
+                write!(f, "no route from operator `{from}` to `{to}`")
+            }
+            GraphError::ConstraintsParse { line, reason } => {
+                write!(f, "constraints file, line {line}: {reason}")
+            }
+            GraphError::MissingCharacterization(what) => {
+                write!(f, "missing characterization for {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(GraphError::DuplicateName("x".into())
+            .to_string()
+            .contains("`x`"));
+        assert!(GraphError::NoRoute {
+            from: "dsp".into(),
+            to: "fpga".into()
+        }
+        .to_string()
+        .contains("dsp"));
+        assert!(GraphError::ConstraintsParse {
+            line: 3,
+            reason: "bad key".into()
+        }
+        .to_string()
+        .contains("line 3"));
+    }
+}

@@ -1,0 +1,196 @@
+//! Convolutional FEC: K = 7, rate 1/2 encoder and hard-decision Viterbi.
+//!
+//! The classic (133, 171)₈ code used across wireless standards (and the
+//! natural choice for the paper's 4G-oriented transmitter). The encoder is
+//! a 6-bit shift register; the decoder is a full 64-state Viterbi with
+//! traceback over the whole (terminated) block.
+
+/// Constraint length.
+pub const K: usize = 7;
+/// Number of trellis states.
+pub const STATES: usize = 1 << (K - 1);
+/// Generator polynomials (octal 133, 171).
+pub const G0: u8 = 0o133;
+pub const G1: u8 = 0o171;
+
+/// The rate-1/2 convolutional encoder.
+#[derive(Debug, Clone, Default)]
+pub struct ConvEncoder {
+    state: u8, // 6-bit register
+}
+
+impl ConvEncoder {
+    /// Fresh encoder (zero state).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encode one bit to two output bits.
+    pub fn push(&mut self, bit: u8) -> (u8, u8) {
+        debug_assert!(bit <= 1);
+        let reg = ((bit << (K - 1)) | self.state) as u32;
+        let o0 = (reg & G0 as u32).count_ones() as u8 & 1;
+        let o1 = (reg & G1 as u32).count_ones() as u8 & 1;
+        self.state = ((reg >> 1) & (STATES as u32 - 1)) as u8;
+        (o0, o1)
+    }
+
+    /// Encode a block, appending `K-1` zero tail bits to terminate the
+    /// trellis. Output length is `2 * (bits.len() + K - 1)`.
+    pub fn encode_terminated(bits: &[u8]) -> Vec<u8> {
+        let mut enc = ConvEncoder::new();
+        let mut out = Vec::with_capacity(2 * (bits.len() + K - 1));
+        for &b in bits.iter().chain(std::iter::repeat_n(&0u8, K - 1)) {
+            let (a, b2) = enc.push(b);
+            out.push(a);
+            out.push(b2);
+        }
+        out
+    }
+}
+
+/// Hard-decision Viterbi decoder for the terminated code.
+#[derive(Debug, Clone, Default)]
+pub struct ViterbiDecoder;
+
+impl ViterbiDecoder {
+    /// Decode a terminated block produced by
+    /// [`ConvEncoder::encode_terminated`]; returns the information bits
+    /// (tail removed).
+    pub fn decode(coded: &[u8]) -> Vec<u8> {
+        assert!(coded.len().is_multiple_of(2), "coded length must be even");
+        let steps = coded.len() / 2;
+        assert!(steps >= K - 1, "block shorter than the tail");
+        const INF: u32 = u32::MAX / 2;
+        // Precompute per-state outputs for input 0 and 1.
+        let mut outputs = [[(0u8, 0u8); 2]; STATES];
+        for (state, outs) in outputs.iter_mut().enumerate() {
+            for (input, out) in outs.iter_mut().enumerate() {
+                let reg = ((input as u32) << (K - 1)) | state as u32;
+                out.0 = (reg & G0 as u32).count_ones() as u8 & 1;
+                out.1 = (reg & G1 as u32).count_ones() as u8 & 1;
+            }
+        }
+        let next_state =
+            |state: usize, input: usize| -> usize { ((input << (K - 1)) | state) >> 1 };
+
+        let mut metric = vec![INF; STATES];
+        metric[0] = 0; // trellis starts at zero state
+        let mut decisions: Vec<[u8; STATES]> = Vec::with_capacity(steps);
+        let mut next = vec![INF; STATES];
+        for t in 0..steps {
+            let r0 = coded[2 * t];
+            let r1 = coded[2 * t + 1];
+            next.iter_mut().for_each(|m| *m = INF);
+            let mut dec = [0u8; STATES];
+            for state in 0..STATES {
+                let m = metric[state];
+                if m >= INF {
+                    continue;
+                }
+                for (input, &(o0, o1)) in outputs[state].iter().enumerate() {
+                    let branch = u32::from(o0 != r0) + u32::from(o1 != r1);
+                    let ns = next_state(state, input);
+                    let cand = m + branch;
+                    // Tie-break toward input 0 / lower predecessor for
+                    // determinism: strictly-less keeps the first winner.
+                    if cand < next[ns] {
+                        next[ns] = cand;
+                        // Record the predecessor state's low bit path:
+                        // store (input, state) packed.
+                        dec[ns] = ((input as u8) << 7) | state as u8;
+                    }
+                }
+            }
+            std::mem::swap(&mut metric, &mut next);
+            decisions.push(dec);
+        }
+        // Terminated: trace back from state 0.
+        let mut state = 0usize;
+        let mut bits_rev = Vec::with_capacity(steps);
+        for t in (0..steps).rev() {
+            let packed = decisions[t][state];
+            let input = (packed >> 7) & 1;
+            let prev = (packed & 0x3F) as usize;
+            bits_rev.push(input);
+            state = prev;
+        }
+        bits_rev.reverse();
+        bits_rev.truncate(steps - (K - 1)); // strip the tail
+        bits_rev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::Prbs;
+
+    #[test]
+    fn encode_rate_and_tail() {
+        let coded = ConvEncoder::encode_terminated(&[1, 0, 1, 1]);
+        assert_eq!(coded.len(), 2 * (4 + K - 1));
+        assert!(coded.iter().all(|&b| b <= 1));
+    }
+
+    #[test]
+    fn noiseless_roundtrip() {
+        let mut prbs = Prbs::new(99);
+        let bits = prbs.take_bits(200);
+        let coded = ConvEncoder::encode_terminated(&bits);
+        let decoded = ViterbiDecoder::decode(&coded);
+        assert_eq!(decoded, bits);
+    }
+
+    #[test]
+    fn corrects_scattered_errors() {
+        // The free distance of (133,171) is 10: a few well-separated bit
+        // errors are always corrected.
+        let mut prbs = Prbs::new(4);
+        let bits = prbs.take_bits(120);
+        let mut coded = ConvEncoder::encode_terminated(&bits);
+        for pos in [7usize, 61, 133, 199] {
+            coded[pos] ^= 1;
+        }
+        assert_eq!(ViterbiDecoder::decode(&coded), bits);
+    }
+
+    #[test]
+    fn burst_beyond_capacity_fails_gracefully() {
+        // A long error burst defeats the code: output differs but decoding
+        // still returns the right length (no panic).
+        let bits = vec![0u8; 64];
+        let mut coded = ConvEncoder::encode_terminated(&bits);
+        for b in coded.iter_mut().take(40) {
+            *b ^= 1;
+        }
+        let decoded = ViterbiDecoder::decode(&coded);
+        assert_eq!(decoded.len(), 64);
+        assert_ne!(decoded, bits);
+    }
+
+    #[test]
+    fn encoder_is_linear() {
+        // c(a) XOR c(b) == c(a XOR b) for linear codes.
+        let a = [1u8, 0, 1, 1, 0, 0, 1, 0];
+        let b = [0u8, 1, 1, 0, 1, 0, 0, 1];
+        let xor: Vec<u8> = a.iter().zip(&b).map(|(x, y)| x ^ y).collect();
+        let ca = ConvEncoder::encode_terminated(&a);
+        let cb = ConvEncoder::encode_terminated(&b);
+        let cxor = ConvEncoder::encode_terminated(&xor);
+        let folded: Vec<u8> = ca.iter().zip(&cb).map(|(x, y)| x ^ y).collect();
+        assert_eq!(folded, cxor);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_coded_length_panics() {
+        let _ = ViterbiDecoder::decode(&[0, 1, 0]);
+    }
+
+    #[test]
+    fn zero_input_encodes_to_zero() {
+        let coded = ConvEncoder::encode_terminated(&[0; 10]);
+        assert!(coded.iter().all(|&b| b == 0));
+    }
+}

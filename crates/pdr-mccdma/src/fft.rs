@@ -1,0 +1,161 @@
+//! Radix-2 decimation-in-time FFT / IFFT.
+//!
+//! The OFDM engine of the case study: the paper's transmitter uses a
+//! 64-point IFFT per OFDM symbol. Implemented from scratch (iterative,
+//! bit-reversal permutation then butterfly passes), normalized so that
+//! `ifft(fft(x)) == x`.
+
+use crate::complex::Cplx;
+use std::f64::consts::PI;
+
+/// In-place forward FFT. Length must be a power of two.
+pub fn fft(data: &mut [Cplx]) {
+    transform(data, -1.0);
+}
+
+/// In-place inverse FFT (normalized by 1/N). Length must be a power of two.
+pub fn ifft(data: &mut [Cplx]) {
+    transform(data, 1.0);
+    let n = data.len() as f64;
+    for x in data.iter_mut() {
+        *x = *x / n;
+    }
+}
+
+fn transform(data: &mut [Cplx], sign: f64) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length {n} is not a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    // Butterfly passes.
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = Cplx::from_angle(ang);
+        let mut i = 0;
+        while i < n {
+            let mut w = Cplx::ONE;
+            for k in 0..len / 2 {
+                let u = data[i + k];
+                let v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Convenience: forward FFT of a slice, returning a new vector.
+pub fn fft_vec(input: &[Cplx]) -> Vec<Cplx> {
+    let mut v = input.to_vec();
+    fft(&mut v);
+    v
+}
+
+/// Convenience: inverse FFT of a slice, returning a new vector.
+pub fn ifft_vec(input: &[Cplx]) -> Vec<Cplx> {
+    let mut v = input.to_vec();
+    ifft(&mut v);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Cplx, b: Cplx) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let mut x = vec![Cplx::ZERO; 8];
+        x[0] = Cplx::ONE;
+        fft(&mut x);
+        for v in &x {
+            assert!(close(*v, Cplx::ONE));
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_on_one_bin() {
+        let n = 64;
+        let k = 5;
+        let x: Vec<Cplx> = (0..n)
+            .map(|i| Cplx::from_angle(2.0 * PI * k as f64 * i as f64 / n as f64))
+            .collect();
+        let spec = fft_vec(&x);
+        for (i, v) in spec.iter().enumerate() {
+            if i == k {
+                assert!((v.abs() - n as f64).abs() < 1e-8, "bin {i}: {}", v.abs());
+            } else {
+                assert!(v.abs() < 1e-8, "bin {i} leaks {}", v.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        // Deterministic pseudo-random input.
+        let mut seed = 0x9E3779B9u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let x: Vec<Cplx> = (0..256).map(|_| Cplx::new(next(), next())).collect();
+        let y = ifft_vec(&fft_vec(&x));
+        for (a, b) in x.iter().zip(&y) {
+            assert!(close(*a, *b));
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let x: Vec<Cplx> = (0..64)
+            .map(|i| Cplx::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let time_energy: f64 = x.iter().map(|v| v.norm_sq()).sum();
+        let spec = fft_vec(&x);
+        let freq_energy: f64 = spec.iter().map(|v| v.norm_sq()).sum::<f64>() / 64.0;
+        assert!((time_energy - freq_energy).abs() < 1e-8);
+    }
+
+    #[test]
+    fn length_one_is_identity() {
+        let mut x = vec![Cplx::new(2.0, -3.0)];
+        fft(&mut x);
+        assert_eq!(x[0], Cplx::new(2.0, -3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let mut x = vec![Cplx::ZERO; 12];
+        fft(&mut x);
+    }
+
+    #[test]
+    fn linearity() {
+        let a: Vec<Cplx> = (0..16).map(|i| Cplx::new(i as f64, 0.0)).collect();
+        let b: Vec<Cplx> = (0..16).map(|i| Cplx::new(0.0, (i * i) as f64)).collect();
+        let sum: Vec<Cplx> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        let fa = fft_vec(&a);
+        let fb = fft_vec(&b);
+        let fsum = fft_vec(&sum);
+        for i in 0..16 {
+            assert!(close(fsum[i], fa[i] + fb[i]));
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Two-path multipath channel and one-tap equalization.
+//!
+//! The guard interval in Fig. 4 exists because radio channels are
+//! dispersive: a delayed echo smears adjacent OFDM symbols into each
+//! other. As long as the echo delay stays within the cyclic prefix, the
+//! smearing becomes a *circular* convolution, which OFDM turns into one
+//! complex gain per subcarrier — undone by a trivial one-tap equalizer.
+//! [`TwoPathChannel`] models the canonical two-ray channel;
+//! [`equalize`] divides the received subcarriers by the channel's
+//! frequency response.
+
+use crate::complex::Cplx;
+
+/// A two-ray channel: direct path plus one delayed, attenuated echo.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoPathChannel {
+    /// Echo delay in samples.
+    pub delay: usize,
+    /// Complex echo tap (|tap| < 1 for a physical channel).
+    pub tap: Cplx,
+}
+
+impl TwoPathChannel {
+    /// Channel with the given echo.
+    pub fn new(delay: usize, tap: Cplx) -> Self {
+        TwoPathChannel { delay, tap }
+    }
+
+    /// A typical urban echo: 5 samples late at −6 dB with a phase twist.
+    pub fn typical() -> Self {
+        TwoPathChannel::new(5, Cplx::new(0.35, 0.35))
+    }
+
+    /// Convolve samples with the channel (zero initial conditions).
+    pub fn transmit(&self, samples: &[Cplx]) -> Vec<Cplx> {
+        samples
+            .iter()
+            .enumerate()
+            .map(|(n, &x)| {
+                let echo = if n >= self.delay {
+                    samples[n - self.delay] * self.tap
+                } else {
+                    Cplx::ZERO
+                };
+                x + echo
+            })
+            .collect()
+    }
+
+    /// The channel's frequency response over `n` subcarriers:
+    /// `H[k] = 1 + tap · e^{-j2πk·delay/n}`.
+    pub fn freq_response(&self, n: usize) -> Vec<Cplx> {
+        (0..n)
+            .map(|k| {
+                let theta =
+                    -2.0 * std::f64::consts::PI * (k * self.delay) as f64 / n as f64;
+                Cplx::ONE + self.tap * Cplx::from_angle(theta)
+            })
+            .collect()
+    }
+}
+
+/// One-tap zero-forcing equalization: divide each subcarrier by `h[k]`.
+///
+/// # Panics
+/// Panics on length mismatch or a spectral null (`|h[k]| ≈ 0` — a
+/// zero-forcing equalizer cannot recover a nulled carrier).
+pub fn equalize(received: &[Cplx], h: &[Cplx]) -> Vec<Cplx> {
+    assert_eq!(received.len(), h.len(), "length mismatch");
+    received
+        .iter()
+        .zip(h)
+        .map(|(&y, &hk)| {
+            let p = hk.norm_sq();
+            assert!(p > 1e-12, "spectral null: zero-forcing impossible");
+            y * hk.conj() / p
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::Prbs;
+    use crate::modulation::Modulation;
+    use crate::ofdm::OfdmModem;
+    use crate::spreading::WalshHadamard;
+
+    fn chips(n: usize, seed: u32) -> Vec<Cplx> {
+        // Unit-magnitude QPSK-like chips.
+        let mut prbs = Prbs::new(seed);
+        let bits = prbs.take_bits(2 * n);
+        Modulation::Qpsk.modulate(&bits)
+    }
+
+    #[test]
+    fn echo_within_cp_is_fully_equalized() {
+        let modem = OfdmModem::paper_64();
+        let ch = TwoPathChannel::typical(); // delay 5 < CP 16
+        let tx_chips = chips(64, 7);
+        let sent = modem.modulate_symbol(&tx_chips);
+        let received = ch.transmit(&sent);
+        let raw = modem.demodulate_symbol(&received);
+        let eq = equalize(&raw, &ch.freq_response(64));
+        for (a, b) in tx_chips.iter().zip(&eq) {
+            assert!((*a - *b).abs() < 1e-9, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn echo_beyond_cp_breaks_orthogonality() {
+        // delay 20 > CP 16: the FFT window is no longer circular; even a
+        // perfect equalizer cannot restore the chips.
+        let modem = OfdmModem::paper_64();
+        let ch = TwoPathChannel::new(20, Cplx::new(0.5, 0.0));
+        let tx_chips = chips(64, 8);
+        let sent = modem.modulate_symbol(&tx_chips);
+        let received = ch.transmit(&sent);
+        let raw = modem.demodulate_symbol(&received);
+        let eq = equalize(&raw, &ch.freq_response(64));
+        let worst = tx_chips
+            .iter()
+            .zip(&eq)
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(worst > 0.05, "ISI should be visible, worst err {worst}");
+    }
+
+    #[test]
+    fn full_mc_cdma_symbol_survives_multipath() {
+        // Spread + OFDM + echo + equalize + despread: exact recovery.
+        let modem = OfdmModem::paper_64();
+        let wh = WalshHadamard::new(32);
+        let ch = TwoPathChannel::typical();
+        let data = [Cplx::new(0.8, -0.4), Cplx::new(-0.6, 0.9)];
+        let spread = wh.spread(3, &data);
+        let sent = modem.modulate_symbol(&spread);
+        let received = ch.transmit(&sent);
+        let eq = equalize(&modem.demodulate_symbol(&received), &ch.freq_response(64));
+        let back = wh.despread(3, &eq);
+        for (a, b) in data.iter().zip(&back) {
+            assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn frequency_response_matches_fft_of_impulse_response() {
+        let ch = TwoPathChannel::new(3, Cplx::new(0.4, -0.2));
+        let n = 64;
+        // Impulse response through the channel.
+        let mut impulse = vec![Cplx::ZERO; n];
+        impulse[0] = Cplx::ONE;
+        let ir = ch.transmit(&impulse);
+        let spectrum = crate::fft::fft_vec(&ir);
+        let h = ch.freq_response(n);
+        for (a, b) in spectrum.iter().zip(&h) {
+            assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_delay_echo_is_flat_gain() {
+        let ch = TwoPathChannel::new(0, Cplx::new(0.5, 0.0));
+        let h = ch.freq_response(16);
+        for hk in h {
+            assert!((hk - Cplx::new(1.5, 0.0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn equalize_length_mismatch_panics() {
+        let _ = equalize(&[Cplx::ONE], &[Cplx::ONE, Cplx::ONE]);
+    }
+
+    #[test]
+    #[should_panic(expected = "spectral null")]
+    fn spectral_null_panics() {
+        // tap = -1, delay 0: H[k] = 0 everywhere.
+        let ch = TwoPathChannel::new(0, Cplx::new(-1.0, 0.0));
+        let _ = equalize(&[Cplx::ONE; 4], &ch.freq_response(4));
+    }
+}

@@ -1,0 +1,159 @@
+//! SNR estimation: what the DSP measures before writing `Select`.
+//!
+//! §6: the modulation of each OFDM symbol is chosen *"according to the
+//! signal to noise ratio"* — something the receiver must estimate. This
+//! module provides a decision-directed (EVM-based) estimator: each
+//! received symbol is sliced to its nearest constellation point; the mean
+//! squared distance to it estimates the noise power, the mean point energy
+//! the signal power. Combined with the [`crate::adaptive::AdaptivePolicy`]
+//! this closes the paper's full loop: receive → estimate SNR → select
+//! modulation → reconfigure.
+
+use crate::complex::Cplx;
+use crate::modulation::Modulation;
+
+/// A decision-directed SNR estimator over received (post-despreading)
+/// symbols.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SnrEstimator {
+    signal_acc: f64,
+    noise_acc: f64,
+    symbols: u64,
+}
+
+impl SnrEstimator {
+    /// Fresh estimator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulate one received symbol, sliced against `modulation`.
+    pub fn push(&mut self, received: Cplx, modulation: Modulation) {
+        let bits = modulation.demap_symbol(received);
+        let ideal = modulation.map_symbol(&bits);
+        self.signal_acc += ideal.norm_sq();
+        self.noise_acc += (received - ideal).norm_sq();
+        self.symbols += 1;
+    }
+
+    /// Accumulate a block of symbols.
+    pub fn push_block(&mut self, received: &[Cplx], modulation: Modulation) {
+        for &s in received {
+            self.push(s, modulation);
+        }
+    }
+
+    /// Symbols accumulated.
+    pub fn symbols(&self) -> u64 {
+        self.symbols
+    }
+
+    /// The SNR estimate in dB (`None` until symbols were pushed or if no
+    /// noise was observed — an infinite-SNR situation).
+    pub fn snr_db(&self) -> Option<f64> {
+        if self.symbols == 0 || self.signal_acc <= 0.0 {
+            return None;
+        }
+        if self.noise_acc <= 0.0 {
+            return Some(f64::INFINITY);
+        }
+        Some(10.0 * (self.signal_acc / self.noise_acc).log10())
+    }
+
+    /// Reset for the next measurement window.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::Prbs;
+    use crate::channel::AwgnChannel;
+
+    /// Estimate the SNR of a QPSK stream passed through AWGN at `true_db`.
+    fn estimate(true_db: f64, modulation: Modulation, seed: u64) -> f64 {
+        let mut prbs = Prbs::new(seed as u32 + 1);
+        let bits = prbs.take_bits(modulation.bits_per_symbol() * 20_000);
+        let symbols = modulation.modulate(&bits);
+        let received = AwgnChannel::new(true_db, seed).transmit(&symbols);
+        let mut est = SnrEstimator::new();
+        est.push_block(&received, modulation);
+        est.snr_db().expect("symbols pushed")
+    }
+
+    #[test]
+    fn estimates_track_truth_qpsk() {
+        for true_db in [5.0, 10.0, 15.0, 20.0] {
+            let est = estimate(true_db, Modulation::Qpsk, 42);
+            assert!(
+                (est - true_db).abs() < 1.0,
+                "true {true_db} dB, estimated {est} dB"
+            );
+        }
+    }
+
+    #[test]
+    fn estimates_track_truth_qam16_at_high_snr() {
+        // Decision-directed estimation needs mostly-correct slicing: for
+        // QAM-16 that holds above ~15 dB.
+        for true_db in [16.0, 20.0, 25.0] {
+            let est = estimate(true_db, Modulation::Qam16, 7);
+            assert!(
+                (est - true_db).abs() < 1.5,
+                "true {true_db} dB, estimated {est} dB"
+            );
+        }
+    }
+
+    #[test]
+    fn low_snr_estimates_saturate_high() {
+        // Below the slicing floor the estimator is biased upward (errors
+        // pull symbols toward wrong-but-near points) — it must still be
+        // finite and roughly monotone.
+        let low = estimate(0.0, Modulation::Qpsk, 3);
+        let high = estimate(20.0, Modulation::Qpsk, 3);
+        assert!(low < high);
+        assert!(low.is_finite());
+    }
+
+    #[test]
+    fn noiseless_is_infinite() {
+        let m = Modulation::Qpsk;
+        let mut prbs = Prbs::new(2);
+        let bits = prbs.take_bits(m.bits_per_symbol() * 64);
+        let symbols = m.modulate(&bits);
+        let mut est = SnrEstimator::new();
+        est.push_block(&symbols, m);
+        assert_eq!(est.snr_db(), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn empty_estimator_returns_none_and_reset_works() {
+        let mut est = SnrEstimator::new();
+        assert_eq!(est.snr_db(), None);
+        est.push(Cplx::new(0.7, 0.7), Modulation::Qpsk);
+        assert!(est.snr_db().is_some());
+        assert_eq!(est.symbols(), 1);
+        est.reset();
+        assert_eq!(est.snr_db(), None);
+        assert_eq!(est.symbols(), 0);
+    }
+
+    #[test]
+    fn closes_the_adaptive_loop() {
+        // receive at a known channel quality -> estimate -> policy decides
+        // the modulation the paper would load next.
+        use crate::adaptive::AdaptivePolicy;
+        let policy = AdaptivePolicy::paper_default();
+        let clean = estimate(18.0, Modulation::Qpsk, 11);
+        assert_eq!(
+            policy.decide(Modulation::Qpsk, clean),
+            Modulation::Qam16,
+            "estimated {clean} dB should trigger the upgrade"
+        );
+        let dirty = estimate(6.0, Modulation::Qpsk, 12);
+        assert_eq!(policy.decide(Modulation::Qam16, dirty), Modulation::Qpsk);
+    }
+}

@@ -1,0 +1,106 @@
+//! Error type for the runtime reconfiguration layer.
+
+use pdr_fabric::FabricError;
+use std::fmt;
+
+/// Errors raised by the runtime reconfiguration machinery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RtrError {
+    /// A requested module has no bitstream in the store.
+    UnknownModule(String),
+    /// The staging cache cannot hold the bitstream even when empty.
+    CacheTooSmall {
+        /// Module whose stream does not fit.
+        module: String,
+        /// Stream size in bytes.
+        needed: usize,
+        /// Cache capacity in bytes.
+        capacity: usize,
+    },
+    /// Underlying fabric error (malformed bitstream, device mismatch, ...).
+    Fabric(FabricError),
+    /// A module was requested for a region it was not built for.
+    RegionMismatch {
+        /// Module name.
+        module: String,
+        /// Region the bitstream targets.
+        built_for: String,
+        /// Region the request names.
+        requested: String,
+    },
+    /// Loading the module would co-reside two mutually exclusive modules
+    /// (the §4 "exclusion" dynamic relation), which the runtime refuses.
+    ExclusionViolation {
+        /// Module being loaded.
+        module: String,
+        /// Region it was headed for.
+        region: String,
+        /// The already-resident module it conflicts with.
+        conflicting: String,
+        /// Where the conflicting module lives.
+        resident_in: String,
+    },
+}
+
+impl fmt::Display for RtrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtrError::UnknownModule(m) => write!(f, "no bitstream stored for module `{m}`"),
+            RtrError::CacheTooSmall {
+                module,
+                needed,
+                capacity,
+            } => write!(
+                f,
+                "staging cache ({capacity} B) cannot hold bitstream of `{module}` ({needed} B)"
+            ),
+            RtrError::Fabric(e) => write!(f, "{e}"),
+            RtrError::RegionMismatch {
+                module,
+                built_for,
+                requested,
+            } => write!(
+                f,
+                "module `{module}` was built for region `{built_for}`, requested for `{requested}`"
+            ),
+            RtrError::ExclusionViolation {
+                module,
+                region,
+                conflicting,
+                resident_in,
+            } => write!(
+                f,
+                "loading `{module}` into `{region}` violates exclusion: `{conflicting}` \
+                 is resident in `{resident_in}`"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RtrError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RtrError::Fabric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FabricError> for RtrError {
+    fn from(e: FabricError) -> Self {
+        RtrError::Fabric(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e = RtrError::UnknownModule("mod_qam16".into());
+        assert!(e.to_string().contains("mod_qam16"));
+        let f: RtrError = FabricError::UnknownDevice("X".into()).into();
+        assert!(std::error::Error::source(&f).is_some());
+    }
+}

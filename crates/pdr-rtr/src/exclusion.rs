@@ -1,0 +1,155 @@
+//! Runtime enforcement of the §4 *exclusion* dynamic relation.
+//!
+//! The constraints file may declare modules that "must never be resident
+//! simultaneously" — even across *different* regions (e.g. two modules
+//! that share an external pin or exceed a power budget together). The
+//! scheduler avoids such co-residency; the [`ExclusionLedger`] is the
+//! runtime guard that *proves* it: every configuration manager registers
+//! its loads, and a load whose module is excluded against a module
+//! resident elsewhere fails loudly instead of silently producing an
+//! illegal configuration.
+
+use crate::error::RtrError;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A shared ledger of resident modules and exclusion pairs.
+#[derive(Debug, Default)]
+pub struct ExclusionLedger {
+    /// Symmetric exclusion pairs (stored with a <= b).
+    pairs: BTreeSet<(String, String)>,
+    /// region -> resident module.
+    resident: BTreeMap<String, String>,
+    /// Violations refused (diagnostics).
+    refusals: u64,
+}
+
+impl ExclusionLedger {
+    /// Empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare `a` and `b` mutually exclusive (symmetric).
+    pub fn exclude(&mut self, a: &str, b: &str) {
+        if a == b {
+            return;
+        }
+        let (x, y) = if a <= b { (a, b) } else { (b, a) };
+        self.pairs.insert((x.to_string(), y.to_string()));
+    }
+
+    /// Import every exclusion pair of a constraints file.
+    pub fn from_constraints(constraints: &pdr_graph::ConstraintsFile) -> Self {
+        let mut ledger = ExclusionLedger::new();
+        for m in constraints.modules() {
+            for other in &m.exclusive_with {
+                ledger.exclude(&m.module, other);
+            }
+        }
+        ledger
+    }
+
+    /// Are `a` and `b` declared exclusive?
+    pub fn excluded(&self, a: &str, b: &str) -> bool {
+        let (x, y) = if a <= b { (a, b) } else { (b, a) };
+        self.pairs.contains(&(x.to_string(), y.to_string()))
+    }
+
+    /// The module currently resident in `region`, per the ledger.
+    pub fn resident(&self, region: &str) -> Option<&str> {
+        self.resident.get(region).map(String::as_str)
+    }
+
+    /// Loads refused so far.
+    pub fn refusals(&self) -> u64 {
+        self.refusals
+    }
+
+    /// Record that `region` is about to load `module`; fails when a module
+    /// exclusive with it is resident in a *different* region (the region's
+    /// own previous occupant is being replaced, so it never conflicts).
+    pub fn check_and_load(&mut self, region: &str, module: &str) -> Result<(), RtrError> {
+        for (other_region, other_module) in &self.resident {
+            if other_region != region && self.excluded(module, other_module) {
+                self.refusals += 1;
+                return Err(RtrError::ExclusionViolation {
+                    module: module.to_string(),
+                    region: region.to_string(),
+                    conflicting: other_module.clone(),
+                    resident_in: other_region.clone(),
+                });
+            }
+        }
+        self.resident.insert(region.to_string(), module.to_string());
+        Ok(())
+    }
+
+    /// Explicitly unload whatever `region` holds.
+    pub fn unload(&mut self, region: &str) {
+        self.resident.remove(region);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdr_graph::constraints::ModuleConstraints;
+    use pdr_graph::ConstraintsFile;
+
+    #[test]
+    fn exclusion_is_symmetric_and_irreflexive() {
+        let mut l = ExclusionLedger::new();
+        l.exclude("a", "b");
+        assert!(l.excluded("a", "b"));
+        assert!(l.excluded("b", "a"));
+        l.exclude("c", "c");
+        assert!(!l.excluded("c", "c"));
+    }
+
+    #[test]
+    fn cross_region_conflict_refused() {
+        let mut l = ExclusionLedger::new();
+        l.exclude("hot_a", "hot_b");
+        l.check_and_load("r1", "hot_a").unwrap();
+        let err = l.check_and_load("r2", "hot_b").unwrap_err();
+        assert!(matches!(err, RtrError::ExclusionViolation { .. }));
+        assert!(err.to_string().contains("hot_a"));
+        assert_eq!(l.refusals(), 1);
+        // Unloading r1 clears the conflict.
+        l.unload("r1");
+        l.check_and_load("r2", "hot_b").unwrap();
+        assert_eq!(l.resident("r2"), Some("hot_b"));
+    }
+
+    #[test]
+    fn same_region_replacement_never_conflicts() {
+        let mut l = ExclusionLedger::new();
+        l.exclude("a", "b");
+        l.check_and_load("r", "a").unwrap();
+        // Replacing a with its own excluded partner in the same region is
+        // fine: the old module leaves as the new one arrives.
+        l.check_and_load("r", "b").unwrap();
+        assert_eq!(l.resident("r"), Some("b"));
+    }
+
+    #[test]
+    fn non_excluded_modules_coexist() {
+        let mut l = ExclusionLedger::new();
+        l.exclude("a", "b");
+        l.check_and_load("r1", "a").unwrap();
+        l.check_and_load("r2", "c").unwrap();
+        assert_eq!(l.refusals(), 0);
+    }
+
+    #[test]
+    fn built_from_constraints_file() {
+        let mut f = ConstraintsFile::new();
+        let mut a = ModuleConstraints::new("mod_a", "r1");
+        a.exclusive_with = vec!["mod_b".into()];
+        f.add(a).unwrap();
+        f.add(ModuleConstraints::new("mod_b", "r2")).unwrap();
+        let l = ExclusionLedger::from_constraints(&f);
+        assert!(l.excluded("mod_a", "mod_b"));
+        assert!(!l.excluded("mod_a", "mod_c"));
+    }
+}

@@ -1,0 +1,155 @@
+//! The discrete-event core: a time-ordered queue with deterministic ties.
+//!
+//! Determinism matters: every experiment in `EXPERIMENTS.md` must reproduce
+//! bit-for-bit. Events at equal times pop in insertion order (a
+//! monotonically increasing sequence number breaks ties), so simulation
+//! results never depend on heap internals.
+
+use pdr_fabric::TimePs;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A deterministic time-ordered event queue carrying payloads of type `T`.
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<(TimePs, u64)>>,
+    payloads: Vec<Option<(TimePs, T)>>,
+    seq: u64,
+    now: TimePs,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            payloads: Vec::new(),
+            seq: 0,
+            now: TimePs::ZERO,
+        }
+    }
+
+    /// Current simulated time (the time of the last popped event).
+    pub fn now(&self) -> TimePs {
+        self.now
+    }
+
+    /// Schedule `payload` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is earlier than the current time (causality).
+    pub fn schedule(&mut self, at: TimePs, payload: T) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past ({at} < {})",
+            self.now
+        );
+        let idx = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse((at, idx)));
+        // payloads is indexed by sequence number.
+        let i = idx as usize;
+        if self.payloads.len() <= i {
+            self.payloads.resize_with(i + 1, || None);
+        }
+        self.payloads[i] = Some((at, payload));
+    }
+
+    /// Schedule `payload` after a delay from now.
+    pub fn schedule_in(&mut self, delay: TimePs, payload: T) {
+        let at = self.now + delay;
+        self.schedule(at, payload);
+    }
+
+    /// Pop the next event, advancing the clock. `None` when empty.
+    pub fn pop(&mut self) -> Option<(TimePs, T)> {
+        while let Some(Reverse((at, idx))) = self.heap.pop() {
+            if let Some((t, payload)) = self.payloads[idx as usize].take() {
+                debug_assert_eq!(t, at);
+                self.now = at;
+                return Some((at, payload));
+            }
+        }
+        None
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Is the queue empty?
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(TimePs::from_ns(30), "c");
+        q.schedule(TimePs::from_ns(10), "a");
+        q.schedule(TimePs::from_ns(20), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn equal_times_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..16 {
+            q.schedule(TimePs::from_ns(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(TimePs::from_us(3), ());
+        assert_eq!(q.now(), TimePs::ZERO);
+        q.pop();
+        assert_eq!(q.now(), TimePs::from_us(3));
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(TimePs::from_us(1), "first");
+        q.pop();
+        q.schedule_in(TimePs::from_us(2), "second");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, TimePs::from_us(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(TimePs::from_us(5), ());
+        q.pop();
+        q.schedule(TimePs::from_us(1), ());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(TimePs::from_ns(1), ());
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+}

@@ -1,0 +1,233 @@
+//! Trace rendering: ASCII Gantt charts and CSV export.
+//!
+//! The paper's Fig. 4 discussion reasons about *when* the dynamic part is
+//! locked up relative to the data path; these helpers make that visible
+//! from a captured [`SimReport`] trace (enable with
+//! [`crate::SimConfig::with_trace`]).
+
+use crate::report::{SimReport, TraceEvent, TraceKind};
+use pdr_fabric::TimePs;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Render the trace as CSV (`site,iteration,kind,label,start_ps,end_ps`).
+pub fn to_csv(report: &SimReport) -> String {
+    let mut out = String::from("site,iteration,kind,label,start_ps,end_ps\n");
+    for e in &report.trace {
+        let (kind, label) = describe(e);
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{}",
+            e.site,
+            e.iteration,
+            kind,
+            label,
+            e.start.as_ps(),
+            e.end.as_ps()
+        );
+    }
+    out
+}
+
+fn describe(e: &TraceEvent) -> (&'static str, String) {
+    match &e.kind {
+        TraceKind::Compute { op, function } => ("compute", format!("{op}[{function}]")),
+        TraceKind::Transfer { from, to, bits, .. } => {
+            ("transfer", format!("{from}->{to}:{bits}b"))
+        }
+        TraceKind::Reconfigure {
+            module,
+            fetch_hidden,
+        } => (
+            "reconfigure",
+            format!("{module}{}", if *fetch_hidden { "*" } else { "" }),
+        ),
+    }
+}
+
+/// Render an ASCII Gantt chart of the trace, one row per site, `width`
+/// character cells over the full makespan. Cell legend: `#` compute,
+/// `=` transfer, `R` reconfigure, `.` idle.
+pub fn to_gantt(report: &SimReport, width: usize) -> String {
+    assert!(width > 0, "width must be positive");
+    let span = report.makespan.max(TimePs::from_ps(1));
+    let mut rows: BTreeMap<&str, Vec<char>> = BTreeMap::new();
+    for e in &report.trace {
+        let row = rows
+            .entry(e.site.as_str())
+            .or_insert_with(|| vec!['.'; width]);
+        let cell = |t: TimePs| -> usize {
+            ((t.as_ps() as u128 * width as u128) / span.as_ps() as u128)
+                .min(width as u128 - 1) as usize
+        };
+        let (a, b) = (cell(e.start), cell(e.end).max(cell(e.start)));
+        let ch = match e.kind {
+            TraceKind::Compute { .. } => '#',
+            TraceKind::Transfer { .. } => '=',
+            TraceKind::Reconfigure { .. } => 'R',
+        };
+        for c in row.iter_mut().take(b + 1).skip(a) {
+            // Reconfiguration marks win (the lock-up is what we look for).
+            if *c == '.' || ch == 'R' {
+                *c = ch;
+            }
+        }
+    }
+    let mut out = String::new();
+    let name_w = rows.keys().map(|k| k.len()).max().unwrap_or(4);
+    let _ = writeln!(
+        out,
+        "{:>name_w$} |{}| {}",
+        "site",
+        "-".repeat(width),
+        span
+    );
+    for (site, cells) in rows {
+        let _ = writeln!(
+            out,
+            "{site:>name_w$} |{}|",
+            cells.into_iter().collect::<String>()
+        );
+    }
+    out.push_str("legend: # compute, = transfer, R reconfigure, . idle\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::ReconfigEvent;
+
+    fn report_with_trace() -> SimReport {
+        SimReport {
+            makespan: TimePs::from_us(100),
+            iterations: 2,
+            operator_busy: BTreeMap::new(),
+            medium_busy: BTreeMap::new(),
+            reconfigs: vec![ReconfigEvent {
+                operator: "op_dyn".into(),
+                module: "mod_qam16".into(),
+                iteration: 1,
+                requested_at: TimePs::from_us(50),
+                ready_at: TimePs::from_us(80),
+                fetch_hidden: false,
+            }],
+            manager_stats: BTreeMap::new(),
+            iteration_ends: Vec::new(),
+            trace: vec![
+                TraceEvent {
+                    site: "fpga_static".into(),
+                    iteration: 0,
+                    start: TimePs::from_us(0),
+                    end: TimePs::from_us(40),
+                    kind: TraceKind::Compute {
+                        op: "ifft64".into(),
+                        function: "ifft64".into(),
+                    },
+                },
+                TraceEvent {
+                    site: "shb".into(),
+                    iteration: 0,
+                    start: TimePs::from_us(10),
+                    end: TimePs::from_us(20),
+                    kind: TraceKind::Transfer {
+                        from: "dsp".into(),
+                        to: "fpga_static".into(),
+                        medium: "shb".into(),
+                        bits: 128,
+                    },
+                },
+                TraceEvent {
+                    site: "op_dyn".into(),
+                    iteration: 1,
+                    start: TimePs::from_us(50),
+                    end: TimePs::from_us(80),
+                    kind: TraceKind::Reconfigure {
+                        module: "mod_qam16".into(),
+                        fetch_hidden: false,
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = to_csv(&report_with_trace());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("site,iteration,kind"));
+        assert!(csv.contains("compute,ifft64[ifft64]"));
+        assert!(csv.contains("transfer,dsp->fpga_static:128b"));
+        assert!(csv.contains("reconfigure,mod_qam16"));
+    }
+
+    #[test]
+    fn gantt_rows_and_symbols() {
+        let g = to_gantt(&report_with_trace(), 50);
+        assert!(g.contains("fpga_static"));
+        assert!(g.contains("op_dyn"));
+        assert!(g.contains('#'));
+        assert!(g.contains('='));
+        assert!(g.contains('R'));
+        assert!(g.contains("legend"));
+        // Reconfiguration occupies roughly the second half of op_dyn's row.
+        let row = g
+            .lines()
+            .find(|l| l.trim_start().starts_with("op_dyn"))
+            .unwrap();
+        let bar = &row[row.find('|').unwrap() + 1..row.rfind('|').unwrap()];
+        assert!(bar[..20].chars().all(|c| c == '.'));
+        assert!(bar[25..40].contains('R'));
+    }
+
+    #[test]
+    fn empty_trace_renders_empty() {
+        let mut r = report_with_trace();
+        r.trace.clear();
+        let g = to_gantt(&r, 20);
+        assert!(g.contains("legend"));
+        assert_eq!(to_csv(&r).lines().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn zero_width_panics() {
+        let _ = to_gantt(&report_with_trace(), 0);
+    }
+
+    #[test]
+    fn end_to_end_gantt_from_real_trace() {
+        // Smoke: a real simulated trace renders without panicking and shows
+        // a reconfiguration.
+        use pdr_adequation::executive::generate_executive;
+        use pdr_adequation::{adequate, AdequationOptions};
+        use pdr_graph::paper;
+        let algo = paper::mccdma_algorithm();
+        let arch = paper::sundance_architecture();
+        let chars = paper::mccdma_characterization();
+        let cons = paper::mccdma_constraints();
+        let opts = AdequationOptions::default()
+            .pin("interface_in", "dsp")
+            .pin("select", "dsp")
+            .pin("interface_out", "fpga_static");
+        let r = adequate(&algo, &arch, &chars, &cons, &opts).unwrap();
+        let exec = generate_executive(&algo, &arch, &chars, &r.mapping, &r.schedule).unwrap();
+        let mut sys = crate::SimSystem::new(&arch, &exec);
+        let cfg = crate::SimConfig::iterations(4)
+            .with_selection(
+                "op_dyn",
+                vec![
+                    "mod_qpsk".into(),
+                    "mod_qam16".into(),
+                    "mod_qam16".into(),
+                    "mod_qpsk".into(),
+                ],
+            )
+            .with_trace();
+        let report = sys.run(&cfg).unwrap();
+        let g = to_gantt(&report, 80);
+        assert!(g.contains('R'));
+        assert!(to_csv(&report).contains("reconfigure"));
+    }
+}

@@ -1,0 +1,60 @@
+//! Plot-ready BER waterfall of the MC-CDMA link: QPSK vs QAM-16 vs the
+//! adaptive policy, measured and theoretical.
+//!
+//! ```text
+//! cargo run --release --example ber_waterfall
+//! ```
+//!
+//! Prints a CSV-ish table (and an ASCII sketch) of BER vs per-sample
+//! Es/N0 — the functional motivation for making modulation the dynamic
+//! block: QPSK survives ~6 dB deeper into the noise, QAM-16 doubles the
+//! throughput when the channel allows.
+
+use pdr_bench::fig4;
+use pdr_mccdma::ber::{qam16_ber_theory, qpsk_ber_theory};
+
+fn bar(ber: f64) -> String {
+    // log-scale bar: full at 0.5, empty below 1e-6.
+    if ber <= 0.0 {
+        return String::new();
+    }
+    let level = ((ber.log10() + 6.0) / 6.0 * 30.0).clamp(0.0, 30.0) as usize;
+    "#".repeat(level)
+}
+
+fn main() {
+    let points: Vec<f64> = (-16..=2).step_by(2).map(|db| db as f64).collect();
+    let frames = 20;
+    let sweep = fig4::run_ber(&points, frames);
+    // SF-32 despreading gain relates per-sample Es/N0 to per-symbol SNR.
+    let gain_db = 10.0 * 32f64.log10();
+
+    println!("es_n0_db,symbol_snr_db,ber_qpsk,ber_qam16,ber_adaptive,adaptive_bits_per_symbol,theory_qpsk,theory_qam16");
+    for p in &sweep.points {
+        let symbol_snr = p.es_n0_db + gain_db;
+        // Theory: per-bit SNR from per-symbol SNR.
+        let snr_lin = 10f64.powf(symbol_snr / 10.0);
+        let th_qpsk = qpsk_ber_theory(10.0 * (snr_lin / 2.0).log10());
+        let th_qam = qam16_ber_theory(10.0 * (snr_lin / 4.0).log10());
+        println!(
+            "{:.1},{:.1},{:.3e},{:.3e},{:.3e},{:.2},{:.3e},{:.3e}",
+            p.es_n0_db,
+            symbol_snr,
+            p.ber_qpsk,
+            p.ber_qam16,
+            p.ber_adaptive,
+            p.adaptive_bits_per_symbol,
+            th_qpsk,
+            th_qam
+        );
+    }
+
+    println!("\nQAM-16 BER (log bar, # = worse):");
+    for p in &sweep.points {
+        println!("{:>6.1} dB |{}", p.es_n0_db, bar(p.ber_qam16));
+    }
+    println!("\nQPSK BER:");
+    for p in &sweep.points {
+        println!("{:>6.1} dB |{}", p.es_n0_db, bar(p.ber_qpsk));
+    }
+}

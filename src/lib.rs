@@ -1,0 +1,2 @@
+//! Umbrella crate for the `pdr` workspace. See [`pdr_core`] for the main API.
+pub use pdr_core::*;
