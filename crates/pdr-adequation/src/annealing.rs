@@ -183,9 +183,9 @@ fn feasible_sets(
 ) -> Result<Vec<Vec<OperatorId>>, AdequationError> {
     let mut pins: HashMap<&str, OperatorId> = HashMap::new();
     for (op_name, opr_name) in &options.pins {
-        let opr = arch.operator_by_name(opr_name).ok_or_else(|| {
-            AdequationError::Graph(GraphError::UnknownVertex(opr_name.clone()))
-        })?;
+        let opr = arch
+            .operator_by_name(opr_name)
+            .ok_or_else(|| AdequationError::Graph(GraphError::UnknownVertex(opr_name.clone())))?;
         pins.insert(op_name.as_str(), opr);
     }
     let mut sets = Vec::with_capacity(algo.len());
@@ -327,8 +327,7 @@ mod tests {
             moves: 500,
             ..Default::default()
         };
-        let (mapping, schedule, makespan, _) =
-            anneal(&algo, &arch, &chars, &cons, &opts).unwrap();
+        let (mapping, schedule, makespan, _) = anneal(&algo, &arch, &chars, &cons, &opts).unwrap();
         mapping.validate(&algo, &arch, &chars, &cons).unwrap();
         schedule.validate().unwrap();
         let q = quality_ratio(makespan, &algo, &arch, &chars).unwrap();
@@ -345,8 +344,7 @@ mod tests {
             moves: 1_500,
             ..Default::default()
         };
-        let (_, _, annealed_makespan, _) =
-            anneal(&algo, &arch, &chars, &cons, &opts).unwrap();
+        let (_, _, annealed_makespan, _) = anneal(&algo, &arch, &chars, &cons, &opts).unwrap();
         // Annealing may not beat greedy on a near-chain graph, but must be
         // within 10 % of it (it explores the same space globally).
         let ratio = annealed_makespan.as_ps() as f64 / greedy.makespan.as_ps() as f64;
@@ -412,10 +410,7 @@ mod tests {
         let b = anneal(&algo, &arch, &chars, &cons, &opts).unwrap();
         assert_eq!(a.0, b.0);
         assert_eq!(a.2, b.2);
-        let other = AnnealOptions {
-            seed: 999,
-            ..opts
-        };
+        let other = AnnealOptions { seed: 999, ..opts };
         // Different seed may land elsewhere but must stay valid.
         let c = anneal(&algo, &arch, &chars, &cons, &other).unwrap();
         c.0.validate(&algo, &arch, &chars, &cons).unwrap();

@@ -19,11 +19,7 @@ use std::collections::HashMap;
 
 /// Best-case duration of an operation across all operators (0 for
 /// sources/sinks; `None` when some function has no feasible operator).
-fn best_duration(
-    op: &Operation,
-    arch: &ArchGraph,
-    chars: &Characterization,
-) -> Option<TimePs> {
+fn best_duration(op: &Operation, arch: &ArchGraph, chars: &Characterization) -> Option<TimePs> {
     let funcs = op.kind.functions();
     if funcs.is_empty() {
         return Some(TimePs::ZERO);
@@ -52,11 +48,9 @@ pub fn critical_path_bound(
     let mut bound = TimePs::ZERO;
     for &id in &order {
         let op = algo.op(id);
-        let dur = best_duration(op, arch, chars).ok_or_else(|| {
-            AdequationError::Unmappable {
-                operation: op.name.clone(),
-                reason: "no feasible operator for the lower bound".into(),
-            }
+        let dur = best_duration(op, arch, chars).ok_or_else(|| AdequationError::Unmappable {
+            operation: op.name.clone(),
+            reason: "no feasible operator for the lower bound".into(),
         })?;
         let pred_max = algo
             .predecessors(id)
@@ -80,11 +74,9 @@ pub fn work_bound(
 ) -> Result<TimePs, AdequationError> {
     let mut total = TimePs::ZERO;
     for (_, op) in algo.ops() {
-        let dur = best_duration(op, arch, chars).ok_or_else(|| {
-            AdequationError::Unmappable {
-                operation: op.name.clone(),
-                reason: "no feasible operator for the lower bound".into(),
-            }
+        let dur = best_duration(op, arch, chars).ok_or_else(|| AdequationError::Unmappable {
+            operation: op.name.clone(),
+            reason: "no feasible operator for the lower bound".into(),
         })?;
         total += dur;
     }

@@ -121,29 +121,27 @@ impl Executive {
                         medium,
                         bits,
                         tag,
+                    } if sends
+                        .insert(*tag, (opr.clone(), to.clone(), medium.clone(), *bits))
+                        .is_some() =>
+                    {
+                        return Err(AdequationError::InvalidSchedule(format!(
+                            "duplicate send tag {tag}"
+                        )));
                     }
-                        if sends
-                            .insert(*tag, (opr.clone(), to.clone(), medium.clone(), *bits))
-                            .is_some()
-                        => {
-                            return Err(AdequationError::InvalidSchedule(format!(
-                                "duplicate send tag {tag}"
-                            )));
-                        }
                     MacroInstr::Receive {
                         from,
                         medium,
                         bits,
                         tag,
+                    } if recvs
+                        .insert(*tag, (from.clone(), opr.clone(), medium.clone(), *bits))
+                        .is_some() =>
+                    {
+                        return Err(AdequationError::InvalidSchedule(format!(
+                            "duplicate receive tag {tag}"
+                        )));
                     }
-                        if recvs
-                            .insert(*tag, (from.clone(), opr.clone(), medium.clone(), *bits))
-                            .is_some()
-                        => {
-                            return Err(AdequationError::InvalidSchedule(format!(
-                                "duplicate receive tag {tag}"
-                            )));
-                        }
                     _ => {}
                 }
             }
@@ -220,18 +218,18 @@ pub fn generate_executive(
     // route (deterministic, same call the scheduler made).
     let mut tag: u32 = 0;
     for e in algo.edges() {
-        let src = mapping.operator_of(e.from).ok_or_else(|| {
-            AdequationError::Unmappable {
+        let src = mapping
+            .operator_of(e.from)
+            .ok_or_else(|| AdequationError::Unmappable {
                 operation: algo.op(e.from).name.clone(),
                 reason: "not assigned".into(),
-            }
-        })?;
-        let dst = mapping.operator_of(e.to).ok_or_else(|| {
-            AdequationError::Unmappable {
+            })?;
+        let dst = mapping
+            .operator_of(e.to)
+            .ok_or_else(|| AdequationError::Unmappable {
                 operation: algo.op(e.to).name.clone(),
                 reason: "not assigned".into(),
-            }
-        })?;
+            })?;
         if src == dst {
             continue;
         }
@@ -305,9 +303,7 @@ pub fn generate_executive(
         for item in items {
             if let ItemKind::Compute { op, function, .. } = &item.kind {
                 let op_name = algo.op(*op).name.clone();
-                if algo.op(*op).kind.is_conditioned()
-                    && arch.operator(opr).kind.is_dynamic()
-                {
+                if algo.op(*op).kind.is_conditioned() && arch.operator(opr).kind.is_dynamic() {
                     let wc = chars.reconfig_time(function, &arch.operator(opr).name)?;
                     events.entry(opr).or_default().push((
                         item.start,
@@ -369,7 +365,10 @@ mod tests {
         e.validate().unwrap();
         assert!(!e.is_empty());
         // DSP sends, FPGA static computes, op_dyn configures+computes.
-        assert!(e.of("dsp").iter().any(|i| matches!(i, MacroInstr::Send { .. })));
+        assert!(e
+            .of("dsp")
+            .iter()
+            .any(|i| matches!(i, MacroInstr::Send { .. })));
         assert!(e
             .of("fpga_static")
             .iter()
@@ -390,9 +389,7 @@ mod tests {
             .expect("configure present");
         let cmp = stream
             .iter()
-            .position(
-                |i| matches!(i, MacroInstr::Compute { op, .. } if op == "modulation"),
-            )
+            .position(|i| matches!(i, MacroInstr::Compute { op, .. } if op == "modulation"))
             .expect("modulation compute present");
         assert!(cfg < cmp);
     }

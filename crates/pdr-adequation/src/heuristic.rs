@@ -67,7 +67,8 @@ impl AdequationOptions {
 
     /// Add a pin.
     pub fn pin(mut self, operation: &str, operator: &str) -> Self {
-        self.pins.push((operation.to_string(), operator.to_string()));
+        self.pins
+            .push((operation.to_string(), operator.to_string()));
         self
     }
 }
@@ -89,11 +90,7 @@ pub struct AdequationResult {
 /// Worst-case duration of an operation on a given operator (max over the
 /// functions the vertex may execute), or `None` if any function is
 /// infeasible there. Sources/sinks cost zero everywhere.
-fn wcet_on(
-    op: &Operation,
-    operator: &str,
-    chars: &Characterization,
-) -> Option<(TimePs, String)> {
+fn wcet_on(op: &Operation, operator: &str, chars: &Characterization) -> Option<(TimePs, String)> {
     let funcs = op.kind.functions();
     if funcs.is_empty() {
         return Some((TimePs::ZERO, String::new()));
@@ -181,9 +178,9 @@ pub fn adequate(
         let op = algo
             .by_name(op_name)
             .ok_or_else(|| AdequationError::Graph(GraphError::UnknownVertex(op_name.clone())))?;
-        let opr = arch.operator_by_name(opr_name).ok_or_else(|| {
-            AdequationError::Graph(GraphError::UnknownVertex(opr_name.clone()))
-        })?;
+        let opr = arch
+            .operator_by_name(opr_name)
+            .ok_or_else(|| AdequationError::Graph(GraphError::UnknownVertex(opr_name.clone())))?;
         pinned.insert(op, opr);
     }
 
@@ -460,7 +457,9 @@ mod tests {
         let r_aware = adequate(&algo, &arch, &chars, &free, &aware).unwrap();
         let r_obl = adequate(&algo, &arch, &chars, &free, &oblivious).unwrap();
         let name_of = |r: &AdequationResult| {
-            arch.operator(r.mapping.operator_of(modu).unwrap()).name.clone()
+            arch.operator(r.mapping.operator_of(modu).unwrap())
+                .name
+                .clone()
         };
         assert_ne!(
             name_of(&r_aware),

@@ -57,7 +57,5 @@ pub mod prelude {
     pub use crate::heuristic::{adequate, AdequationOptions, AdequationResult};
     pub use crate::mapping::Mapping;
     pub use crate::schedule::{ItemKind, Schedule, ScheduledItem};
-    pub use crate::trace::{
-        schedule_trace, ReconfigSplit, TraceOptions, TraceResult, TraceStats,
-    };
+    pub use crate::trace::{schedule_trace, ReconfigSplit, TraceOptions, TraceResult, TraceStats};
 }

@@ -115,12 +115,18 @@ impl Schedule {
 
     /// Items on one operator.
     pub fn of_operator(&self, op: OperatorId) -> &[ScheduledItem] {
-        self.operator_items.get(&op).map(Vec::as_slice).unwrap_or(&[])
+        self.operator_items
+            .get(&op)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Items on one medium.
     pub fn of_medium(&self, med: MediumId) -> &[ScheduledItem] {
-        self.medium_items.get(&med).map(Vec::as_slice).unwrap_or(&[])
+        self.medium_items
+            .get(&med)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Total busy time of an operator.

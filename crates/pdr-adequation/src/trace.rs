@@ -290,12 +290,14 @@ pub fn schedule_trace(
                 }
             };
             let duration = match &function {
-                Some(f) => chars
-                    .duration(f, &opr_name)
-                    .ok_or_else(|| AdequationError::Unmappable {
-                        operation: op.name.clone(),
-                        reason: format!("`{f}` infeasible on `{opr_name}`"),
-                    })?,
+                Some(f) => {
+                    chars
+                        .duration(f, &opr_name)
+                        .ok_or_else(|| AdequationError::Unmappable {
+                            operation: op.name.clone(),
+                            reason: format!("`{f}` infeasible on `{opr_name}`"),
+                        })?
+                }
                 None => TimePs::ZERO,
             };
 
@@ -343,8 +345,7 @@ pub fn schedule_trace(
             // Reconfiguration?
             if let Some(f) = &function {
                 let is_dynamic = arch.operator(opr).kind.is_dynamic();
-                if is_dynamic && loaded.get(&opr).map(|l| l.as_deref()) != Some(Some(f.as_str()))
-                {
+                if is_dynamic && loaded.get(&opr).map(|l| l.as_deref()) != Some(Some(f.as_str())) {
                     let total = chars.reconfig_time(f, &opr_name)?;
                     let split = ReconfigSplit::from_total(total, options.fetch_fraction);
                     let (rc_start, rc_end, prefetched) = if options.prefetch {
@@ -457,7 +458,12 @@ mod tests {
         // mod_qpsk (alternative 0) is LoadPolicy::AtStart: already resident.
         let t = trace_of(&algo, vec![0; 16]);
         let r = schedule_trace(
-            &algo, &arch, &chars, &cons, &mapping, &t,
+            &algo,
+            &arch,
+            &chars,
+            &cons,
+            &mapping,
+            &t,
             &TraceOptions::no_prefetch(),
         )
         .unwrap();
@@ -473,7 +479,11 @@ mod tests {
         // 0,1,0,1,... : 7 switches after the preloaded 0.
         let vals: Vec<usize> = (0..8).map(|i| i % 2).collect();
         let r = schedule_trace(
-            &algo, &arch, &chars, &cons, &mapping,
+            &algo,
+            &arch,
+            &chars,
+            &cons,
+            &mapping,
             &trace_of(&algo, vals),
             &TraceOptions::no_prefetch(),
         )
@@ -491,13 +501,21 @@ mod tests {
         let (algo, arch, chars, cons, mapping) = paper_setup();
         let vals: Vec<usize> = (0..16).map(|i| (i / 4) % 2).collect();
         let base = schedule_trace(
-            &algo, &arch, &chars, &cons, &mapping,
+            &algo,
+            &arch,
+            &chars,
+            &cons,
+            &mapping,
             &trace_of(&algo, vals.clone()),
             &TraceOptions::no_prefetch(),
         )
         .unwrap();
         let pf = schedule_trace(
-            &algo, &arch, &chars, &cons, &mapping,
+            &algo,
+            &arch,
+            &chars,
+            &cons,
+            &mapping,
             &trace_of(&algo, vals),
             &TraceOptions::default(),
         )
@@ -519,7 +537,11 @@ mod tests {
     fn load_sequence_matches_switches() {
         let (algo, arch, chars, cons, mapping) = paper_setup();
         let r = schedule_trace(
-            &algo, &arch, &chars, &cons, &mapping,
+            &algo,
+            &arch,
+            &chars,
+            &cons,
+            &mapping,
             &trace_of(&algo, vec![0, 1, 1, 0]),
             &TraceOptions::default(),
         )
@@ -534,7 +556,11 @@ mod tests {
     fn selector_out_of_range_rejected() {
         let (algo, arch, chars, cons, mapping) = paper_setup();
         let err = schedule_trace(
-            &algo, &arch, &chars, &cons, &mapping,
+            &algo,
+            &arch,
+            &chars,
+            &cons,
+            &mapping,
             &trace_of(&algo, vec![0, 2]),
             &TraceOptions::default(),
         )
@@ -546,7 +572,11 @@ mod tests {
     fn missing_trace_for_dynamic_conditioned_rejected() {
         let (algo, arch, chars, cons, mapping) = paper_setup();
         let err = schedule_trace(
-            &algo, &arch, &chars, &cons, &mapping,
+            &algo,
+            &arch,
+            &chars,
+            &cons,
+            &mapping,
             &SelectorTrace::default(),
             &TraceOptions::default(),
         )
@@ -561,7 +591,12 @@ mod tests {
         let not_pred = algo.by_name("ifft64").unwrap();
         let t = SelectorTrace::single(cond, not_pred, vec![0, 1]);
         let err = schedule_trace(
-            &algo, &arch, &chars, &cons, &mapping, &t,
+            &algo,
+            &arch,
+            &chars,
+            &cons,
+            &mapping,
+            &t,
             &TraceOptions::default(),
         )
         .unwrap_err();
@@ -589,7 +624,11 @@ mod tests {
     fn stats_throughput_and_period() {
         let (algo, arch, chars, cons, mapping) = paper_setup();
         let r = schedule_trace(
-            &algo, &arch, &chars, &cons, &mapping,
+            &algo,
+            &arch,
+            &chars,
+            &cons,
+            &mapping,
             &trace_of(&algo, vec![0; 10]),
             &TraceOptions::default(),
         )
@@ -605,13 +644,21 @@ mod tests {
         let (algo, arch, chars, cons, mapping) = paper_setup();
         let vals: Vec<usize> = (0..12).map(|i| (i / 3) % 2).collect();
         let a = schedule_trace(
-            &algo, &arch, &chars, &cons, &mapping,
+            &algo,
+            &arch,
+            &chars,
+            &cons,
+            &mapping,
             &trace_of(&algo, vals.clone()),
             &TraceOptions::default(),
         )
         .unwrap();
         let b = schedule_trace(
-            &algo, &arch, &chars, &cons, &mapping,
+            &algo,
+            &arch,
+            &chars,
+            &cons,
+            &mapping,
             &trace_of(&algo, vals),
             &TraceOptions::default(),
         )

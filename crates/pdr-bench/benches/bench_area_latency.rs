@@ -9,9 +9,11 @@ fn bench_bitstreams(c: &mut Criterion) {
     let d = Device::xc2v2000();
     for width in [2u32, 4, 8, 16] {
         let region = ReconfigRegion::new("r", 1, width).unwrap();
-        g.bench_with_input(BenchmarkId::new("generate_partial", width), &width, |b, _| {
-            b.iter(|| black_box(Bitstream::partial_for_region(&d, &region, 7)))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("generate_partial", width),
+            &width,
+            |b, _| b.iter(|| black_box(Bitstream::partial_for_region(&d, &region, 7))),
+        );
         let bs = Bitstream::partial_for_region(&d, &region, 7);
         g.bench_with_input(BenchmarkId::new("encode", width), &width, |b, _| {
             b.iter(|| black_box(bs.encode()))
@@ -20,13 +22,8 @@ fn bench_bitstreams(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("decode_verify", width), &width, |b, _| {
             b.iter(|| {
                 black_box(
-                    Bitstream::decode(
-                        &bytes,
-                        &d,
-                        BitstreamKind::Partial { region: "r".into() },
-                        7,
-                    )
-                    .expect("valid stream"),
+                    Bitstream::decode(&bytes, &d, BitstreamKind::Partial { region: "r".into() }, 7)
+                        .expect("valid stream"),
                 )
             })
         });

@@ -16,10 +16,12 @@
 use pdr_adequation::annealing::{anneal, AnnealOptions};
 use pdr_adequation::bounds::quality_ratio;
 use pdr_adequation::trace::{schedule_trace, SelectorTrace, TraceOptions};
-use pdr_adequation::{adequate, AdequationError, AdequationOptions};
+use pdr_adequation::{adequate, AdequationOptions};
 use pdr_fabric::TimePs;
-use pdr_graph::prelude::*;
 use pdr_graph::paper;
+use pdr_graph::prelude::*;
+use pdr_sweep::{Scenario, SweepEngine, SweepError, SweepReport};
+use serde::json::Value;
 use std::time::Instant;
 
 /// One ablation measurement.
@@ -37,8 +39,28 @@ pub struct AblationPoint {
     pub oblivious_stall: TimePs,
 }
 
-/// Run the ablation across assumed switch probabilities.
-pub fn run_ablation(probabilities: &[f64]) -> Result<Vec<AblationPoint>, AdequationError> {
+impl AblationPoint {
+    /// The point as a JSON object for sweep artifacts.
+    pub fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("switch_probability", Value::Float(self.switch_probability)),
+            (
+                "aware_placement",
+                Value::String(self.aware_placement.clone()),
+            ),
+            (
+                "oblivious_placement",
+                Value::String(self.oblivious_placement.clone()),
+            ),
+            ("aware_stall_ps", Value::UInt(self.aware_stall.0)),
+            ("oblivious_stall_ps", Value::UInt(self.oblivious_stall.0)),
+        ])
+    }
+}
+
+/// Run the ablation as a sweep on `engine`: one scenario per assumed
+/// switch probability.
+pub fn ablation_sweep(probabilities: &[f64], engine: &SweepEngine) -> SweepReport<AblationPoint> {
     let algo = paper::mccdma_algorithm();
     let arch = paper::sundance_architecture();
     // Ablation scenario: the dynamic region hosts a *dedicated* modulator
@@ -55,65 +77,81 @@ pub fn run_ablation(probabilities: &[f64]) -> Result<Vec<AblationPoint>, Adequat
     let cond = algo.by_name("modulation").expect("model has modulation");
     let sel = algo.by_name("select").expect("model has select");
 
-    let mut out = Vec::new();
-    for &p in probabilities {
-        let base_opts = AdequationOptions::default()
-            .pin("interface_in", "dsp")
-            .pin("select", "dsp")
-            .pin("interface_out", "fpga_static");
-        let aware = AdequationOptions {
-            reconfig_aware: true,
-            switch_probability: p,
-            ..base_opts.clone()
-        };
-        let oblivious = AdequationOptions {
-            reconfig_aware: false,
-            ..base_opts
-        };
-        let r_aware = adequate(&algo, &arch, &chars, &free, &aware)?;
-        let r_obl = adequate(&algo, &arch, &chars, &free, &oblivious)?;
+    let scenarios: Vec<Scenario<'_, AblationPoint>> = probabilities
+        .iter()
+        .map(|&p| {
+            let (algo, arch, chars, free) = (&algo, &arch, &chars, &free);
+            Scenario::new(format!("ablation/p{p}"), (p * 1e6) as u64, move || {
+                let base_opts = AdequationOptions::default()
+                    .pin("interface_in", "dsp")
+                    .pin("select", "dsp")
+                    .pin("interface_out", "fpga_static");
+                let aware = AdequationOptions {
+                    reconfig_aware: true,
+                    switch_probability: p,
+                    ..base_opts.clone()
+                };
+                let oblivious = AdequationOptions {
+                    reconfig_aware: false,
+                    ..base_opts
+                };
+                let r_aware =
+                    adequate(algo, arch, chars, free, &aware).map_err(SweepError::scenario)?;
+                let r_obl =
+                    adequate(algo, arch, chars, free, &oblivious).map_err(SweepError::scenario)?;
 
-        // Evaluate both mappings on the same workload: a trace switching
-        // with the assumed probability (deterministic pattern of the same
-        // rate: switch every round(1/p) iterations).
-        let n = 64usize;
-        let interval = (1.0 / p.max(1e-9)).round().max(1.0) as usize;
-        let values: Vec<usize> = (0..n).map(|i| (i / interval) % 2).collect();
-        let stall_of = |r: &pdr_adequation::AdequationResult| -> Result<TimePs, AdequationError> {
-            let placed_dynamic = arch
-                .operator(r.mapping.operator_of(cond).expect("mapped"))
-                .kind
-                .is_dynamic();
-            if !placed_dynamic {
-                // No reconfigurations at all on a static placement.
-                return Ok(TimePs::ZERO);
-            }
-            let trace = SelectorTrace::single(cond, sel, values.clone());
-            let res = schedule_trace(
-                &algo,
-                &arch,
-                &chars,
-                &free,
-                &r.mapping,
-                &trace,
-                &TraceOptions::no_prefetch(),
-            )?;
-            Ok(res.stats.stall)
-        };
-        let placement = |r: &pdr_adequation::AdequationResult| {
-            arch.operator(r.mapping.operator_of(cond).expect("mapped"))
-                .name
-                .clone()
-        };
-        out.push(AblationPoint {
-            switch_probability: p,
-            aware_placement: placement(&r_aware),
-            oblivious_placement: placement(&r_obl),
-            aware_stall: stall_of(&r_aware)?,
-            oblivious_stall: stall_of(&r_obl)?,
-        });
-    }
-    Ok(out)
+                // Evaluate both mappings on the same workload: a trace
+                // switching with the assumed probability (deterministic
+                // pattern of the same rate: switch every round(1/p)
+                // iterations).
+                let n = 64usize;
+                let interval = (1.0 / p.max(1e-9)).round().max(1.0) as usize;
+                let values: Vec<usize> = (0..n).map(|i| (i / interval) % 2).collect();
+                let stall_of =
+                    |r: &pdr_adequation::AdequationResult| -> Result<TimePs, SweepError> {
+                        let placed_dynamic = arch
+                            .operator(r.mapping.operator_of(cond).expect("mapped"))
+                            .kind
+                            .is_dynamic();
+                        if !placed_dynamic {
+                            // No reconfigurations at all on a static placement.
+                            return Ok(TimePs::ZERO);
+                        }
+                        let trace = SelectorTrace::single(cond, sel, values.clone());
+                        let res = schedule_trace(
+                            algo,
+                            arch,
+                            chars,
+                            free,
+                            &r.mapping,
+                            &trace,
+                            &TraceOptions::no_prefetch(),
+                        )
+                        .map_err(SweepError::scenario)?;
+                        Ok(res.stats.stall)
+                    };
+                let placement = |r: &pdr_adequation::AdequationResult| {
+                    arch.operator(r.mapping.operator_of(cond).expect("mapped"))
+                        .name
+                        .clone()
+                };
+                Ok(AblationPoint {
+                    switch_probability: p,
+                    aware_placement: placement(&r_aware),
+                    oblivious_placement: placement(&r_obl),
+                    aware_stall: stall_of(&r_aware)?,
+                    oblivious_stall: stall_of(&r_obl)?,
+                })
+            })
+            .with_param("switch_probability", p)
+        })
+        .collect();
+    engine.run(scenarios)
+}
+
+/// Run the ablation across assumed switch probabilities.
+pub fn run_ablation(probabilities: &[f64]) -> Result<Vec<AblationPoint>, SweepError> {
+    ablation_sweep(probabilities, &SweepEngine::new()).into_values()
 }
 
 /// One scaling measurement.
@@ -125,6 +163,17 @@ pub struct ScalingPoint {
     pub wall: std::time::Duration,
     /// Resulting makespan.
     pub makespan: TimePs,
+}
+
+impl ScalingPoint {
+    /// The point as a JSON object for sweep artifacts.
+    pub fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("operations", Value::UInt(self.operations as u64)),
+            ("wall_secs", Value::Float(self.wall.as_secs_f64())),
+            ("makespan_ps", Value::UInt(self.makespan.0)),
+        ])
+    }
 }
 
 /// A layered synthetic data-flow graph: `layers` layers of `width`
@@ -159,27 +208,44 @@ pub fn synthetic_graph(layers: usize, width: usize) -> (AlgorithmGraph, Characte
     (g, chars)
 }
 
-/// Run the scaling sweep over graph sizes.
-pub fn run_scaling(sizes: &[(usize, usize)]) -> Result<Vec<ScalingPoint>, AdequationError> {
+/// Run the scaling sweep on `engine`: one scenario per graph size.
+pub fn scaling_sweep(sizes: &[(usize, usize)], engine: &SweepEngine) -> SweepReport<ScalingPoint> {
     let arch = paper::sundance_architecture();
-    let mut out = Vec::new();
-    for &(layers, width) in sizes {
-        let (g, chars) = synthetic_graph(layers, width);
-        let t0 = Instant::now();
-        let r = adequate(
-            &g,
-            &arch,
-            &chars,
-            &ConstraintsFile::new(),
-            &AdequationOptions::default(),
-        )?;
-        out.push(ScalingPoint {
-            operations: g.len(),
-            wall: t0.elapsed(),
-            makespan: r.makespan,
-        });
-    }
-    Ok(out)
+    let scenarios: Vec<Scenario<'_, ScalingPoint>> = sizes
+        .iter()
+        .map(|&(layers, width)| {
+            let arch = &arch;
+            Scenario::new(
+                format!("scaling/{layers}x{width}"),
+                (layers * 1000 + width) as u64,
+                move || {
+                    let (g, chars) = synthetic_graph(layers, width);
+                    let t0 = Instant::now();
+                    let r = adequate(
+                        &g,
+                        arch,
+                        &chars,
+                        &ConstraintsFile::new(),
+                        &AdequationOptions::default(),
+                    )
+                    .map_err(SweepError::scenario)?;
+                    Ok(ScalingPoint {
+                        operations: g.len(),
+                        wall: t0.elapsed(),
+                        makespan: r.makespan,
+                    })
+                },
+            )
+            .with_param("layers", layers)
+            .with_param("width", width)
+        })
+        .collect();
+    engine.run(scenarios)
+}
+
+/// Run the scaling sweep over graph sizes.
+pub fn run_scaling(sizes: &[(usize, usize)]) -> Result<Vec<ScalingPoint>, SweepError> {
+    scaling_sweep(sizes, &SweepEngine::new()).into_values()
 }
 
 /// One greedy-vs-annealing comparison point.
@@ -203,52 +269,104 @@ pub struct StrategyPoint {
     pub anneal_wall: std::time::Duration,
 }
 
+impl StrategyPoint {
+    /// The point as a JSON object for sweep artifacts.
+    pub fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("graph", Value::String(self.graph.clone())),
+            ("operations", Value::UInt(self.operations as u64)),
+            ("greedy_makespan_ps", Value::UInt(self.greedy_makespan.0)),
+            ("greedy_quality", Value::Float(self.greedy_quality)),
+            (
+                "annealed_makespan_ps",
+                Value::UInt(self.annealed_makespan.0),
+            ),
+            ("annealed_quality", Value::Float(self.annealed_quality)),
+            (
+                "greedy_wall_secs",
+                Value::Float(self.greedy_wall.as_secs_f64()),
+            ),
+            (
+                "anneal_wall_secs",
+                Value::Float(self.anneal_wall.as_secs_f64()),
+            ),
+        ])
+    }
+}
+
+/// Run the strategy comparison on `engine`: one scenario per graph size,
+/// each running greedy and annealing back to back.
+pub fn strategies_sweep(
+    sizes: &[(usize, usize)],
+    moves: u32,
+    engine: &SweepEngine,
+) -> SweepReport<StrategyPoint> {
+    let arch = paper::sundance_architecture();
+    let scenarios: Vec<Scenario<'_, StrategyPoint>> = sizes
+        .iter()
+        .map(|&(layers, width)| {
+            let arch = &arch;
+            Scenario::new(
+                format!("strategies/{layers}x{width}"),
+                (layers * 1000 + width) as u64,
+                move || {
+                    let (g, chars) = synthetic_graph(layers, width);
+                    let cons = ConstraintsFile::new();
+
+                    let t0 = Instant::now();
+                    let greedy = adequate(&g, arch, &chars, &cons, &AdequationOptions::default())
+                        .map_err(SweepError::scenario)?;
+                    let greedy_wall = t0.elapsed();
+
+                    let t0 = Instant::now();
+                    let (_, _, annealed_makespan, _) = anneal(
+                        &g,
+                        arch,
+                        &chars,
+                        &cons,
+                        &AnnealOptions {
+                            moves,
+                            ..Default::default()
+                        },
+                    )
+                    .map_err(SweepError::scenario)?;
+                    let anneal_wall = t0.elapsed();
+
+                    Ok(StrategyPoint {
+                        graph: format!("{layers}x{width}"),
+                        operations: g.len(),
+                        greedy_makespan: greedy.makespan,
+                        greedy_quality: quality_ratio(greedy.makespan, &g, arch, &chars)
+                            .map_err(SweepError::scenario)?,
+                        annealed_makespan,
+                        annealed_quality: quality_ratio(annealed_makespan, &g, arch, &chars)
+                            .map_err(SweepError::scenario)?,
+                        greedy_wall,
+                        anneal_wall,
+                    })
+                },
+            )
+            .with_param("layers", layers)
+            .with_param("width", width)
+            .with_param("moves", moves)
+        })
+        .collect();
+    engine.run(scenarios)
+}
+
 /// Compare the greedy heuristic against simulated annealing on layered
 /// synthetic graphs (the "§7 additional developments" quantified).
 pub fn run_strategies(
     sizes: &[(usize, usize)],
     moves: u32,
-) -> Result<Vec<StrategyPoint>, AdequationError> {
-    let arch = paper::sundance_architecture();
-    let mut out = Vec::new();
-    for &(layers, width) in sizes {
-        let (g, chars) = synthetic_graph(layers, width);
-        let cons = ConstraintsFile::new();
-
-        let t0 = Instant::now();
-        let greedy = adequate(&g, &arch, &chars, &cons, &AdequationOptions::default())?;
-        let greedy_wall = t0.elapsed();
-
-        let t0 = Instant::now();
-        let (_, _, annealed_makespan, _) = anneal(
-            &g,
-            &arch,
-            &chars,
-            &cons,
-            &AnnealOptions {
-                moves,
-                ..Default::default()
-            },
-        )?;
-        let anneal_wall = t0.elapsed();
-
-        out.push(StrategyPoint {
-            graph: format!("{layers}x{width}"),
-            operations: g.len(),
-            greedy_makespan: greedy.makespan,
-            greedy_quality: quality_ratio(greedy.makespan, &g, &arch, &chars)?,
-            annealed_makespan,
-            annealed_quality: quality_ratio(annealed_makespan, &g, &arch, &chars)?,
-            greedy_wall,
-            anneal_wall,
-        });
-    }
-    Ok(out)
+) -> Result<Vec<StrategyPoint>, SweepError> {
+    strategies_sweep(sizes, moves, &SweepEngine::new()).into_values()
 }
 
 /// Render both studies.
 pub fn render(ablation: &[AblationPoint], scaling: &[ScalingPoint]) -> String {
-    let mut out = String::from("Adequation study\n\nAblation (reconfiguration-aware vs oblivious):\n");
+    let mut out =
+        String::from("Adequation study\n\nAblation (reconfiguration-aware vs oblivious):\n");
     out.push_str(&format!(
         "{:>8} {:<14} {:<14} {:>14} {:>16}\n",
         "p", "aware@", "oblivious@", "aware stall", "oblivious stall"
@@ -264,7 +382,10 @@ pub fn render(ablation: &[AblationPoint], scaling: &[ScalingPoint]) -> String {
         ));
     }
     out.push_str("\nScaling (layered synthetic graphs):\n");
-    out.push_str(&format!("{:>10} {:>12} {:>14}\n", "ops", "wall (ms)", "makespan"));
+    out.push_str(&format!(
+        "{:>10} {:>12} {:>14}\n",
+        "ops", "wall (ms)", "makespan"
+    ));
     for s in scaling {
         out.push_str(&format!(
             "{:>10} {:>12.3} {:>14}\n",
@@ -278,7 +399,8 @@ pub fn render(ablation: &[AblationPoint], scaling: &[ScalingPoint]) -> String {
 
 /// Render the strategy comparison.
 pub fn render_strategies(points: &[StrategyPoint]) -> String {
-    let mut out = String::from("Greedy vs simulated annealing (quality = makespan / lower bound):\n");
+    let mut out =
+        String::from("Greedy vs simulated annealing (quality = makespan / lower bound):\n");
     out.push_str(&format!(
         "{:>8} {:>6} {:>14} {:>8} {:>14} {:>8} {:>11} {:>11}\n",
         "graph", "ops", "greedy", "quality", "annealed", "quality", "greedy ms", "anneal ms"
@@ -357,8 +479,7 @@ mod tests {
         // Annealing explores globally: within 15 % of greedy (often better),
         // at visibly higher search cost.
         assert!(
-            p.annealed_makespan.as_ps() as f64
-                <= p.greedy_makespan.as_ps() as f64 * 1.15,
+            p.annealed_makespan.as_ps() as f64 <= p.greedy_makespan.as_ps() as f64 * 1.15,
             "annealed {} vs greedy {}",
             p.annealed_makespan,
             p.greedy_makespan

@@ -6,6 +6,8 @@
 //! port chain, and verifies the paper's operating point sits on it.
 
 use pdr_fabric::{Bitstream, Device, PortProfile, ReconfigRegion, TimePs};
+use pdr_sweep::{Scenario, SweepEngine, SweepReport};
+use serde::json::Value;
 
 /// One sweep point.
 #[derive(Debug, Clone, PartialEq)]
@@ -20,6 +22,19 @@ pub struct AreaLatencyPoint {
     pub bitstream_bytes: usize,
     /// Reconfiguration (load) time through the paper chain.
     pub reconfig_time: TimePs,
+}
+
+impl AreaLatencyPoint {
+    /// The point as a JSON object for sweep artifacts.
+    pub fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("device", Value::String(self.device.clone())),
+            ("width_cols", Value::UInt(u64::from(self.width_cols))),
+            ("area_fraction", Value::Float(self.area_fraction)),
+            ("bitstream_bytes", Value::UInt(self.bitstream_bytes as u64)),
+            ("reconfig_time_ps", Value::UInt(self.reconfig_time.0)),
+        ])
+    }
 }
 
 /// The sweep result.
@@ -57,37 +72,67 @@ impl AreaLatency {
     }
 }
 
-/// Run the sweep over the given devices and widths.
-pub fn run(devices: &[&str], widths: &[u32]) -> AreaLatency {
+/// Run the sweep on `engine`: one scenario per legal (device, width)
+/// pair. Points are pure functions of the fabric model, so the sweep is
+/// bit-identical for any worker count.
+pub fn run_sweep(
+    devices: &[&str],
+    widths: &[u32],
+    engine: &SweepEngine,
+) -> SweepReport<AreaLatencyPoint> {
     let port = PortProfile::paper_calibrated();
-    let mut points = Vec::new();
-    for name in devices {
-        let device = Device::by_name(name).expect("catalog device");
+    let resolved: Vec<Device> = devices
+        .iter()
+        .map(|name| Device::by_name(name).expect("catalog device"))
+        .collect();
+    let mut scenarios = Vec::new();
+    for device in &resolved {
         for &w in widths {
             if w < 2 || w + 2 > device.clb_cols {
                 continue;
             }
-            // Place the window where it spans the fewest frames (a pure
-            // logic window, avoiding embedded BRAM/GCLK columns), so the
-            // sweep isolates the width→latency relationship.
-            let start = (1..device.clb_cols - w)
-                .min_by_key(|&s| device.frames_in_clb_window(s, w))
-                .expect("device wide enough");
-            let region = ReconfigRegion::new("sweep", start, w).expect("legal width");
-            if region.validate_on(&device).is_err() {
-                continue;
-            }
-            let bs = Bitstream::partial_for_region(&device, &region, 0xA5);
-            points.push(AreaLatencyPoint {
-                device: device.name.clone(),
-                width_cols: w,
-                area_fraction: region.area_fraction(&device),
-                bitstream_bytes: bs.len_bytes(),
-                reconfig_time: port.transfer_time(bs.len_bytes()),
-            });
+            let port = &port;
+            scenarios.push(
+                Scenario::new(
+                    format!("area/{}/{w}", device.name),
+                    u64::from(w),
+                    move || {
+                        // Place the window where it spans the fewest frames (a
+                        // pure logic window, avoiding embedded BRAM/GCLK
+                        // columns), so the sweep isolates the width→latency
+                        // relationship.
+                        let start = (1..device.clb_cols - w)
+                            .min_by_key(|&s| device.frames_in_clb_window(s, w))
+                            .expect("device wide enough");
+                        let region = ReconfigRegion::new("sweep", start, w).expect("legal width");
+                        region
+                            .validate_on(device)
+                            .map_err(pdr_sweep::SweepError::scenario)?;
+                        let bs = Bitstream::partial_for_region(device, &region, 0xA5);
+                        Ok(AreaLatencyPoint {
+                            device: device.name.clone(),
+                            width_cols: w,
+                            area_fraction: region.area_fraction(device),
+                            bitstream_bytes: bs.len_bytes(),
+                            reconfig_time: port.transfer_time(bs.len_bytes()),
+                        })
+                    },
+                )
+                .with_param("device", device.name.clone())
+                .with_param("width_cols", w),
+            );
         }
     }
-    AreaLatency { points }
+    engine.run(scenarios)
+}
+
+/// Run the sweep over the given devices and widths. A point whose region
+/// fails device validation is dropped, matching the pre-sweep behaviour.
+pub fn run(devices: &[&str], widths: &[u32]) -> AreaLatency {
+    let report = run_sweep(devices, widths, &SweepEngine::new());
+    AreaLatency {
+        points: report.ok_values().cloned().collect(),
+    }
 }
 
 #[cfg(test)]

@@ -2,13 +2,17 @@
 fn main() {
     let ablation = pdr_bench::adequation_study::run_ablation(&[0.01, 0.05, 0.1, 0.25, 0.5, 0.9])
         .expect("ablation runs");
-    let scaling = pdr_bench::adequation_study::run_scaling(&[(2, 2), (4, 4), (6, 8), (8, 12), (10, 16)])
-        .expect("scaling runs");
-    println!("{}", pdr_bench::adequation_study::render(&ablation, &scaling));
-    let strategies = pdr_bench::adequation_study::run_strategies(
-        &[(2, 2), (4, 4), (6, 6)],
-        2_000,
-    )
-    .expect("strategy comparison runs");
-    println!("{}", pdr_bench::adequation_study::render_strategies(&strategies));
+    let scaling =
+        pdr_bench::adequation_study::run_scaling(&[(2, 2), (4, 4), (6, 8), (8, 12), (10, 16)])
+            .expect("scaling runs");
+    println!(
+        "{}",
+        pdr_bench::adequation_study::render(&ablation, &scaling)
+    );
+    let strategies = pdr_bench::adequation_study::run_strategies(&[(2, 2), (4, 4), (6, 6)], 2_000)
+        .expect("strategy comparison runs");
+    println!(
+        "{}",
+        pdr_bench::adequation_study::render_strategies(&strategies)
+    );
 }

@@ -1,14 +1,109 @@
 //! Run every experiment and print one combined report — the full
-//! `EXPERIMENTS.md` regeneration in one command.
+//! `EXPERIMENTS.md` regeneration in one command. The sweep studies run
+//! through the `pdr-sweep` engine (parallel, deterministic, fault
+//! isolating) and their results are merged into one JSON artifact.
 //!
 //! ```text
-//! cargo run --release -p pdr-bench --bin all_experiments
+//! cargo run --release -p pdr-bench --bin all_experiments -- \
+//!     [--threads N] [--out PATH] [--inject-panic]
 //! ```
+//!
+//! * `--threads N` — worker count for the sweep engine (default: all
+//!   hardware threads). Outcomes are bit-identical for any `N`; the
+//!   printed per-study digests prove it.
+//! * `--out PATH` — artifact destination (default
+//!   `BENCH_all_experiments.json` in the working directory).
+//! * `--inject-panic` — append a deliberately panicking scenario to the
+//!   BER sweep to demonstrate fault isolation: the sweep completes, the
+//!   panic is captured in the artifact.
+
+use pdr_sweep::artifact::{outcome_digest, Artifact};
+use pdr_sweep::{Scenario, SweepEngine, SweepReport};
+use serde::json::Value;
+
+struct Cli {
+    threads: Option<usize>,
+    out: String,
+    inject_panic: bool,
+}
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("{message}");
+    eprintln!("usage: all_experiments [--threads N] [--out PATH] [--inject-panic]");
+    std::process::exit(2);
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        threads: None,
+        out: "BENCH_all_experiments.json".to_string(),
+        inject_panic: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage_error("--threads needs a value"));
+                cli.threads = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| usage_error("--threads takes a number")),
+                );
+            }
+            "--out" => {
+                cli.out = args
+                    .next()
+                    .unwrap_or_else(|| usage_error("--out needs a path"));
+            }
+            "--inject-panic" => cli.inject_panic = true,
+            "--help" | "-h" => {
+                println!("usage: all_experiments [--threads N] [--out PATH] [--inject-panic]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    cli
+}
+
+/// Print one study's sweep summary and fold it into the artifact.
+fn record<T>(
+    artifact: &mut Artifact,
+    name: &str,
+    report: &SweepReport<T>,
+    outcome: &dyn Fn(&T) -> Value,
+    digest_view: &dyn Fn(&T) -> Value,
+) {
+    println!("  [sweep] {name}: {}", report.stats.render());
+    println!(
+        "  [sweep] {name}: outcome digest {:016x}",
+        outcome_digest(report, digest_view)
+    );
+    for failure in report.failures() {
+        println!("  [sweep] {name}: FAILED point `{}`", failure.label);
+    }
+    artifact.push_section(name, report.to_json_with(outcome));
+}
 
 fn main() {
+    let cli = parse_cli();
+    let engine = match cli.threads {
+        Some(n) => SweepEngine::new().with_threads(n),
+        None => SweepEngine::new(),
+    };
+
     println!("================================================================");
     println!(" pdr — full experiment suite (Berthelot et al., IPDPS 2006)");
+    println!(" sweep engine: {} worker thread(s)", engine.threads());
     println!("================================================================\n");
+
+    let mut artifact = Artifact::new("all_experiments")
+        .with_field("threads", Value::UInt(engine.threads() as u64))
+        .with_field("inject_panic", Value::Bool(cli.inject_panic));
 
     println!("--- T1: Table 1 -------------------------------------------------");
     let table = pdr_bench::table1::run().expect("table1");
@@ -31,36 +126,126 @@ fn main() {
     println!("--- F4: Figure 4 / §6 -------------------------------------------");
     let sys = pdr_bench::fig4::run_system(192).expect("fig4 system");
     println!("{}", sys.render());
-    let ber = pdr_bench::fig4::run_ber(&[-14.0, -10.0, -6.0, -2.0, 2.0], 6);
-    println!("{}", ber.render());
 
-    println!("--- E-PF: prefetching study -------------------------------------");
-    let pf = pdr_bench::prefetch::run(&[4, 16, 64, 256], 8).expect("prefetch");
-    println!("{}", pf.render());
+    let mut ber_scenarios = pdr_bench::fig4::ber_scenarios(&[-14.0, -10.0, -6.0, -2.0, 2.0], 6);
+    if cli.inject_panic {
+        ber_scenarios.push(Scenario::new("ber/injected-panic", 0, || {
+            panic!("injected panic: fault-isolation demo")
+        }));
+    }
+    let ber = engine.run(ber_scenarios);
+    println!(
+        "{}",
+        pdr_bench::fig4::Fig4Ber {
+            points: ber.ok_values().cloned().collect()
+        }
+        .render()
+    );
+    record(
+        &mut artifact,
+        "fig4_ber",
+        &ber,
+        &pdr_bench::fig4::BerPoint::to_json,
+        &pdr_bench::fig4::BerPoint::to_json,
+    );
+
+    println!("\n--- E-PF: prefetching study -------------------------------------");
+    let pf = pdr_bench::prefetch::run_sweep(&[4, 16, 64, 256], 8, &engine).expect("prefetch");
+    println!(
+        "{}",
+        pdr_bench::prefetch::PrefetchStudy {
+            points: pf.ok_values().cloned().collect()
+        }
+        .render()
+    );
+    record(
+        &mut artifact,
+        "prefetch",
+        &pf,
+        &pdr_bench::prefetch::PrefetchPoint::to_json,
+        &pdr_bench::prefetch::PrefetchPoint::to_json,
+    );
 
     println!("--- E-AD: adequation study --------------------------------------");
-    let ablation =
-        pdr_bench::adequation_study::run_ablation(&[0.01, 0.1, 0.5, 0.9]).expect("ablation");
-    let scaling =
-        pdr_bench::adequation_study::run_scaling(&[(2, 2), (4, 4), (8, 8)]).expect("scaling");
+    let ablation = pdr_bench::adequation_study::ablation_sweep(&[0.01, 0.1, 0.5, 0.9], &engine);
+    let scaling = pdr_bench::adequation_study::scaling_sweep(&[(2, 2), (4, 4), (8, 8)], &engine);
     println!(
         "{}",
-        pdr_bench::adequation_study::render(&ablation, &scaling)
+        pdr_bench::adequation_study::render(
+            &ablation.ok_values().cloned().collect::<Vec<_>>(),
+            &scaling.ok_values().cloned().collect::<Vec<_>>()
+        )
     );
     let strategies =
-        pdr_bench::adequation_study::run_strategies(&[(3, 3), (5, 5)], 1_500).expect("strategies");
+        pdr_bench::adequation_study::strategies_sweep(&[(3, 3), (5, 5)], 1_500, &engine);
     println!(
         "{}",
-        pdr_bench::adequation_study::render_strategies(&strategies)
+        pdr_bench::adequation_study::render_strategies(
+            &strategies.ok_values().cloned().collect::<Vec<_>>()
+        )
+    );
+    record(
+        &mut artifact,
+        "adequation_ablation",
+        &ablation,
+        &pdr_bench::adequation_study::AblationPoint::to_json,
+        &pdr_bench::adequation_study::AblationPoint::to_json,
+    );
+    // Scaling/strategy outcomes carry their own wall-clock measurements:
+    // digest only the schedule-independent fields.
+    record(
+        &mut artifact,
+        "adequation_scaling",
+        &scaling,
+        &pdr_bench::adequation_study::ScalingPoint::to_json,
+        &|p| {
+            Value::obj(vec![
+                ("operations", Value::UInt(p.operations as u64)),
+                ("makespan_ps", Value::UInt(p.makespan.0)),
+            ])
+        },
+    );
+    record(
+        &mut artifact,
+        "adequation_strategies",
+        &strategies,
+        &pdr_bench::adequation_study::StrategyPoint::to_json,
+        &|p| {
+            Value::obj(vec![
+                ("graph", Value::String(p.graph.clone())),
+                ("greedy_makespan_ps", Value::UInt(p.greedy_makespan.0)),
+                ("annealed_makespan_ps", Value::UInt(p.annealed_makespan.0)),
+            ])
+        },
     );
 
     println!("\n--- E-AR: area vs latency ---------------------------------------");
-    let ar = pdr_bench::area_latency::run(&["XC2V500", "XC2V2000", "XC2V6000"], &[2, 4, 8, 16]);
-    println!("{}", ar.render());
+    let ar = pdr_bench::area_latency::run_sweep(
+        &["XC2V500", "XC2V2000", "XC2V6000"],
+        &[2, 4, 8, 16],
+        &engine,
+    );
+    println!(
+        "{}",
+        pdr_bench::area_latency::AreaLatency {
+            points: ar.ok_values().cloned().collect()
+        }
+        .render()
+    );
+    record(
+        &mut artifact,
+        "area_latency",
+        &ar,
+        &pdr_bench::area_latency::AreaLatencyPoint::to_json,
+        &pdr_bench::area_latency::AreaLatencyPoint::to_json,
+    );
 
     println!("--- X-CMP: compression study ------------------------------------");
     let cs = pdr_bench::compression::run(96).expect("compression");
     println!("{}", cs.render());
+
+    artifact.write(&cli.out).expect("write artifact");
+    println!("\nartifact: {} ({} studies)", cli.out, artifact.len());
 
     println!("================================================================");
     println!(" suite complete");

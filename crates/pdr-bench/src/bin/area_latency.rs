@@ -1,7 +1,9 @@
 //! Regenerates the area-vs-latency sweep (§6's 8 % ↔ 4 ms line).
 fn main() {
     let s = pdr_bench::area_latency::run(
-        &["XC2V250", "XC2V500", "XC2V1000", "XC2V2000", "XC2V3000", "XC2V6000"],
+        &[
+            "XC2V250", "XC2V500", "XC2V1000", "XC2V2000", "XC2V3000", "XC2V6000",
+        ],
         &[2, 4, 6, 8, 12, 16, 24],
     );
     println!("{}", s.render());

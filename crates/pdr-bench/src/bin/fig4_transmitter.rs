@@ -2,6 +2,7 @@
 fn main() {
     let sys = pdr_bench::fig4::run_system(192).expect("system runs");
     println!("{}", sys.render());
-    let ber = pdr_bench::fig4::run_ber(&[-14.0, -12.0, -10.0, -8.0, -6.0, -4.0, -2.0, 0.0, 2.0], 10);
+    let ber =
+        pdr_bench::fig4::run_ber(&[-14.0, -12.0, -10.0, -8.0, -6.0, -4.0, -2.0, 0.0, 2.0], 10);
     println!("{}", ber.render());
 }

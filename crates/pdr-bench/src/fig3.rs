@@ -6,8 +6,8 @@
 //! the output is a stage-by-stage account of the complete flow over the
 //! paper's case study.
 
-use pdr_adequation::executive::generate_executive;
 use pdr_adequation::adequate;
+use pdr_adequation::executive::generate_executive;
 use pdr_codegen::{generate_design, vhdl, CostModel};
 use pdr_core::paper::PaperCaseStudy;
 use pdr_core::FlowError;
@@ -90,8 +90,13 @@ pub fn run() -> Result<Fig3, FlowError> {
 
     // Stage 3: macro-code generation.
     let t0 = Instant::now();
-    let executive =
-        generate_executive(&algo, &arch, &chars, &adequation.mapping, &adequation.schedule)?;
+    let executive = generate_executive(
+        &algo,
+        &arch,
+        &chars,
+        &adequation.mapping,
+        &adequation.schedule,
+    )?;
     stages.push(StageRecord {
         stage: "macro-code (synchronized executive)".into(),
         wall: t0.elapsed(),

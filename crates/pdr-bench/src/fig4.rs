@@ -17,6 +17,8 @@ use pdr_core::{FlowError, RuntimeOptions};
 use pdr_fabric::TimePs;
 use pdr_mccdma::prelude::*;
 use pdr_sim::SimConfig;
+use pdr_sweep::{Scenario, SweepEngine, SweepReport};
+use serde::json::Value;
 
 /// System-half result for one runtime configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -105,8 +107,7 @@ pub fn run_system(symbols: u32) -> Result<Fig4System, FlowError> {
         ),
     ] {
         let dep = study.deploy(options);
-        let cfg = SimConfig::iterations(symbols)
-            .with_selection("op_dyn", selections.clone());
+        let cfg = SimConfig::iterations(symbols).with_selection("op_dyn", selections.clone());
         let report = dep.simulate(&cfg)?;
         runs.push(SystemRun {
             label: label.to_string(),
@@ -153,6 +154,22 @@ pub struct BerPoint {
     pub adaptive_bits_per_symbol: f64,
 }
 
+impl BerPoint {
+    /// The point as a JSON object for sweep artifacts.
+    pub fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("es_n0_db", Value::Float(self.es_n0_db)),
+            ("ber_qpsk", Value::Float(self.ber_qpsk)),
+            ("ber_qam16", Value::Float(self.ber_qam16)),
+            ("ber_adaptive", Value::Float(self.ber_adaptive)),
+            (
+                "adaptive_bits_per_symbol",
+                Value::Float(self.adaptive_bits_per_symbol),
+            ),
+        ])
+    }
+}
+
 /// The functional half: BER sweep.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Fig4Ber {
@@ -177,12 +194,9 @@ impl Fig4Ber {
     }
 }
 
-/// Run the BER sweep. `frames` × 20 OFDM symbols per point per modulation.
-///
-/// Points are embarrassingly parallel and strictly seeded, so the sweep
-/// fans out across threads (one scoped worker per Es/N0 point) and still
-/// reproduces bit-for-bit.
-pub fn run_ber(es_n0_points: &[f64], frames: usize) -> Fig4Ber {
+/// Measure one Es/N0 point: `frames` × 20 OFDM symbols per modulation,
+/// strictly seeded from the point and frame index alone.
+pub fn ber_point(db: f64, frames: usize) -> BerPoint {
     let cfg = TxConfig {
         use_fec: false,
         ..TxConfig::paper()
@@ -191,67 +205,88 @@ pub fn run_ber(es_n0_points: &[f64], frames: usize) -> Fig4Ber {
     let processing_gain_db = 10.0 * 32f64.log10();
     let policy = AdaptivePolicy::paper_default();
 
-    let run_point = |db: f64| -> BerPoint {
-        let tx = McCdmaTransmitter::new(cfg);
-        let rx = McCdmaReceiver::new(cfg);
-        let run_mod = |mods: &[Modulation], seed: u64| -> (u64, u64) {
-            let mut prbs = Prbs::new(seed as u32 + 1);
-            let info = prbs.take_bits(tx.info_bits_for(mods));
-            let sent = tx.transmit(&info, mods);
-            let received = AwgnChannel::new(db, seed).transmit(&sent);
-            let decoded = rx.receive(&received, mods);
-            let errors = info
-                .iter()
-                .zip(&decoded)
-                .filter(|(a, b)| a != b)
-                .count() as u64;
-            (errors, info.len() as u64)
-        };
-        let mut acc = [(0u64, 0u64); 3];
-        let mut adaptive_bits = 0u64;
-        let mut adaptive_symbols = 0u64;
-        for f in 0..frames {
-            let seed = (db.abs() * 1000.0) as u64 + f as u64 * 7 + 1;
-            let (e, b) = run_mod(&[Modulation::Qpsk; 20], seed);
-            acc[0].0 += e;
-            acc[0].1 += b;
-            let (e, b) = run_mod(&[Modulation::Qam16; 20], seed + 1000);
-            acc[1].0 += e;
-            acc[1].1 += b;
-            // Adaptive: the policy sees the post-despreading symbol SNR.
-            let mods = policy.run(
-                Modulation::Qpsk,
-                &SnrTrace::constant(db + processing_gain_db, 20),
-            );
-            let (e, b) = run_mod(&mods, seed + 2000);
-            acc[2].0 += e;
-            acc[2].1 += b;
-            adaptive_bits += b;
-            adaptive_symbols += mods.len() as u64;
-        }
-        BerPoint {
-            es_n0_db: db,
-            ber_qpsk: acc[0].0 as f64 / acc[0].1 as f64,
-            ber_qam16: acc[1].0 as f64 / acc[1].1 as f64,
-            ber_adaptive: acc[2].0 as f64 / acc[2].1 as f64,
-            adaptive_bits_per_symbol: adaptive_bits as f64 / adaptive_symbols as f64,
-        }
+    let tx = McCdmaTransmitter::new(cfg);
+    let rx = McCdmaReceiver::new(cfg);
+    let run_mod = |mods: &[Modulation], seed: u64| -> (u64, u64) {
+        let mut prbs = Prbs::new(seed as u32 + 1);
+        let info = prbs.take_bits(tx.info_bits_for(mods));
+        let sent = tx.transmit(&info, mods);
+        let received = AwgnChannel::new(db, seed).transmit(&sent);
+        let decoded = rx.receive(&received, mods);
+        let errors = info.iter().zip(&decoded).filter(|(a, b)| a != b).count() as u64;
+        (errors, info.len() as u64)
     };
+    let mut acc = [(0u64, 0u64); 3];
+    let mut adaptive_bits = 0u64;
+    let mut adaptive_symbols = 0u64;
+    for f in 0..frames {
+        let seed = ber_seed(db) + f as u64 * 7 + 1;
+        let (e, b) = run_mod(&[Modulation::Qpsk; 20], seed);
+        acc[0].0 += e;
+        acc[0].1 += b;
+        let (e, b) = run_mod(&[Modulation::Qam16; 20], seed + 1000);
+        acc[1].0 += e;
+        acc[1].1 += b;
+        // Adaptive: the policy sees the post-despreading symbol SNR.
+        let mods = policy.run(
+            Modulation::Qpsk,
+            &SnrTrace::constant(db + processing_gain_db, 20),
+        );
+        let (e, b) = run_mod(&mods, seed + 2000);
+        acc[2].0 += e;
+        acc[2].1 += b;
+        adaptive_bits += b;
+        adaptive_symbols += mods.len() as u64;
+    }
+    BerPoint {
+        es_n0_db: db,
+        ber_qpsk: acc[0].0 as f64 / acc[0].1 as f64,
+        ber_qam16: acc[1].0 as f64 / acc[1].1 as f64,
+        ber_adaptive: acc[2].0 as f64 / acc[2].1 as f64,
+        adaptive_bits_per_symbol: adaptive_bits as f64 / adaptive_symbols as f64,
+    }
+}
 
-    // Scoped fan-out: one worker per point, joined in input order so the
-    // result is independent of scheduling.
-    let points = crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = es_n0_points
-            .iter()
-            .map(|&db| s.spawn(move |_| run_point(db)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("BER worker panicked"))
-            .collect::<Vec<_>>()
-    })
-    .expect("BER sweep scope");
-    Fig4Ber { points }
+/// Base RNG seed of one Es/N0 point.
+fn ber_seed(db: f64) -> u64 {
+    (db.abs() * 1000.0) as u64
+}
+
+/// The sweep as scenarios, one per Es/N0 point — exposed so callers can
+/// extend the batch (e.g. the fault-isolation demo in `all_experiments`)
+/// before handing it to an engine.
+pub fn ber_scenarios(es_n0_points: &[f64], frames: usize) -> Vec<Scenario<'static, BerPoint>> {
+    es_n0_points
+        .iter()
+        .map(|&db| {
+            Scenario::new(format!("ber/{db}dB"), ber_seed(db), move || {
+                Ok(ber_point(db, frames))
+            })
+            .with_param("es_n0_db", db)
+            .with_param("frames", frames)
+        })
+        .collect()
+}
+
+/// Run the BER sweep on `engine` with full per-point observability.
+pub fn ber_sweep(
+    es_n0_points: &[f64],
+    frames: usize,
+    engine: &SweepEngine,
+) -> SweepReport<BerPoint> {
+    engine.run(ber_scenarios(es_n0_points, frames))
+}
+
+/// Run the BER sweep. `frames` × 20 OFDM symbols per point per modulation.
+///
+/// Points are embarrassingly parallel and strictly seeded, so the sweep
+/// fans out across the sweep engine's worker pool and still reproduces
+/// bit-for-bit.
+pub fn run_ber(es_n0_points: &[f64], frames: usize) -> Fig4Ber {
+    let report = ber_sweep(es_n0_points, frames, &SweepEngine::new());
+    Fig4Ber {
+        points: report.into_values().expect("BER scenarios are infallible"),
+    }
 }
 
 #[cfg(test)]
@@ -303,8 +338,7 @@ mod tests {
         assert!(sweep.points[0].ber_qam16 > sweep.points[2].ber_qam16);
         // Adaptive throughput grows with SNR (switches to QAM-16).
         assert!(
-            sweep.points[2].adaptive_bits_per_symbol
-                > sweep.points[0].adaptive_bits_per_symbol
+            sweep.points[2].adaptive_bits_per_symbol > sweep.points[0].adaptive_bits_per_symbol
         );
         assert!(sweep.render().contains("adaptive"));
     }

@@ -19,8 +19,8 @@
 //! | [`compression`] | extension — compressed bitstream storage |
 
 pub mod adequation_study;
-pub mod compression;
 pub mod area_latency;
+pub mod compression;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;

@@ -12,9 +12,11 @@
 //! collapses; wrong predictors (last-value) never help.
 
 use pdr_core::paper::PaperCaseStudy;
-use pdr_core::{FlowError, PrefetchChoice, RuntimeOptions};
+use pdr_core::{PrefetchChoice, RuntimeOptions};
 use pdr_fabric::TimePs;
 use pdr_sim::SimConfig;
+use pdr_sweep::{Scenario, SweepEngine, SweepError, SweepReport};
+use serde::json::Value;
 
 /// One (interval, policy) measurement.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,6 +33,28 @@ pub struct PrefetchPoint {
     pub hidden_fraction: f64,
 }
 
+impl PrefetchPoint {
+    /// The point as a JSON object for sweep artifacts.
+    pub fn to_json(&self) -> Value {
+        Value::obj(vec![
+            (
+                "switch_interval",
+                Value::UInt(u64::from(self.switch_interval)),
+            ),
+            ("policy", Value::String(self.policy.clone())),
+            (
+                "reconfigurations",
+                Value::UInt(self.reconfigurations as u64),
+            ),
+            (
+                "lockup_per_switch_ps",
+                Value::UInt(self.lockup_per_switch.0),
+            ),
+            ("hidden_fraction", Value::Float(self.hidden_fraction)),
+        ])
+    }
+}
+
 /// The full sweep.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PrefetchStudy {
@@ -41,10 +65,7 @@ pub struct PrefetchStudy {
 impl PrefetchStudy {
     /// Points of one policy, ascending interval.
     pub fn of_policy(&self, policy: &str) -> Vec<&PrefetchPoint> {
-        self.points
-            .iter()
-            .filter(|p| p.policy == policy)
-            .collect()
+        self.points.iter().filter(|p| p.policy == policy).collect()
     }
 
     /// Render the sweep table.
@@ -80,12 +101,15 @@ fn selections(interval: u32, total: u32) -> Vec<String> {
         .collect()
 }
 
-/// Run the sweep over the given switch intervals. Each interval runs for
-/// `phases` half-periods (so every point sees the same number of switches:
-/// `phases - 1`), i.e. `interval × phases` OFDM symbols.
-pub fn run(intervals: &[u32], phases: u32) -> Result<PrefetchStudy, FlowError> {
-    let study = PaperCaseStudy::build()?;
-    let mut points = Vec::new();
+/// Run the sweep on `engine`: one scenario per (interval, policy) point,
+/// fanned out across the pool with per-point fault isolation.
+pub fn run_sweep(
+    intervals: &[u32],
+    phases: u32,
+    engine: &SweepEngine,
+) -> Result<SweepReport<PrefetchPoint>, SweepError> {
+    let study = PaperCaseStudy::build().map_err(SweepError::scenario)?;
+    let mut scenarios = Vec::new();
     for &interval in intervals {
         let symbols = interval * phases;
         let sel = selections(interval, symbols);
@@ -110,22 +134,46 @@ pub fn run(intervals: &[u32], phases: u32) -> Result<PrefetchStudy, FlowError> {
             ("markov-1", with(PrefetchChoice::Markov)),
         ];
         for (label, options) in policies {
-            let dep = study.deploy(options);
-            let cfg =
-                SimConfig::iterations(symbols).with_selection("op_dyn", sel.clone());
-            let report = dep.simulate(&cfg)?;
-            let n = report.reconfig_count().max(1);
-            points.push(PrefetchPoint {
-                switch_interval: interval,
-                policy: label.to_string(),
-                reconfigurations: report.reconfig_count(),
-                lockup_per_switch: report.lockup_time() / n as u64,
-                hidden_fraction: report.hidden_fetches() as f64
-                    / report.reconfig_count().max(1) as f64,
-            });
+            let study = &study;
+            let sel = sel.clone();
+            scenarios.push(
+                // The simulation is seedless (fully deterministic); the
+                // interval doubles as the scenario seed for the record.
+                Scenario::new(
+                    format!("prefetch/{interval}/{label}"),
+                    u64::from(interval),
+                    move || {
+                        let dep = study.deploy(options);
+                        let cfg =
+                            SimConfig::iterations(symbols).with_selection("op_dyn", sel.clone());
+                        let report = dep.simulate(&cfg).map_err(SweepError::scenario)?;
+                        let n = report.reconfig_count().max(1);
+                        Ok(PrefetchPoint {
+                            switch_interval: interval,
+                            policy: label.to_string(),
+                            reconfigurations: report.reconfig_count(),
+                            lockup_per_switch: report.lockup_time() / n as u64,
+                            hidden_fraction: report.hidden_fetches() as f64
+                                / report.reconfig_count().max(1) as f64,
+                        })
+                    },
+                )
+                .with_param("interval", interval)
+                .with_param("policy", label),
+            );
         }
     }
-    Ok(PrefetchStudy { points })
+    Ok(engine.run(scenarios))
+}
+
+/// Run the sweep over the given switch intervals. Each interval runs for
+/// `phases` half-periods (so every point sees the same number of switches:
+/// `phases - 1`), i.e. `interval × phases` OFDM symbols.
+pub fn run(intervals: &[u32], phases: u32) -> Result<PrefetchStudy, SweepError> {
+    let report = run_sweep(intervals, phases, &SweepEngine::new())?;
+    Ok(PrefetchStudy {
+        points: report.into_values()?,
+    })
 }
 
 #[cfg(test)]

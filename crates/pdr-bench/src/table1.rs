@@ -42,9 +42,8 @@ impl Table1 {
         for (label, r, t) in &self.rows {
             rep.add(label.clone(), *r, *t);
         }
-        let mut out = String::from(
-            "Table 1 — Fix vs Dynamic modulation implementation comparison\n\n",
-        );
+        let mut out =
+            String::from("Table 1 — Fix vs Dynamic modulation implementation comparison\n\n");
         out.push_str(&rep.render());
         out.push_str("\nWhole-design static totals:\n");
         for (label, r) in &self.totals {
@@ -81,10 +80,7 @@ pub fn run() -> Result<Table1, FlowError> {
     for alt in ["mod_qpsk", "mod_qam16"] {
         let art = fixed_flow(alt).run()?;
         rows.push((format!("fixed {alt}"), chars.resources(alt), None));
-        totals.push((
-            format!("fixed-{alt} design"),
-            art.design.static_resources,
-        ));
+        totals.push((format!("fixed-{alt} design"), art.design.static_resources));
     }
 
     // The dynamic design: both alternatives as reconfigurable modules.
@@ -200,7 +196,12 @@ mod tests {
         for alt in ["mod_qpsk", "mod_qam16"] {
             let (_, fix, ft) = t.row(&format!("fixed {alt}")).unwrap();
             let (_, dy, dt) = t.row(&format!("dynamic {alt}")).unwrap();
-            assert!(dy.slices > fix.slices, "{alt}: {} !> {}", dy.slices, fix.slices);
+            assert!(
+                dy.slices > fix.slices,
+                "{alt}: {} !> {}",
+                dy.slices,
+                fix.slices
+            );
             assert!(dy.luts > fix.luts);
             assert!(ft.is_none());
             assert_eq!(*dt, Some(TimePs::from_ms(4)));

@@ -214,9 +214,7 @@ impl ResourceReport {
             "design", "slices", "LUTs", "FFs", "BRAM", "mult", "tbuf", "reconfig"
         ));
         for (name, r, t) in self.iter() {
-            let reconfig = t
-                .map(|t| format!("{t}"))
-                .unwrap_or_else(|| "-".to_string());
+            let reconfig = t.map(|t| format!("{t}")).unwrap_or_else(|| "-".to_string());
             out.push_str(&format!(
                 "{:<28} {:>7} {:>7} {:>7} {:>6} {:>6} {:>6} {:>12}\n",
                 name, r.slices, r.luts, r.ffs, r.brams, r.mults, r.tbufs, reconfig
@@ -279,7 +277,12 @@ mod tests {
             has_in_reconf: true,
         };
         let cost = m.module_cost(&module, bare);
-        assert!(cost.slices > bare.slices, "{} !> {}", cost.slices, bare.slices);
+        assert!(
+            cost.slices > bare.slices,
+            "{} !> {}",
+            cost.slices,
+            bare.slices
+        );
         assert!(cost.luts > bare.luts);
         assert!(cost.tbufs >= 8 * 2 * m.bus_macros_per_direction());
     }
@@ -327,7 +330,11 @@ mod tests {
     #[test]
     fn report_renders_rows_sorted() {
         let mut rep = ResourceReport::new();
-        rep.add("b_dyn", Resources::logic(200, 300, 250), Some(TimePs::from_ms(4)));
+        rep.add(
+            "b_dyn",
+            Resources::logic(200, 300, 250),
+            Some(TimePs::from_ms(4)),
+        );
         rep.add("a_fix", Resources::logic(100, 150, 120), None);
         let text = rep.render();
         let a_pos = text.find("a_fix").unwrap();

@@ -22,8 +22,8 @@ use pdr_fabric::{
 };
 use pdr_graph::ConstraintsFile;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 
 /// Result of placing a generated design on a device.
@@ -266,9 +266,16 @@ mod tests {
 
     #[test]
     fn paper_region_placed_at_pin() {
-        let modules = [module("mod_qpsk", "op_dyn", 200), module("mod_qam16", "op_dyn", 320)];
+        let modules = [
+            module("mod_qpsk", "op_dyn", 200),
+            module("mod_qam16", "op_dyn", 320),
+        ];
         let r = planner()
-            .place(&modules, Resources::logic(3_000, 5_000, 4_500), &paper_pin())
+            .place(
+                &modules,
+                Resources::logic(3_000, 5_000, 4_500),
+                &paper_pin(),
+            )
             .unwrap();
         let region = r.floorplan.region("op_dyn").unwrap();
         assert_eq!(region.clb_col_start, 20);
@@ -338,7 +345,10 @@ mod tests {
 
     #[test]
     fn bitstreams_cover_all_modules_plus_static() {
-        let modules = [module("mod_qpsk", "op_dyn", 200), module("mod_qam16", "op_dyn", 320)];
+        let modules = [
+            module("mod_qpsk", "op_dyn", 200),
+            module("mod_qam16", "op_dyn", 320),
+        ];
         let r = planner()
             .place(&modules, Resources::logic(1_000, 0, 0), &paper_pin())
             .unwrap();

@@ -106,7 +106,9 @@ pub fn generate_design(
         .operators()
         .filter_map(|(id, o)| match &o.kind {
             OperatorKind::FpgaDynamic { host }
-                if algo.ops().any(|(op_id, _)| mapping.operator_of(op_id) == Some(id)) =>
+                if algo
+                    .ops()
+                    .any(|(op_id, _)| mapping.operator_of(op_id) == Some(id)) =>
             {
                 Some(host.clone())
             }
@@ -124,8 +126,7 @@ pub fn generate_design(
                 let mut per_medium: BTreeMap<String, u32> = BTreeMap::new();
                 for i in instrs {
                     match i {
-                        MacroInstr::Send { medium, .. }
-                        | MacroInstr::Receive { medium, .. } => {
+                        MacroInstr::Send { medium, .. } | MacroInstr::Receive { medium, .. } => {
                             *per_medium.entry(medium.clone()).or_insert(0) += 1;
                         }
                         _ => {}
@@ -357,7 +358,10 @@ mod tests {
     fn static_design_fits_device() {
         let (d, _) = paper_design();
         assert!(d.static_resources.slices < Device::xc2v2000().slices());
-        assert!(d.static_resources.slices > 500, "static side is substantial");
+        assert!(
+            d.static_resources.slices > 500,
+            "static side is substantial"
+        );
     }
 
     #[test]

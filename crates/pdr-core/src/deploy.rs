@@ -8,9 +8,9 @@
 
 use crate::error::FlowError;
 use crate::flow::FlowArtifacts;
+use parking_lot::Mutex;
 use pdr_fabric::{Device, PortProfile};
 use pdr_graph::ArchGraph;
-use parking_lot::Mutex;
 use pdr_rtr::{
     BitstreamCache, BitstreamStore, ConfigurationManager, DeviceLoader, ExclusionLedger,
     FirstOrderMarkov, LastValue, LoaderStats, MemoryModel, Predictor, ProtocolBuilder,
@@ -136,13 +136,10 @@ impl<'a> DeployedSystem<'a> {
         }
         let cache = BitstreamCache::sized_for(self.options.cache_modules.max(1), module_bytes);
         let builder = ProtocolBuilder::new(self.device.clone(), self.options.port.clone());
-        let mut mgr =
-            ConfigurationManager::new(builder, store, cache, self.options.memory, region);
+        let mut mgr = ConfigurationManager::new(builder, store, cache, self.options.memory, region);
         let predictor: Option<Box<dyn Predictor>> = match &self.options.prefetch {
             PrefetchChoice::None => None,
-            PrefetchChoice::ScheduleDriven(seq) => {
-                Some(Box::new(ScheduleDriven::new(seq.clone())))
-            }
+            PrefetchChoice::ScheduleDriven(seq) => Some(Box::new(ScheduleDriven::new(seq.clone()))),
             PrefetchChoice::LastValue => Some(Box::new(LastValue)),
             PrefetchChoice::Markov => Some(Box::new(FirstOrderMarkov::new())),
         };
@@ -150,9 +147,8 @@ impl<'a> DeployedSystem<'a> {
             mgr = mgr.with_predictor(p);
         }
         // Honor load = at_start from the constraints file.
-        let constraints =
-            pdr_graph::ConstraintsFile::parse(&self.artifacts.constraints_text)
-                .map_err(FlowError::Graph)?;
+        let constraints = pdr_graph::ConstraintsFile::parse(&self.artifacts.constraints_text)
+            .map_err(FlowError::Graph)?;
         for mc in constraints.modules_in_region(region) {
             if mc.load == pdr_graph::LoadPolicy::AtStart {
                 mgr.preload(&mc.module).map_err(FlowError::Runtime)?;
@@ -178,7 +174,8 @@ impl<'a> DeployedSystem<'a> {
         for region in self.artifacts.design.floorplan.floorplan.regions() {
             sys.add_manager(
                 &region.name,
-                self.manager_for(&region.name)?.with_exclusions(ledger.clone()),
+                self.manager_for(&region.name)?
+                    .with_exclusions(ledger.clone()),
             );
         }
         sys.run(config).map_err(FlowError::Sim)
@@ -194,7 +191,9 @@ impl<'a> DeployedSystem<'a> {
     ) -> Result<(SimReport, LoaderStats), FlowError> {
         let mut loader = DeviceLoader::new(self.device.clone());
         for region in self.artifacts.design.floorplan.floorplan.regions() {
-            loader.add_region(region.clone()).map_err(FlowError::Runtime)?;
+            loader
+                .add_region(region.clone())
+                .map_err(FlowError::Runtime)?;
         }
         let loader = Arc::new(Mutex::new(loader));
         let ledger = self.exclusion_ledger()?;
@@ -315,8 +314,8 @@ mod tests {
             RuntimeOptions::paper_baseline(),
         );
         // All-qpsk: the preloaded module means zero reconfigurations.
-        let cfg = SimConfig::iterations(8)
-            .with_selection("op_dyn", vec!["mod_qpsk".to_string(); 8]);
+        let cfg =
+            SimConfig::iterations(8).with_selection("op_dyn", vec!["mod_qpsk".to_string(); 8]);
         let report = dep.simulate(&cfg).unwrap();
         assert_eq!(report.reconfig_count(), 0);
         assert_eq!(report.lockup_time(), TimePs::ZERO);

@@ -136,14 +136,7 @@ impl Bitstream {
     /// Build a full-device bitstream.
     pub fn full_for_device(device: &Device, module_fingerprint: u64) -> Bitstream {
         let frames = device.total_frames();
-        let packets = Self::packetize(
-            device,
-            BlockType::Clb,
-            0,
-            frames,
-            module_fingerprint,
-            true,
-        );
+        let packets = Self::packetize(device, BlockType::Clb, 0, frames, module_fingerprint, true);
         Bitstream {
             device: device.name.clone(),
             kind: BitstreamKind::Full,
@@ -335,11 +328,12 @@ impl Bitstream {
                     i += 1;
                 }
                 TAG_FAR => {
-                    let addr_word = *words.get(i + 1).ok_or_else(|| {
-                        FabricError::MalformedBitstream {
-                            reason: "truncated FAR packet".into(),
-                        }
-                    })?;
+                    let addr_word =
+                        *words
+                            .get(i + 1)
+                            .ok_or_else(|| FabricError::MalformedBitstream {
+                                reason: "truncated FAR packet".into(),
+                            })?;
                     let addr = FrameAddress::unpack(addr_word).ok_or_else(|| {
                         FabricError::MalformedBitstream {
                             reason: format!("bad frame address {addr_word:#010x}"),

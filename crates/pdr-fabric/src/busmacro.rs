@@ -59,11 +59,7 @@ impl BusMacro {
 
     /// Check the macro sits inside the device and exactly straddles the
     /// boundary of at least one region.
-    pub fn validate(
-        &self,
-        device: &Device,
-        regions: &[ReconfigRegion],
-    ) -> Result<(), FabricError> {
+    pub fn validate(&self, device: &Device, regions: &[ReconfigRegion]) -> Result<(), FabricError> {
         if self.clb_row >= device.clb_rows {
             return Err(FabricError::InvalidBusMacro {
                 reason: format!(

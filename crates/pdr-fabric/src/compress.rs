@@ -66,9 +66,11 @@ pub fn decompress(compressed: &[u8]) -> Result<Vec<u8>, FabricError> {
     let mut i = 0usize;
     while i < compressed.len() {
         let tag = compressed[i];
-        let n = *compressed.get(i + 1).ok_or(FabricError::MalformedBitstream {
-            reason: "truncated compression token".into(),
-        })? as usize;
+        let n = *compressed
+            .get(i + 1)
+            .ok_or(FabricError::MalformedBitstream {
+                reason: "truncated compression token".into(),
+            })? as usize;
         if n == 0 {
             return Err(FabricError::MalformedBitstream {
                 reason: "zero-length run".into(),
@@ -139,9 +141,7 @@ mod tests {
     #[test]
     fn incompressible_input_grows_bounded() {
         // Dense nonzero words: overhead is 2 bytes per 255 words.
-        let raw: Vec<u8> = (0..4096u32)
-            .flat_map(|i| (i | 1).to_be_bytes())
-            .collect();
+        let raw: Vec<u8> = (0..4096u32).flat_map(|i| (i | 1).to_be_bytes()).collect();
         let packed = compress(&raw);
         assert!(packed.len() <= raw.len() + raw.len() / 500 + 8);
         assert_eq!(decompress(&packed).unwrap(), raw);

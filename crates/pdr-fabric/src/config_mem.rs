@@ -235,10 +235,7 @@ mod tests {
         let (d, a, _) = setup();
         let mem = ConfigMemory::new(d.clone());
         let words = mem.readback(&a).unwrap();
-        assert_eq!(
-            words.len(),
-            4 * 22 * d.words_per_frame() as usize
-        );
+        assert_eq!(words.len(), 4 * 22 * d.words_per_frame() as usize);
     }
 
     #[test]

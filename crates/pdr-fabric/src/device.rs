@@ -368,10 +368,7 @@ mod tests {
         // The paper's static + dynamic design (~3200 slices, 4 BRAMs, 8
         // mults) fits an XC2V1000 on slices but needs the multipliers.
         let small = Resources::logic(100, 180, 160);
-        assert_eq!(
-            Device::smallest_fitting(&small).unwrap().name,
-            "XC2V40"
-        );
+        assert_eq!(Device::smallest_fitting(&small).unwrap().name, "XC2V40");
         let mid = Resources {
             slices: 3_200,
             luts: 5_600,

@@ -26,9 +26,7 @@ pub const fn frame_words(clb_rows: u32) -> u32 {
 }
 
 /// Configuration block types addressed by the FAR.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum BlockType {
     /// CLB / IOB / interconnect configuration.
     Clb,
@@ -50,9 +48,7 @@ impl BlockType {
 }
 
 /// A frame address: (block type, major = column, minor = frame-in-column).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct FrameAddress {
     /// Block type.
     pub block: BlockType,

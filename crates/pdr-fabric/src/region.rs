@@ -146,11 +146,7 @@ impl Floorplan {
     /// height.
     pub fn add_bus_macro(&mut self, bm: BusMacro) -> Result<(), FabricError> {
         bm.validate(&self.device, &self.regions)?;
-        if self
-            .bus_macros
-            .iter()
-            .any(|other| other.collides_with(&bm))
-        {
+        if self.bus_macros.iter().any(|other| other.collides_with(&bm)) {
             return Err(FabricError::InvalidBusMacro {
                 reason: format!(
                     "bus macro at row {} col {} collides with an existing macro",
@@ -245,13 +241,15 @@ mod tests {
     #[test]
     fn overlap_rejected() {
         let mut fp = Floorplan::new(dev());
-        fp.add_region(ReconfigRegion::new("a", 10, 4).unwrap()).unwrap();
+        fp.add_region(ReconfigRegion::new("a", 10, 4).unwrap())
+            .unwrap();
         let err = fp
             .add_region(ReconfigRegion::new("b", 12, 4).unwrap())
             .unwrap_err();
         assert!(matches!(err, FabricError::RegionOverlap { .. }));
         // Adjacent (touching) regions are fine.
-        fp.add_region(ReconfigRegion::new("c", 14, 2).unwrap()).unwrap();
+        fp.add_region(ReconfigRegion::new("c", 14, 2).unwrap())
+            .unwrap();
         assert_eq!(fp.regions().len(), 2);
     }
 
@@ -269,7 +267,8 @@ mod tests {
     fn static_slices_account_for_regions() {
         let d = dev();
         let mut fp = Floorplan::new(d.clone());
-        fp.add_region(ReconfigRegion::new("a", 0, 4).unwrap()).unwrap();
+        fp.add_region(ReconfigRegion::new("a", 0, 4).unwrap())
+            .unwrap();
         assert_eq!(fp.static_slices(), d.slices() - 56 * 4 * 4);
         assert!((fp.dynamic_fraction() - 4.0 / 48.0).abs() < 1e-12);
     }
@@ -290,7 +289,8 @@ mod tests {
     #[test]
     fn region_lookup() {
         let mut fp = Floorplan::new(dev());
-        fp.add_region(ReconfigRegion::new("x", 2, 2).unwrap()).unwrap();
+        fp.add_region(ReconfigRegion::new("x", 2, 2).unwrap())
+            .unwrap();
         assert!(fp.region("x").is_some());
         assert!(fp.region("y").is_none());
     }

@@ -58,7 +58,8 @@ impl Resources {
     pub fn from_lut_ff(luts: u32, ffs: u32, packing: f64) -> Resources {
         assert!(packing > 0.0 && packing <= 1.0, "packing must be in (0,1]");
         let ideal = luts.max(ffs).div_ceil(2);
-        let slices = ((ideal as f64 / packing).ceil() as u32).max(if luts + ffs > 0 { 1 } else { 0 });
+        let slices =
+            ((ideal as f64 / packing).ceil() as u32).max(if luts + ffs > 0 { 1 } else { 0 });
         Resources {
             slices,
             luts,

@@ -19,9 +19,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 
 /// Index of an operation within its [`AlgorithmGraph`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct OpId(pub usize);
 
 impl fmt::Display for OpId {
@@ -403,8 +401,7 @@ mod tests {
     fn topo_order_respects_edges() {
         let (g, ..) = small();
         let order = g.topo_order().unwrap();
-        let pos: HashMap<OpId, usize> =
-            order.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        let pos: HashMap<OpId, usize> = order.iter().enumerate().map(|(i, &id)| (id, i)).collect();
         for e in g.edges() {
             assert!(pos[&e.from] < pos[&e.to]);
         }

@@ -24,9 +24,7 @@ use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
 /// Index of an operator vertex.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct OperatorId(pub usize);
 
 impl fmt::Display for OperatorId {
@@ -36,9 +34,7 @@ impl fmt::Display for OperatorId {
 }
 
 /// Index of a medium vertex.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct MediumId(pub usize);
 
 impl fmt::Display for MediumId {
@@ -104,7 +100,11 @@ pub struct Medium {
 impl Medium {
     /// Time to move `bits` across this medium.
     pub fn transfer_time(&self, bits: u64) -> TimePs {
-        assert!(self.bits_per_sec > 0, "medium `{}` has zero bandwidth", self.name);
+        assert!(
+            self.bits_per_sec > 0,
+            "medium `{}` has zero bandwidth",
+            self.name
+        );
         let ps = (bits as u128 * 1_000_000_000_000u128).div_ceil(self.bits_per_sec as u128);
         self.latency + TimePs::from_ps(ps.min(u64::MAX as u128) as u64)
     }
@@ -268,10 +268,7 @@ impl ArchGraph {
 
     /// All media with ids.
     pub fn media(&self) -> impl Iterator<Item = (MediumId, &Medium)> {
-        self.media
-            .iter()
-            .enumerate()
-            .map(|(i, m)| (MediumId(i), m))
+        self.media.iter().enumerate().map(|(i, m)| (MediumId(i), m))
     }
 
     /// Number of operators.
@@ -425,9 +422,7 @@ mod tests {
         let mut a = ArchGraph::new("t");
         a.add_operator("x", OperatorKind::Processor).unwrap();
         assert!(a.add_operator("x", OperatorKind::FpgaStatic).is_err());
-        assert!(a
-            .add_medium("x", MediumKind::Bus, 1, TimePs::ZERO)
-            .is_err());
+        assert!(a.add_medium("x", MediumKind::Bus, 1, TimePs::ZERO).is_err());
         a.add_medium("m", MediumKind::Bus, 1, TimePs::ZERO).unwrap();
         assert!(a.add_operator("m", OperatorKind::Processor).is_err());
     }
@@ -435,9 +430,7 @@ mod tests {
     #[test]
     fn zero_bandwidth_rejected() {
         let mut a = ArchGraph::new("t");
-        assert!(a
-            .add_medium("m", MediumKind::Bus, 0, TimePs::ZERO)
-            .is_err());
+        assert!(a.add_medium("m", MediumKind::Bus, 0, TimePs::ZERO).is_err());
     }
 
     #[test]

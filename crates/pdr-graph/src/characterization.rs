@@ -41,12 +41,7 @@ impl Characterization {
     }
 
     /// Declare that `function` runs on operator `operator` in `wcet`.
-    pub fn set_duration(
-        &mut self,
-        function: &str,
-        operator: &str,
-        wcet: TimePs,
-    ) -> &mut Self {
+    pub fn set_duration(&mut self, function: &str, operator: &str, wcet: TimePs) -> &mut Self {
         self.durations
             .insert((function.to_string(), operator.to_string()), wcet);
         self
@@ -138,14 +133,11 @@ impl Characterization {
         {
             return Ok(t);
         }
-        self.reconfig_default
-            .get(operator)
-            .copied()
-            .ok_or_else(|| {
-                GraphError::MissingCharacterization(format!(
-                    "reconfiguration time of operator `{operator}`"
-                ))
-            })
+        self.reconfig_default.get(operator).copied().ok_or_else(|| {
+            GraphError::MissingCharacterization(format!(
+                "reconfiguration time of operator `{operator}`"
+            ))
+        })
     }
 
     /// Number of duration entries (diagnostics).

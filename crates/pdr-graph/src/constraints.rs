@@ -128,9 +128,7 @@ impl ConstraintsFile {
             (Some(x), Some(y)) => (x, y),
             _ => return false,
         };
-        if ma.exclusive_with.iter().any(|x| x == b)
-            || mb.exclusive_with.iter().any(|x| x == a)
-        {
+        if ma.exclusive_with.iter().any(|x| x == b) || mb.exclusive_with.iter().any(|x| x == a) {
             return true;
         }
         matches!((&ma.share_group, &mb.share_group), (Some(x), Some(y)) if x == y)

@@ -20,9 +20,10 @@ pub fn algorithm_to_dot(g: &AlgorithmGraph) -> String {
             OpKind::Source => ("invhouse", String::new()),
             OpKind::Sink => ("house", String::new()),
             OpKind::Compute { function } => ("box", format!("\\n[{function}]")),
-            OpKind::Conditioned { alternatives } => {
-                ("doubleoctagon", format!("\\n[{}]", alternatives.join(" | ")))
-            }
+            OpKind::Conditioned { alternatives } => (
+                "doubleoctagon",
+                format!("\\n[{}]", alternatives.join(" | ")),
+            ),
         };
         let _ = writeln!(
             s,

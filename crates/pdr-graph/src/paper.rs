@@ -129,10 +129,14 @@ pub fn mccdma_algorithm() -> AlgorithmGraph {
     // The Select conditional entry (2-bit control word).
     g.connect(sel, modu, 2).expect("valid");
     // Complex symbols from modulation onwards.
-    g.connect(modu, spread, SUBCARRIERS * SAMPLE_BITS).expect("valid");
-    g.connect(spread, chip, SUBCARRIERS * SAMPLE_BITS).expect("valid");
-    g.connect(chip, ifft, SUBCARRIERS * SAMPLE_BITS).expect("valid");
-    g.connect(ifft, guard, SUBCARRIERS * SAMPLE_BITS).expect("valid");
+    g.connect(modu, spread, SUBCARRIERS * SAMPLE_BITS)
+        .expect("valid");
+    g.connect(spread, chip, SUBCARRIERS * SAMPLE_BITS)
+        .expect("valid");
+    g.connect(chip, ifft, SUBCARRIERS * SAMPLE_BITS)
+        .expect("valid");
+    g.connect(ifft, guard, SUBCARRIERS * SAMPLE_BITS)
+        .expect("valid");
     g.connect(guard, frame, (SUBCARRIERS + SUBCARRIERS / 4) * SAMPLE_BITS)
         .expect("valid");
     g.connect(frame, dac, (SUBCARRIERS + SUBCARRIERS / 4) * SAMPLE_BITS)
@@ -164,10 +168,14 @@ pub fn mccdma_fixed(alternative: &str) -> AlgorithmGraph {
     let dac = g.add_op("interface_out", OpKind::Sink).expect("fresh");
     g.connect(src, fec, MOD_IN_BITS / 2).expect("valid");
     g.connect(fec, modu, MOD_IN_BITS).expect("valid");
-    g.connect(modu, spread, SUBCARRIERS * SAMPLE_BITS).expect("valid");
-    g.connect(spread, chip, SUBCARRIERS * SAMPLE_BITS).expect("valid");
-    g.connect(chip, ifft, SUBCARRIERS * SAMPLE_BITS).expect("valid");
-    g.connect(ifft, guard, SUBCARRIERS * SAMPLE_BITS).expect("valid");
+    g.connect(modu, spread, SUBCARRIERS * SAMPLE_BITS)
+        .expect("valid");
+    g.connect(spread, chip, SUBCARRIERS * SAMPLE_BITS)
+        .expect("valid");
+    g.connect(chip, ifft, SUBCARRIERS * SAMPLE_BITS)
+        .expect("valid");
+    g.connect(ifft, guard, SUBCARRIERS * SAMPLE_BITS)
+        .expect("valid");
     g.connect(guard, frame, (SUBCARRIERS + SUBCARRIERS / 4) * SAMPLE_BITS)
         .expect("valid");
     g.connect(frame, dac, (SUBCARRIERS + SUBCARRIERS / 4) * SAMPLE_BITS)

@@ -56,17 +56,16 @@ pub fn q_function(x: f64) -> f64 {
 pub fn erfc(x: f64) -> f64 {
     let z = x.abs();
     let t = 1.0 / (1.0 + 0.5 * z);
-    let poly = t * (-z * z
-        - 1.26551223
-        + t * (1.00002368
-            + t * (0.37409196
-                + t * (0.09678418
-                    + t * (-0.18628806
-                        + t * (0.27886807
-                            + t * (-1.13520398
-                                + t * (1.48851587
-                                    + t * (-0.82215223 + t * 0.17087277)))))))))
-        .exp();
+    let poly = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     if x >= 0.0 {
         poly
     } else {
@@ -133,10 +132,7 @@ mod tests {
     #[test]
     fn qpsk_beats_qam16_at_equal_ebn0() {
         for db in [0.0, 4.0, 8.0, 12.0] {
-            assert!(
-                qpsk_ber_theory(db) < qam16_ber_theory(db),
-                "at {db} dB"
-            );
+            assert!(qpsk_ber_theory(db) < qam16_ber_theory(db), "at {db} dB");
         }
     }
 

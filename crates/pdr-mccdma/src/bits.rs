@@ -40,10 +40,7 @@ pub fn pack_bits(bits: &[u8]) -> u64 {
 /// Unpack `n` bits (MSB first) from a u64.
 pub fn unpack_bits(value: u64, n: usize) -> Vec<u8> {
     assert!(n <= 64);
-    (0..n)
-        .rev()
-        .map(|i| ((value >> i) & 1) as u8)
-        .collect()
+    (0..n).rev().map(|i| ((value >> i) & 1) as u8).collect()
 }
 
 /// Hamming distance between two equal-length bit slices.

@@ -51,8 +51,7 @@ impl AwgnChannel {
         if samples.is_empty() {
             return Vec::new();
         }
-        let es: f64 =
-            samples.iter().map(|s| s.norm_sq()).sum::<f64>() / samples.len() as f64;
+        let es: f64 = samples.iter().map(|s| s.norm_sq()).sum::<f64>() / samples.len() as f64;
         let n0 = es / 10f64.powf(self.es_n0_db / 10.0);
         let sigma = (n0 / 2.0).sqrt(); // per real dimension
         samples

@@ -68,8 +68,8 @@ pub use interleave::BlockInterleaver;
 pub use modulation::Modulation;
 pub use multipath::TwoPathChannel;
 pub use multiuser::MultiUserTransmitter;
-pub use snr::SnrEstimator;
 pub use ofdm::OfdmModem;
+pub use snr::SnrEstimator;
 pub use spreading::WalshHadamard;
 pub use tx::{McCdmaReceiver, McCdmaTransmitter, TxConfig};
 
@@ -85,8 +85,8 @@ pub mod prelude {
     pub use crate::modulation::Modulation;
     pub use crate::multipath::TwoPathChannel;
     pub use crate::multiuser::MultiUserTransmitter;
-    pub use crate::snr::SnrEstimator;
     pub use crate::ofdm::OfdmModem;
+    pub use crate::snr::SnrEstimator;
     pub use crate::spreading::WalshHadamard;
     pub use crate::tx::{McCdmaReceiver, McCdmaTransmitter, TxConfig};
 }

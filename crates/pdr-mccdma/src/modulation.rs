@@ -120,10 +120,7 @@ impl Modulation {
 
     /// Demodulate a symbol slice to bits.
     pub fn demodulate(self, symbols: &[Cplx]) -> Vec<u8> {
-        symbols
-            .iter()
-            .flat_map(|&s| self.demap_symbol(s))
-            .collect()
+        symbols.iter().flat_map(|&s| self.demap_symbol(s)).collect()
     }
 
     /// Average constellation energy (should be 1.0 by construction).

@@ -52,8 +52,7 @@ impl TwoPathChannel {
     pub fn freq_response(&self, n: usize) -> Vec<Cplx> {
         (0..n)
             .map(|k| {
-                let theta =
-                    -2.0 * std::f64::consts::PI * (k * self.delay) as f64 / n as f64;
+                let theta = -2.0 * std::f64::consts::PI * (k * self.delay) as f64 / n as f64;
                 Cplx::ONE + self.tap * Cplx::from_angle(theta)
             })
             .collect()

@@ -47,11 +47,7 @@ impl MultiUserTransmitter {
     ///
     /// # Panics
     /// Panics on duplicate users, out-of-range codes, or wrong bit counts.
-    pub fn transmit_symbol(
-        &self,
-        users: &[(usize, &[u8])],
-        modulation: Modulation,
-    ) -> Vec<Cplx> {
+    pub fn transmit_symbol(&self, users: &[(usize, &[u8])], modulation: Modulation) -> Vec<Cplx> {
         assert!(!users.is_empty(), "at least one user");
         let expected = self.bits_per_user_per_symbol(modulation);
         let mut seen = vec![false; self.cfg.spread_factor];
@@ -155,7 +151,10 @@ mod tests {
             let rx = tx.receive_symbol(*u, &received, m, 32);
             errors += rx.iter().zip(*p).filter(|(a, b)| a != b).count();
         }
-        assert_eq!(errors, 0, "orthogonality must survive 15 dB AWGN at full load");
+        assert_eq!(
+            errors, 0,
+            "orthogonality must survive 15 dB AWGN at full load"
+        );
     }
 
     #[test]

@@ -18,7 +18,10 @@ pub struct WalshHadamard {
 impl WalshHadamard {
     /// Build the code book via the Sylvester construction.
     pub fn new(sf: usize) -> Self {
-        assert!(sf.is_power_of_two(), "spreading factor must be a power of two");
+        assert!(
+            sf.is_power_of_two(),
+            "spreading factor must be a power of two"
+        );
         let mut codes = vec![1i8; sf * sf];
         let mut size = 1;
         while size < sf {

@@ -94,7 +94,10 @@ impl McCdmaTransmitter {
     pub fn info_bits_for(&self, mods: &[Modulation]) -> usize {
         let coded = self.coded_bits_for(mods);
         if self.cfg.use_fec {
-            assert!(coded.is_multiple_of(2), "coded capacity must be even under FEC");
+            assert!(
+                coded.is_multiple_of(2),
+                "coded capacity must be even under FEC"
+            );
             let info_plus_tail = coded / 2;
             assert!(
                 info_plus_tail > K - 1,
@@ -123,8 +126,7 @@ impl McCdmaTransmitter {
         } else {
             info.to_vec()
         };
-        let mut out =
-            Vec::with_capacity(mods.len() * (self.cfg.subcarriers + self.cfg.cp_len));
+        let mut out = Vec::with_capacity(mods.len() * (self.cfg.subcarriers + self.cfg.cp_len));
         let mut cursor = 0usize;
         for &m in mods {
             let bits_this_symbol = self.cfg.data_symbols_per_ofdm() * m.bits_per_symbol();
@@ -283,7 +285,11 @@ mod tests {
             let (i, d) = run_frame(uncoded_cfg, &mods, Some(noisy_db), 300 + seed);
             ber_u.push_block(&i, &d);
         }
-        assert!(ber_u.ber() > 1e-3, "uncoded link must see errors: {}", ber_u.ber());
+        assert!(
+            ber_u.ber() > 1e-3,
+            "uncoded link must see errors: {}",
+            ber_u.ber()
+        );
         assert!(
             ber_c.ber() < ber_u.ber() / 2.0,
             "coded {} !< uncoded {}",

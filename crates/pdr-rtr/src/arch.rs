@@ -202,10 +202,8 @@ mod tests {
         // With the same processor-side manager, a fabric builder (ICAP at
         // line rate, no software packetization) beats a CPU builder.
         let fetch = TimePs::ZERO;
-        let p_fabric =
-            ReconfigArchitecture::hybrid_m_cpu_p_fabric().latency(MODULE_BYTES, fetch);
-        let p_cpu =
-            ReconfigArchitecture::case_b_cpu_selectmap().latency(MODULE_BYTES, fetch);
+        let p_fabric = ReconfigArchitecture::hybrid_m_cpu_p_fabric().latency(MODULE_BYTES, fetch);
+        let p_cpu = ReconfigArchitecture::case_b_cpu_selectmap().latency(MODULE_BYTES, fetch);
         assert!(p_fabric.total() < p_cpu.total());
     }
 

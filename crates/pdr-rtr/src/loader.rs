@@ -71,12 +71,7 @@ impl DeviceLoader {
 
     /// Apply `bs` as module `module` into `region`; verifies by readback
     /// when [`DeviceLoader::verify_loads`] is set.
-    pub fn load(
-        &mut self,
-        region: &str,
-        module: &str,
-        bs: &Bitstream,
-    ) -> Result<(), RtrError> {
+    pub fn load(&mut self, region: &str, module: &str, bs: &Bitstream) -> Result<(), RtrError> {
         let r = self
             .regions
             .get(region)
@@ -91,9 +86,7 @@ impl DeviceLoader {
                 self.stats.verify_failures += 1;
                 return Err(RtrError::Fabric(
                     pdr_fabric::FabricError::MalformedBitstream {
-                        reason: format!(
-                            "readback verification of `{module}` in `{region}` failed"
-                        ),
+                        reason: format!("readback verification of `{module}` in `{region}` failed"),
                     },
                 ));
             }

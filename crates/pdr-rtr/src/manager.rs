@@ -250,8 +250,7 @@ impl ConfigurationManager {
                 if next != module && !self.cache.contains(&next) {
                     if let Ok(nbytes) = self.store.stored_size_of(&next) {
                         if nbytes <= self.cache.capacity() {
-                            self.inflight =
-                                Some((next, ready_at + self.memory.read_time(nbytes)));
+                            self.inflight = Some((next, ready_at + self.memory.read_time(nbytes)));
                         }
                     }
                 }
@@ -276,7 +275,10 @@ mod tests {
     use crate::prefetch::{LastValue, ScheduleDriven};
     use pdr_fabric::{Bitstream, Device, PortProfile, ReconfigRegion};
 
-    fn manager(cache_modules: usize, predictor: Option<Box<dyn Predictor>>) -> ConfigurationManager {
+    fn manager(
+        cache_modules: usize,
+        predictor: Option<Box<dyn Predictor>>,
+    ) -> ConfigurationManager {
         let d = Device::xc2v2000();
         let r = ReconfigRegion::new("op_dyn", 20, 4).unwrap();
         let mut store = BitstreamStore::new();
@@ -287,13 +289,8 @@ mod tests {
         store.insert("mod_qam16", qam);
         let cache = BitstreamCache::sized_for(cache_modules, bytes);
         let builder = ProtocolBuilder::new(d, PortProfile::icap_virtex2());
-        let mut m = ConfigurationManager::new(
-            builder,
-            store,
-            cache,
-            MemoryModel::paper_flash(),
-            "op_dyn",
-        );
+        let mut m =
+            ConfigurationManager::new(builder, store, cache, MemoryModel::paper_flash(), "op_dyn");
         if let Some(p) = predictor {
             m = m.with_predictor(p);
         }

@@ -91,10 +91,7 @@ impl Predictor for FirstOrderMarkov {
     fn observe_and_predict(&mut self, module: &str) -> Option<String> {
         if let Some(prev) = self.last.take() {
             if prev != module {
-                *self
-                    .counts
-                    .entry((prev, module.to_string()))
-                    .or_insert(0) += 1;
+                *self.counts.entry((prev, module.to_string())).or_insert(0) += 1;
             }
         }
         self.last = Some(module.to_string());
@@ -118,11 +115,7 @@ mod tests {
 
     #[test]
     fn schedule_driven_replays_future() {
-        let mut p = ScheduleDriven::new(vec![
-            "qam16".into(),
-            "qpsk".into(),
-            "qam16".into(),
-        ]);
+        let mut p = ScheduleDriven::new(vec!["qam16".into(), "qpsk".into(), "qam16".into()]);
         // Initially loaded qpsk (not in the sequence head): prediction is
         // the first scheduled load.
         assert_eq!(p.observe_and_predict("qpsk").as_deref(), Some("qam16"));

@@ -60,12 +60,7 @@ impl ProtocolBuilder {
     }
 
     /// Build the load plan for `module`'s bitstream targeting `region`.
-    pub fn plan(
-        &self,
-        module: &str,
-        region: &str,
-        bs: &Bitstream,
-    ) -> Result<LoadPlan, RtrError> {
+    pub fn plan(&self, module: &str, region: &str, bs: &Bitstream) -> Result<LoadPlan, RtrError> {
         bs.check_device(&self.device)?;
         match &bs.kind {
             BitstreamKind::Partial { region: built_for } if built_for != region => {
@@ -110,10 +105,7 @@ mod tests {
         let plan = pb.plan("mod_qpsk", "op_dyn", &bs).unwrap();
         assert_eq!(plan.bytes, bs.len_bytes());
         assert_eq!(plan.beats, bs.len_bytes() as u64);
-        assert_eq!(
-            plan.load_time,
-            pb.port().transfer_time(bs.len_bytes())
-        );
+        assert_eq!(plan.load_time, pb.port().transfer_time(bs.len_bytes()));
         // Raw ICAP: ~1 ms for the paper module.
         assert!((0.8..1.3).contains(&plan.load_time.as_millis_f64()));
     }

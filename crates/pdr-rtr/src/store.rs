@@ -247,10 +247,7 @@ mod tests {
         assert_eq!(s.modules(), ["mod_qam16", "mod_qpsk"]);
         assert!(s.get("mod_qpsk").is_ok());
         assert!(s.size_of("mod_qpsk").unwrap() > 40_000);
-        assert!(matches!(
-            s.get("ghost"),
-            Err(RtrError::UnknownModule(_))
-        ));
+        assert!(matches!(s.get("ghost"), Err(RtrError::UnknownModule(_))));
     }
 
     #[test]

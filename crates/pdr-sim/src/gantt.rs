@@ -32,9 +32,7 @@ pub fn to_csv(report: &SimReport) -> String {
 fn describe(e: &TraceEvent) -> (&'static str, String) {
     match &e.kind {
         TraceKind::Compute { op, function } => ("compute", format!("{op}[{function}]")),
-        TraceKind::Transfer { from, to, bits, .. } => {
-            ("transfer", format!("{from}->{to}:{bits}b"))
-        }
+        TraceKind::Transfer { from, to, bits, .. } => ("transfer", format!("{from}->{to}:{bits}b")),
         TraceKind::Reconfigure {
             module,
             fetch_hidden,
@@ -57,8 +55,8 @@ pub fn to_gantt(report: &SimReport, width: usize) -> String {
             .entry(e.site.as_str())
             .or_insert_with(|| vec!['.'; width]);
         let cell = |t: TimePs| -> usize {
-            ((t.as_ps() as u128 * width as u128) / span.as_ps() as u128)
-                .min(width as u128 - 1) as usize
+            ((t.as_ps() as u128 * width as u128) / span.as_ps() as u128).min(width as u128 - 1)
+                as usize
         };
         let (a, b) = (cell(e.start), cell(e.end).max(cell(e.start)));
         let ch = match e.kind {
@@ -75,13 +73,7 @@ pub fn to_gantt(report: &SimReport, width: usize) -> String {
     }
     let mut out = String::new();
     let name_w = rows.keys().map(|k| k.len()).max().unwrap_or(4);
-    let _ = writeln!(
-        out,
-        "{:>name_w$} |{}| {}",
-        "site",
-        "-".repeat(width),
-        span
-    );
+    let _ = writeln!(out, "{:>name_w$} |{}| {}", "site", "-".repeat(width), span);
     for (site, cells) in rows {
         let _ = writeln!(
             out,

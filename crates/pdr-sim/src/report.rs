@@ -69,8 +69,10 @@ pub struct ReconfigEvent {
 
 impl ReconfigEvent {
     /// Observed request→ready latency (the `In_Reconf` assertion window).
+    /// Saturates like [`SimReport::iteration_periods`] so a malformed
+    /// event (ready before request) reads as zero rather than panicking.
     pub fn latency(&self) -> TimePs {
-        self.ready_at - self.requested_at
+        self.ready_at.saturating_sub(self.requested_at)
     }
 }
 
@@ -164,8 +166,7 @@ impl SimReport {
             return None;
         }
         periods.sort_unstable();
-        let rank = ((p / 100.0 * periods.len() as f64).ceil() as usize)
-            .clamp(1, periods.len());
+        let rank = ((p / 100.0 * periods.len() as f64).ceil() as usize).clamp(1, periods.len());
         Some(periods[rank - 1])
     }
 

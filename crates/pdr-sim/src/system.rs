@@ -193,7 +193,10 @@ impl<'a> SimSystem<'a> {
                 let iter = ops[i].iteration;
                 match instr {
                     MacroInstr::Compute {
-                        op, function, duration, ..
+                        op,
+                        function,
+                        duration,
+                        ..
                     } => {
                         ops[i].pc += 1;
                         ops[i].busy += duration;
@@ -271,10 +274,7 @@ impl<'a> SimSystem<'a> {
                         let key = (tag, iter);
                         if let Some((j, _)) = pending_recv.remove(&key) {
                             let med = medium_id_of(&medium)?;
-                            let free = medium_free
-                                .get(&medium)
-                                .copied()
-                                .unwrap_or(TimePs::ZERO);
+                            let free = medium_free.get(&medium).copied().unwrap_or(TimePs::ZERO);
                             let start = now.max(free);
                             let end = start + self.arch.medium(med).transfer_time(bits);
                             medium_free.insert(medium.clone(), end);
@@ -304,14 +304,16 @@ impl<'a> SimSystem<'a> {
                         ops[i].status = Status::Blocked(format!("send tag {tag} iter {iter}"));
                         break 'step;
                     }
-                    MacroInstr::Receive { tag, medium, bits, from } => {
+                    MacroInstr::Receive {
+                        tag,
+                        medium,
+                        bits,
+                        from,
+                    } => {
                         let key = (tag, iter);
                         if let Some((j, _)) = pending_send.remove(&key) {
                             let med = medium_id_of(&medium)?;
-                            let free = medium_free
-                                .get(&medium)
-                                .copied()
-                                .unwrap_or(TimePs::ZERO);
+                            let free = medium_free.get(&medium).copied().unwrap_or(TimePs::ZERO);
                             let start = now.max(free);
                             let end = start + self.arch.medium(med).transfer_time(bits);
                             medium_free.insert(medium.clone(), end);
@@ -410,8 +412,7 @@ mod tests {
             .pin("select", "dsp")
             .pin("interface_out", "fpga_static");
         let r = adequate(&algo, &arch, &chars, &cons, &opts).unwrap();
-        let executive =
-            generate_executive(&algo, &arch, &chars, &r.mapping, &r.schedule).unwrap();
+        let executive = generate_executive(&algo, &arch, &chars, &r.mapping, &r.schedule).unwrap();
         Setup { arch, executive }
     }
 
@@ -462,8 +463,8 @@ mod tests {
         let s = paper_setup();
         let mut sys = SimSystem::new(&s.arch, &s.executive);
         sys.add_manager("op_dyn", paper_manager(None));
-        let cfg = SimConfig::iterations(16)
-            .with_selection("op_dyn", vec!["mod_qpsk".to_string(); 16]);
+        let cfg =
+            SimConfig::iterations(16).with_selection("op_dyn", vec!["mod_qpsk".to_string(); 16]);
         let report = sys.run(&cfg).unwrap();
         assert_eq!(report.reconfig_count(), 0);
         assert_eq!(report.iterations, 16);
@@ -610,11 +611,10 @@ mod tests {
     fn bad_selection_length_rejected() {
         let s = paper_setup();
         let mut sys = SimSystem::new(&s.arch, &s.executive);
-        let cfg = SimConfig::iterations(4)
-            .with_selection("op_dyn", vec!["mod_qpsk".to_string(); 3]);
+        let cfg =
+            SimConfig::iterations(4).with_selection("op_dyn", vec!["mod_qpsk".to_string(); 3]);
         assert!(matches!(sys.run(&cfg), Err(SimError::BadSelection(_))));
-        let cfg = SimConfig::iterations(1)
-            .with_selection("ghost", vec!["mod_qpsk".to_string()]);
+        let cfg = SimConfig::iterations(1).with_selection("ghost", vec!["mod_qpsk".to_string()]);
         assert!(matches!(sys.run(&cfg), Err(SimError::BadSelection(_))));
     }
 
@@ -623,8 +623,7 @@ mod tests {
         let s = paper_setup();
         let mut sys = SimSystem::new(&s.arch, &s.executive);
         sys.add_manager("op_dyn", paper_manager(None));
-        let cfg =
-            SimConfig::iterations(1).with_selection("op_dyn", vec!["mod_ghost".to_string()]);
+        let cfg = SimConfig::iterations(1).with_selection("op_dyn", vec!["mod_ghost".to_string()]);
         assert!(matches!(sys.run(&cfg), Err(SimError::Manager(_))));
     }
 
@@ -681,10 +680,7 @@ mod tests {
         let report = sys.run(&cfg).unwrap();
         assert_eq!(report.iteration_ends.len(), 64);
         // Completion times are monotone.
-        assert!(report
-            .iteration_ends
-            .windows(2)
-            .all(|w| w[0] <= w[1]));
+        assert!(report.iteration_ends.windows(2).all(|w| w[0] <= w[1]));
         let p50 = report.period_percentile(50.0).unwrap();
         let p99 = report.period_percentile(99.0).unwrap();
         assert!(
@@ -724,10 +720,10 @@ mod tests {
         let mut sys2 = SimSystem::new(&s.arch, &s.executive);
         sys2.add_manager("op_dyn", paper_manager(None));
         let many = sys2
-            .run(&SimConfig::iterations(64).with_selection(
-                "op_dyn",
-                vec!["mod_qpsk".to_string(); 64],
-            ))
+            .run(
+                &SimConfig::iterations(64)
+                    .with_selection("op_dyn", vec!["mod_qpsk".to_string(); 64]),
+            )
             .unwrap();
         assert!(many.avg_period() <= one.makespan);
     }

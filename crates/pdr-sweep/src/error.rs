@@ -1,0 +1,75 @@
+//! Sweep error type.
+
+use std::fmt;
+
+/// Errors produced by scenarios or the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SweepError {
+    /// A scenario failed with a domain error. The string carries the
+    /// source error's rendering so outcomes stay `Send + 'static`
+    /// regardless of the study's error type.
+    Scenario {
+        /// What the scenario reported.
+        message: String,
+    },
+    /// A scenario panicked (captured via `catch_unwind`); surfaced by
+    /// [`crate::SweepReport::into_values`] when failures are fatal.
+    ScenarioPanicked {
+        /// The scenario's label.
+        label: String,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// Writing the JSON artifact failed.
+    Artifact {
+        /// Destination path.
+        path: String,
+        /// The I/O error's rendering.
+        message: String,
+    },
+}
+
+impl SweepError {
+    /// A scenario-level error from any displayable source.
+    pub fn scenario(err: impl fmt::Display) -> Self {
+        SweepError::Scenario {
+            message: err.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::Scenario { message } => write!(f, "scenario failed: {message}"),
+            SweepError::ScenarioPanicked { label, message } => {
+                write!(f, "scenario `{label}` panicked: {message}")
+            }
+            SweepError::Artifact { path, message } => {
+                write!(f, "writing artifact `{path}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_each_variant() {
+        assert!(SweepError::scenario("boom").to_string().contains("boom"));
+        let p = SweepError::ScenarioPanicked {
+            label: "x".into(),
+            message: "np".into(),
+        };
+        assert!(p.to_string().contains("`x` panicked"));
+        let a = SweepError::Artifact {
+            path: "/p".into(),
+            message: "denied".into(),
+        };
+        assert!(a.to_string().contains("/p"));
+    }
+}

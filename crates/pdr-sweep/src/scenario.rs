@@ -1,0 +1,264 @@
+//! The unit of sweep work: a labelled, parameterized, seeded closure.
+
+use crate::SweepError;
+use serde::json::Value;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+/// One parameter value attached to a scenario, for reports and
+/// artifacts.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum ParamValue {
+    /// Signed integer parameter.
+    Int(i64),
+    /// Unsigned integer parameter.
+    UInt(u64),
+    /// Floating-point parameter.
+    Float(f64),
+    /// Textual parameter.
+    Text(String),
+    /// Boolean parameter.
+    Bool(bool),
+}
+
+impl fmt::Display for ParamValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamValue::Int(v) => write!(f, "{v}"),
+            ParamValue::UInt(v) => write!(f, "{v}"),
+            ParamValue::Float(v) => write!(f, "{v}"),
+            ParamValue::Text(v) => write!(f, "{v}"),
+            ParamValue::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<i64> for ParamValue {
+    fn from(v: i64) -> Self {
+        ParamValue::Int(v)
+    }
+}
+impl From<i32> for ParamValue {
+    fn from(v: i32) -> Self {
+        ParamValue::Int(v.into())
+    }
+}
+impl From<u64> for ParamValue {
+    fn from(v: u64) -> Self {
+        ParamValue::UInt(v)
+    }
+}
+impl From<u32> for ParamValue {
+    fn from(v: u32) -> Self {
+        ParamValue::UInt(v.into())
+    }
+}
+impl From<usize> for ParamValue {
+    fn from(v: usize) -> Self {
+        ParamValue::UInt(v as u64)
+    }
+}
+impl From<f64> for ParamValue {
+    fn from(v: f64) -> Self {
+        ParamValue::Float(v)
+    }
+}
+impl From<&str> for ParamValue {
+    fn from(v: &str) -> Self {
+        ParamValue::Text(v.to_string())
+    }
+}
+impl From<String> for ParamValue {
+    fn from(v: String) -> Self {
+        ParamValue::Text(v)
+    }
+}
+impl From<bool> for ParamValue {
+    fn from(v: bool) -> Self {
+        ParamValue::Bool(v)
+    }
+}
+
+/// Ordered parameter map of a scenario.
+pub type ParamMap = BTreeMap<String, ParamValue>;
+
+type RunFn<'a, T> = Box<dyn FnOnce() -> Result<T, SweepError> + Send + 'a>;
+
+/// A labelled, parameterized, explicitly seeded unit of sweep work.
+///
+/// The closure may borrow shared study state (`'a`); the engine runs
+/// scenarios on scoped threads, so non-`'static` borrows are fine. All
+/// randomness a scenario uses must derive from [`Scenario::seed`] — the
+/// engine guarantees schedule-independence, the seed guarantees
+/// point-level reproducibility.
+pub struct Scenario<'a, T> {
+    pub(crate) label: String,
+    pub(crate) params: ParamMap,
+    pub(crate) seed: u64,
+    pub(crate) run: RunFn<'a, T>,
+}
+
+impl<'a, T> Scenario<'a, T> {
+    /// A scenario from a label, a seed and its work closure.
+    pub fn new(
+        label: impl Into<String>,
+        seed: u64,
+        run: impl FnOnce() -> Result<T, SweepError> + Send + 'a,
+    ) -> Self {
+        Self {
+            label: label.into(),
+            params: ParamMap::new(),
+            seed,
+            run: Box::new(run),
+        }
+    }
+
+    /// Attach a named parameter (builder style).
+    pub fn with_param(mut self, key: impl Into<String>, value: impl Into<ParamValue>) -> Self {
+        self.params.insert(key.into(), value.into());
+        self
+    }
+
+    /// The scenario's label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The scenario's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+impl<T> fmt::Debug for Scenario<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Scenario")
+            .field("label", &self.label)
+            .field("params", &self.params)
+            .field("seed", &self.seed)
+            .finish_non_exhaustive()
+    }
+}
+
+/// How one scenario ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioStatus<T> {
+    /// Completed with an outcome.
+    Ok(T),
+    /// Returned a domain error.
+    Error(SweepError),
+    /// Panicked; the payload's string rendering is preserved.
+    Panicked(String),
+}
+
+impl<T> ScenarioStatus<T> {
+    /// Did the scenario succeed?
+    pub fn is_ok(&self) -> bool {
+        matches!(self, ScenarioStatus::Ok(_))
+    }
+
+    /// The outcome value, when successful.
+    pub fn value(&self) -> Option<&T> {
+        match self {
+            ScenarioStatus::Ok(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// One executed scenario: identity, status and timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioOutcome<T> {
+    /// The scenario's label.
+    pub label: String,
+    /// The scenario's parameters.
+    pub params: ParamMap,
+    /// The scenario's seed.
+    pub seed: u64,
+    /// How it ended.
+    pub status: ScenarioStatus<T>,
+    /// Wall time of the scenario closure alone.
+    pub wall: Duration,
+}
+
+impl<T> ScenarioOutcome<T> {
+    /// The identity/result part as JSON, with the outcome payload
+    /// rendered by `outcome`.
+    pub fn to_json_with(&self, outcome: impl Fn(&T) -> Value) -> Value {
+        let status = match &self.status {
+            ScenarioStatus::Ok(_) => "ok",
+            ScenarioStatus::Error(_) => "error",
+            ScenarioStatus::Panicked(_) => "panicked",
+        };
+        let mut v = Value::obj(vec![
+            ("label", Value::String(self.label.clone())),
+            (
+                "params",
+                Value::Object(
+                    self.params
+                        .iter()
+                        .map(|(k, p)| (k.clone(), serde::json::to_value(p)))
+                        .collect(),
+                ),
+            ),
+            ("seed", Value::UInt(self.seed)),
+            ("status", Value::String(status.to_string())),
+            ("wall_secs", Value::Float(self.wall.as_secs_f64())),
+        ]);
+        match &self.status {
+            ScenarioStatus::Ok(out) => v.push_field("outcome", outcome(out)),
+            ScenarioStatus::Error(e) => v.push_field("error", Value::String(e.to_string())),
+            ScenarioStatus::Panicked(msg) => v.push_field("panic", Value::String(msg.clone())),
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_collects_params() {
+        let s: Scenario<'_, u32> = Scenario::new("point", 7, || Ok(1))
+            .with_param("alpha", 2u32)
+            .with_param("label", "qpsk")
+            .with_param("gain", 1.5)
+            .with_param("on", true)
+            .with_param("offset", -3i64);
+        assert_eq!(s.label(), "point");
+        assert_eq!(s.seed(), 7);
+        assert_eq!(s.params.len(), 5);
+        assert_eq!(s.params["alpha"], ParamValue::UInt(2));
+        assert_eq!(format!("{}", s.params["gain"]), "1.5");
+        assert!(format!("{s:?}").contains("point"));
+    }
+
+    #[test]
+    fn outcome_json_carries_status() {
+        let ok = ScenarioOutcome {
+            label: "a".into(),
+            params: ParamMap::new(),
+            seed: 1,
+            status: ScenarioStatus::Ok(41u32),
+            wall: Duration::from_millis(2),
+        };
+        let v = ok.to_json_with(|x| Value::UInt(u64::from(*x)));
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("ok"));
+        assert_eq!(v.get("outcome").and_then(Value::as_u64), Some(41));
+
+        let bad: ScenarioOutcome<u32> = ScenarioOutcome {
+            label: "b".into(),
+            params: ParamMap::new(),
+            seed: 2,
+            status: ScenarioStatus::Panicked("np".into()),
+            wall: Duration::ZERO,
+        };
+        let v = bad.to_json_with(|_| Value::Null);
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("panicked"));
+        assert_eq!(v.get("panic").and_then(Value::as_str), Some("np"));
+        assert!(v.get("outcome").is_none());
+    }
+}

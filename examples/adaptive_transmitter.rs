@@ -42,8 +42,7 @@ fn main() {
         let report = study
             .deploy(options)
             .simulate(
-                &SimConfig::iterations(symbols as u32)
-                    .with_selection("op_dyn", selections.clone()),
+                &SimConfig::iterations(symbols as u32).with_selection("op_dyn", selections.clone()),
             )
             .expect("simulation runs");
         println!(
@@ -73,8 +72,7 @@ fn main() {
         let sent = tx.transmit(&info, chunk);
         // Channel at the mean scenario SNR for this frame, minus the
         // despreading processing gain (SnrTrace values are post-despread).
-        let mean_snr =
-            snr[f * 20..f * 20 + 20].iter().sum::<f64>() / 20.0 - gain_db;
+        let mean_snr = snr[f * 20..f * 20 + 20].iter().sum::<f64>() / 20.0 - gain_db;
         let received = AwgnChannel::new(mean_snr, f as u64).transmit(&sent);
         let decoded = rx.receive(&received, chunk);
         ber.push_block(&info, &decoded);

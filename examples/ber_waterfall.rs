@@ -12,6 +12,7 @@
 
 use pdr_bench::fig4;
 use pdr_mccdma::ber::{qam16_ber_theory, qpsk_ber_theory};
+use pdr_sweep::SweepEngine;
 
 fn bar(ber: f64) -> String {
     // log-scale bar: full at 0.5, empty below 1e-6.
@@ -25,7 +26,22 @@ fn bar(ber: f64) -> String {
 fn main() {
     let points: Vec<f64> = (-16..=2).step_by(2).map(|db| db as f64).collect();
     let frames = 20;
-    let sweep = fig4::run_ber(&points, frames);
+    // Fan the points out over the sweep engine; progress goes to stderr
+    // so the CSV on stdout stays clean.
+    let engine = SweepEngine::new().on_progress(|p| {
+        eprintln!(
+            "[{}/{}] {} ({:.2}s)",
+            p.completed,
+            p.total,
+            p.label,
+            p.wall.as_secs_f64()
+        );
+    });
+    let report = fig4::ber_sweep(&points, frames, &engine);
+    eprintln!("{}", report.stats.render());
+    let sweep = fig4::Fig4Ber {
+        points: report.into_values().expect("BER scenarios are infallible"),
+    };
     // SF-32 despreading gain relates per-sample Es/N0 to per-symbol SNR.
     let gain_db = 10.0 * 32f64.log10();
 

@@ -18,8 +18,8 @@
 use pdr_adequation::AdequationOptions;
 use pdr_core::{DesignFlow, RuntimeOptions};
 use pdr_fabric::{Device, Resources, TimePs};
-use pdr_graph::prelude::*;
 use pdr_graph::constraints::{LoadPolicy, ModuleConstraints};
+use pdr_graph::prelude::*;
 use pdr_sim::SimConfig;
 
 fn build_algorithm() -> AlgorithmGraph {
@@ -67,10 +67,20 @@ fn build_architecture() -> ArchGraph {
         .add_operator("d2", OperatorKind::FpgaDynamic { host: "f1".into() })
         .unwrap();
     let bus = a
-        .add_medium("host_bus", MediumKind::Bus, 800_000_000, TimePs::from_ns(300))
+        .add_medium(
+            "host_bus",
+            MediumKind::Bus,
+            800_000_000,
+            TimePs::from_ns(300),
+        )
         .unwrap();
     let il = a
-        .add_medium("il", MediumKind::InternalLink, 1_600_000_000, TimePs::from_ns(20))
+        .add_medium(
+            "il",
+            MediumKind::InternalLink,
+            1_600_000_000,
+            TimePs::from_ns(20),
+        )
         .unwrap();
     a.link(cpu, bus).unwrap();
     a.link(f1, bus).unwrap();

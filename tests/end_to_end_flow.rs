@@ -26,16 +26,18 @@ fn paper_numbers_reproduce_end_to_end() {
     let study = PaperCaseStudy::build().expect("flow runs");
 
     // §6: the dynamic part takes 8 % of the FPGA.
-    let frac = study.artifacts.design.floorplan.floorplan.dynamic_fraction();
+    let frac = study
+        .artifacts
+        .design
+        .floorplan
+        .floorplan
+        .dynamic_fraction();
     assert!((frac - 4.0 / 48.0).abs() < 1e-9, "area fraction {frac}");
 
     // §6: reconfiguration takes about 4 ms.
     let report = study
         .deploy(RuntimeOptions::paper_baseline())
-        .simulate(
-            &SimConfig::iterations(16)
-                .with_selection("op_dyn", switching_selection(16, 8)),
-        )
+        .simulate(&SimConfig::iterations(16).with_selection("op_dyn", switching_selection(16, 8)))
         .expect("simulation runs");
     assert_eq!(report.reconfig_count(), 1);
     let ms = report.reconfigs[0].latency().as_millis_f64();
@@ -143,9 +145,7 @@ fn all_prefetch_policies_complete_the_same_workload() {
                 prefetch,
                 ..RuntimeOptions::default()
             })
-            .simulate(
-                &SimConfig::iterations(n).with_selection("op_dyn", sel.clone()),
-            )
+            .simulate(&SimConfig::iterations(n).with_selection("op_dyn", sel.clone()))
             .expect("policy runs");
         assert_eq!(report.iterations, n);
         makespans.push(report.makespan);
@@ -210,9 +210,7 @@ fn in_reconf_lockup_blocks_the_pipeline() {
         .expect("steady runs");
     let switching = study
         .deploy(RuntimeOptions::paper_baseline())
-        .simulate(
-            &SimConfig::iterations(n).with_selection("op_dyn", switching_selection(n, 8)),
-        )
+        .simulate(&SimConfig::iterations(n).with_selection("op_dyn", switching_selection(n, 8)))
         .expect("switching runs");
     assert!(switching.makespan > steady.makespan);
     let extra = switching.makespan - steady.makespan;

@@ -6,8 +6,8 @@ use pdr_codegen::{generate_design, CostModel};
 use pdr_core::paper::PaperCaseStudy;
 use pdr_core::{DesignFlow, FlowError, RuntimeOptions};
 use pdr_fabric::{Bitstream, Device, FabricError, PortProfile, ReconfigRegion, Resources, TimePs};
-use pdr_graph::prelude::*;
 use pdr_graph::paper as models;
+use pdr_graph::prelude::*;
 use pdr_rtr::{
     BitstreamCache, BitstreamStore, ConfigurationManager, MemoryModel, ProtocolBuilder, RtrError,
 };
@@ -42,7 +42,10 @@ fn wrong_device_bitstream_rejected_by_manager() {
         "op_dyn",
     );
     let err = mgr.request("mod_qpsk", TimePs::ZERO).unwrap_err();
-    assert!(matches!(err, RtrError::Fabric(FabricError::DeviceMismatch { .. })));
+    assert!(matches!(
+        err,
+        RtrError::Fabric(FabricError::DeviceMismatch { .. })
+    ));
 }
 
 #[test]
@@ -77,10 +80,7 @@ fn selection_of_unknown_module_fails_simulation() {
     let study = PaperCaseStudy::build().unwrap();
     let err = study
         .deploy(RuntimeOptions::paper_baseline())
-        .simulate(
-            &SimConfig::iterations(1)
-                .with_selection("op_dyn", vec!["mod_8psk".to_string()]),
-        )
+        .simulate(&SimConfig::iterations(1).with_selection("op_dyn", vec!["mod_8psk".to_string()]))
         .unwrap_err();
     assert!(matches!(err, FlowError::Sim(_)), "{err}");
     assert!(err.to_string().contains("mod_8psk"));
@@ -114,7 +114,9 @@ fn unroutable_architecture_fails_adequation() {
     // An architecture where the DSP is not connected to anything.
     let mut arch = ArchGraph::new("broken");
     arch.add_operator("dsp", OperatorKind::Processor).unwrap();
-    let fs = arch.add_operator("fpga_static", OperatorKind::FpgaStatic).unwrap();
+    let fs = arch
+        .add_operator("fpga_static", OperatorKind::FpgaStatic)
+        .unwrap();
     arch.add_operator(
         "op_dyn",
         OperatorKind::FpgaDynamic {
@@ -126,7 +128,8 @@ fn unroutable_architecture_fails_adequation() {
         .add_medium("lio", MediumKind::InternalLink, 1_000_000, TimePs::ZERO)
         .unwrap();
     arch.link(fs, lio).unwrap();
-    arch.link(arch.operator_by_name("op_dyn").unwrap(), lio).unwrap();
+    arch.link(arch.operator_by_name("op_dyn").unwrap(), lio)
+        .unwrap();
     let err = adequate(
         &models::mccdma_algorithm(),
         &arch,
@@ -148,7 +151,14 @@ fn generate_design_catches_incomplete_mapping() {
     let arch = models::sundance_architecture();
     let chars = models::mccdma_characterization();
     let cons = models::mccdma_constraints();
-    let r = adequate(&algo, &arch, &chars, &cons, &PaperCaseStudy::adequation_options()).unwrap();
+    let r = adequate(
+        &algo,
+        &arch,
+        &chars,
+        &cons,
+        &PaperCaseStudy::adequation_options(),
+    )
+    .unwrap();
     let exec = pdr_adequation::executive::generate_executive(
         &algo,
         &arch,

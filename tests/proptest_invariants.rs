@@ -3,9 +3,7 @@
 use proptest::prelude::*;
 
 use pdr_adequation::{adequate, AdequationOptions};
-use pdr_fabric::{
-    Bitstream, Device, PortProfile, ReconfigRegion, Resources, TimePs,
-};
+use pdr_fabric::{Bitstream, Device, PortProfile, ReconfigRegion, Resources, TimePs};
 use pdr_graph::constraints::{ConstraintsFile, LoadPolicy, ModuleConstraints, UnloadPolicy};
 use pdr_graph::prelude::*;
 use pdr_mccdma::fec::{ConvEncoder, ViterbiDecoder};

@@ -1,0 +1,122 @@
+//! Integration tests of the `pdr-sweep` engine: deterministic reduction
+//! regardless of worker count, and per-scenario fault isolation.
+
+use pdr_sweep::{Scenario, ScenarioStatus, SweepEngine, SweepError};
+use proptest::prelude::*;
+
+/// A deliberately seed-sensitive scenario payload: a short integer walk
+/// whose result depends on every step, so any reordering or cross-talk
+/// between workers would change it.
+fn walk(seed: u64, steps: u64) -> u64 {
+    let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    for _ in 0..steps {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+    }
+    x
+}
+
+fn walk_scenarios(seeds: &[u64]) -> Vec<Scenario<'static, u64>> {
+    seeds
+        .iter()
+        .enumerate()
+        .map(|(i, &seed)| {
+            Scenario::new(format!("walk/{i}"), seed, move || {
+                Ok(walk(seed, 64 + seed % 64))
+            })
+            .with_param("index", i)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// One worker and N workers produce identical ordered outcomes: same
+    /// labels, same seeds, same values, same position.
+    fn single_and_multi_worker_sweeps_agree(
+        seeds in prop::collection::vec(0u64..1_000_000, 1..40),
+        threads in 2usize..9,
+    ) {
+        let serial = SweepEngine::new().with_threads(1).run(walk_scenarios(&seeds));
+        let parallel = SweepEngine::new()
+            .with_threads(threads)
+            .run(walk_scenarios(&seeds));
+
+        prop_assert_eq!(serial.outcomes.len(), parallel.outcomes.len());
+        for (a, b) in serial.outcomes.iter().zip(&parallel.outcomes) {
+            prop_assert_eq!(&a.label, &b.label);
+            prop_assert_eq!(a.seed, b.seed);
+            prop_assert_eq!(a.status.value(), b.status.value());
+        }
+        // The schedule-independent digest agrees bit for bit.
+        let view = |v: &u64| serde::json::Value::UInt(*v);
+        prop_assert_eq!(
+            pdr_sweep::artifact::outcome_digest(&serial, &view),
+            pdr_sweep::artifact::outcome_digest(&parallel, &view)
+        );
+        prop_assert_eq!(serial.stats.ok, seeds.len());
+        prop_assert_eq!(parallel.stats.threads, threads.min(seeds.len()));
+    }
+}
+
+#[test]
+fn panicking_scenario_is_captured_and_sweep_completes() {
+    let mut scenarios = walk_scenarios(&[1, 2, 3, 4, 5, 6, 7]);
+    scenarios.insert(
+        2,
+        Scenario::new("boom", 99, || -> Result<u64, SweepError> {
+            panic!("deliberate test panic")
+        }),
+    );
+    let report = SweepEngine::new().with_threads(4).run(scenarios);
+
+    // Every submitted scenario has an outcome, in submission order.
+    assert_eq!(report.outcomes.len(), 8);
+    assert_eq!(report.outcomes[1].label, "walk/1");
+    assert_eq!(report.outcomes[2].label, "boom");
+    assert_eq!(report.outcomes[3].label, "walk/2");
+
+    // The panic is captured as a typed outcome, not an abort.
+    match &report.outcomes[2].status {
+        ScenarioStatus::Panicked(msg) => assert!(msg.contains("deliberate test panic")),
+        other => panic!("expected captured panic, got {other:?}"),
+    }
+    assert_eq!(report.stats.panicked, 1);
+    assert_eq!(report.stats.ok, 7);
+
+    // Partial results are preserved: the seven good points all computed.
+    assert_eq!(report.ok_values().count(), 7);
+    for (o, &seed) in report
+        .outcomes
+        .iter()
+        .filter(|o| o.status.is_ok())
+        .zip(&[1u64, 2, 3, 4, 5, 6, 7])
+    {
+        assert_eq!(o.status.value(), Some(&walk(seed, 64 + seed % 64)));
+    }
+
+    // Treating failures as fatal surfaces the panic as a typed error.
+    match report.into_values() {
+        Err(SweepError::ScenarioPanicked { label, message }) => {
+            assert_eq!(label, "boom");
+            assert!(message.contains("deliberate test panic"));
+        }
+        other => panic!("expected ScenarioPanicked, got {other:?}"),
+    }
+}
+
+#[test]
+fn erroring_scenario_is_isolated_too() {
+    let mut scenarios = walk_scenarios(&[10, 20]);
+    scenarios.push(Scenario::new("bad-point", 0, || {
+        Err(SweepError::scenario("synthetic study failure"))
+    }));
+    let report = SweepEngine::new().with_threads(2).run(scenarios);
+    assert_eq!(report.stats.errored, 1);
+    assert_eq!(report.stats.ok, 2);
+    let failed: Vec<_> = report.failures().collect();
+    assert_eq!(failed.len(), 1);
+    assert_eq!(failed[0].label, "bad-point");
+}

@@ -55,7 +55,12 @@ fn architecture() -> ArchGraph {
         .add_medium("bus", MediumKind::Bus, 800_000_000, TimePs::from_ns(300))
         .unwrap();
     let il = a
-        .add_medium("il", MediumKind::InternalLink, 1_600_000_000, TimePs::from_ns(20))
+        .add_medium(
+            "il",
+            MediumKind::InternalLink,
+            1_600_000_000,
+            TimePs::from_ns(20),
+        )
         .unwrap();
     a.link(cpu, bus).unwrap();
     a.link(f1, bus).unwrap();
@@ -178,8 +183,16 @@ fn independent_regions_reconfigure_independently() {
         )
         .expect("simulation runs");
     // d1 switches at iterations 6, 12, 18; d2 once at 12.
-    let d1_count = report.reconfigs.iter().filter(|r| r.operator == "d1").count();
-    let d2_count = report.reconfigs.iter().filter(|r| r.operator == "d2").count();
+    let d1_count = report
+        .reconfigs
+        .iter()
+        .filter(|r| r.operator == "d1")
+        .count();
+    let d2_count = report
+        .reconfigs
+        .iter()
+        .filter(|r| r.operator == "d2")
+        .count();
     assert_eq!(d1_count, 3);
     assert_eq!(d2_count, 1);
     // d2's stream is larger (bigger region) and its chain slower: its

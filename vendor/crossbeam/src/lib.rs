@@ -1,0 +1,112 @@
+//! Offline shim for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::thread::scope` with the crossbeam 0.8 calling
+//! convention (the spawn closure receives the scope, `scope` returns a
+//! `Result` capturing stray panics), implemented over
+//! `std::thread::scope`.
+
+pub mod thread {
+    //! Scoped threads with the crossbeam API shape.
+
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Error type of [`scope`]: the payload of a panic that escaped a
+    /// spawned thread.
+    pub type ScopeError = Box<dyn Any + Send + 'static>;
+
+    /// A scope handle: spawn borrows that live as long as the scope.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish; `Err` carries its panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. As in crossbeam, the closure
+        /// receives the scope so it can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handle = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&handle)),
+            }
+        }
+    }
+
+    /// Run `f` with a scope in which borrows of `'env` data can be sent
+    /// to spawned threads. All threads are joined before `scope` returns.
+    /// A panic escaping an unjoined thread (or `f` itself) is returned as
+    /// `Err` rather than propagated.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, ScopeError>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let counter = AtomicU32::new(0);
+        let total = crate::thread::scope(|s| {
+            let counter = &counter;
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    s.spawn(move |_| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        i * 10
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u32>()
+        })
+        .unwrap();
+        assert_eq!(total, 60);
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn joined_panic_is_isolated() {
+        let r = crate::thread::scope(|s| {
+            let bad = s.spawn(|_| panic!("worker down"));
+            assert!(bad.join().is_err());
+            7
+        });
+        assert_eq!(r.unwrap(), 7);
+    }
+
+    #[test]
+    fn unjoined_panic_surfaces_as_err() {
+        let r: Result<(), _> = crate::thread::scope(|s| {
+            s.spawn(|_| panic!("stray"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,405 @@
+//! Offline shim for the `serde` crate.
+//!
+//! The build environment has no registry access, so this crate provides
+//! the subset of serde the workspace relies on, with a concrete data
+//! model instead of the generic serializer machinery:
+//!
+//! * [`Serialize`] — one required method, [`Serialize::to_json`],
+//!   producing a [`json::Value`] tree. Implemented for the std types
+//!   the workspace serializes and derivable via the in-tree
+//!   `serde_derive` shim (re-exported here, so
+//!   `#[derive(Serialize, Deserialize)]` works unchanged).
+//! * [`Deserialize`] — a marker trait (the workspace emits artifacts
+//!   but never parses them back).
+//! * [`json`] — the value model plus compact and pretty JSON writers,
+//!   used by `pdr-sweep`'s experiment-artifact writer.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Types serializable to a [`json::Value`] tree.
+pub trait Serialize {
+    /// The JSON representation of `self`.
+    fn to_json(&self) -> json::Value;
+}
+
+/// Marker for deserializable types (parsing is not implemented in the
+/// offline shim; the workspace only writes artifacts).
+pub trait Deserialize: Sized {}
+
+pub mod json {
+    //! A minimal JSON document model and writer.
+
+    use super::Serialize;
+
+    /// One JSON value. Objects preserve insertion order, keeping every
+    /// artifact byte-deterministic.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Signed integer (emitted without decimal point).
+        Int(i64),
+        /// Unsigned integer (emitted without decimal point).
+        UInt(u64),
+        /// Floating point; non-finite values are emitted as `null`.
+        Float(f64),
+        /// String (escaped on output).
+        String(String),
+        /// Ordered array.
+        Array(Vec<Value>),
+        /// Ordered key/value object.
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Build an object from key/value pairs.
+        pub fn obj<K: Into<String>>(pairs: Vec<(K, Value)>) -> Value {
+            Value::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+        }
+
+        /// Append a field when `self` is an object (no-op otherwise).
+        pub fn push_field(&mut self, key: impl Into<String>, value: Value) {
+            if let Value::Object(fields) = self {
+                fields.push((key.into(), value));
+            }
+        }
+
+        /// Fetch an object field by key.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// The elements when `self` is an array.
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        /// The value as an unsigned integer when losslessly possible.
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::UInt(u) => Some(*u),
+                Value::Int(i) => u64::try_from(*i).ok(),
+                _ => None,
+            }
+        }
+
+        /// The value as a string slice.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+    }
+
+    fn escape_into(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    fn write_value(out: &mut String, v: &Value, indent: Option<usize>) {
+        match v {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => out.push_str(&i.to_string()),
+            Value::UInt(u) => out.push_str(&u.to_string()),
+            Value::Float(f) if !f.is_finite() => out.push_str("null"),
+            Value::Float(f) => {
+                let s = f.to_string();
+                out.push_str(&s);
+                // Keep floats distinguishable from ints on re-read.
+                if !s.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            }
+            Value::String(s) => escape_into(out, s),
+            Value::Array(items) => write_seq(
+                out,
+                items.iter().map(|v| (None::<&str>, v)),
+                indent,
+                '[',
+                ']',
+            ),
+            Value::Object(fields) => write_seq(
+                out,
+                fields.iter().map(|(k, v)| (Some(k.as_str()), v)),
+                indent,
+                '{',
+                '}',
+            ),
+        }
+    }
+
+    fn write_seq<'a>(
+        out: &mut String,
+        items: impl Iterator<Item = (Option<&'a str>, &'a Value)>,
+        indent: Option<usize>,
+        open: char,
+        close: char,
+    ) {
+        out.push(open);
+        let mut first = true;
+        let mut any = false;
+        for (key, v) in items {
+            any = true;
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            if let Some(level) = indent {
+                out.push('\n');
+                out.push_str(&"  ".repeat(level + 1));
+            }
+            if let Some(k) = key {
+                escape_into(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+            }
+            write_value(out, v, indent.map(|l| l + 1));
+        }
+        if any {
+            if let Some(level) = indent {
+                out.push('\n');
+                out.push_str(&"  ".repeat(level));
+            }
+        }
+        out.push(close);
+    }
+
+    /// Serialize to a [`Value`] tree.
+    pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+        value.to_json()
+    }
+
+    /// Compact JSON text.
+    pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+        let mut out = String::new();
+        write_value(&mut out, &value.to_json(), None);
+        out
+    }
+
+    /// Human-readable JSON text (2-space indent).
+    pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> String {
+        let mut out = String::new();
+        write_value(&mut out, &value.to_json(), Some(0));
+        out
+    }
+
+    impl Serialize for Value {
+        fn to_json(&self) -> Value {
+            self.clone()
+        }
+    }
+}
+
+use json::Value;
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Value { Value::UInt(*self as u64) }
+        }
+    )*};
+}
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Value { Value::Int(*self as i64) }
+        }
+    )*};
+}
+
+impl_ser_uint!(u8, u16, u32, u64, usize);
+impl_ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_json(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+impl Serialize for f64 {
+    fn to_json(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+impl Serialize for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Serialize for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Serialize for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Serialize for char {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Serialize for () {
+    fn to_json(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_json(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_json()),+])
+            }
+        }
+    )*};
+}
+impl_ser_tuple!((0 A, 1 B) (0 A, 1 B, 2 C) (0 A, 1 B, 2 C, 3 D));
+
+/// Maps serialize as ordered `[key, value]` pair arrays: keys are not
+/// restricted to strings in the workspace's types, so the object form
+/// is not generally available.
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_json(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![k.to_json(), v.to_json()]))
+                .collect(),
+        )
+    }
+}
+
+/// Iteration order of a `HashMap` is unspecified; artifacts needing
+/// byte determinism should use `BTreeMap` (the workspace does).
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn to_json(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![k.to_json(), v.to_json()]))
+                .collect(),
+        )
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl Serialize for std::time::Duration {
+    /// Seconds as a float — artifact-friendly wall-clock encoding.
+    fn to_json(&self) -> Value {
+        Value::Float(self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json::{to_string, to_string_pretty, Value};
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(to_string(&3u32), "3");
+        assert_eq!(to_string(&-7i64), "-7");
+        assert_eq!(to_string(&1.5f64), "1.5");
+        assert_eq!(to_string(&2.0f64), "2.0");
+        assert_eq!(to_string(&f64::NAN), "null");
+        assert_eq!(to_string(&true), "true");
+        assert_eq!(to_string("a\"b\n"), "\"a\\\"b\\n\"");
+    }
+
+    #[test]
+    fn containers_render() {
+        assert_eq!(to_string(&vec![1u8, 2, 3]), "[1,2,3]");
+        assert_eq!(to_string(&Some(1u8)), "1");
+        assert_eq!(to_string(&None::<u8>), "null");
+        let m: std::collections::BTreeMap<String, u32> = [("a".to_string(), 1)].into();
+        assert_eq!(to_string(&m), "[[\"a\",1]]");
+        assert_eq!(to_string(&(1u8, "x")), "[1,\"x\"]");
+    }
+
+    #[test]
+    fn object_order_is_preserved() {
+        let v = Value::obj(vec![("b", Value::Int(1)), ("a", Value::Int(2))]);
+        assert_eq!(to_string(&v), "{\"b\":1,\"a\":2}");
+        let pretty = to_string_pretty(&v);
+        assert!(pretty.contains("\"b\": 1"));
+        assert!(pretty.starts_with("{\n"));
+        assert!(pretty.ends_with("\n}"));
+    }
+
+    #[test]
+    fn value_accessors() {
+        let mut v = Value::obj::<&str>(vec![]);
+        v.push_field("n", Value::UInt(4));
+        assert_eq!(v.get("n").and_then(Value::as_u64), Some(4));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Value::String("s".into()).as_str(), Some("s"));
+    }
+}

@@ -1,0 +1,288 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Hand-rolled derive macros (no `syn`/`quote`, which are unavailable
+//! offline) for the in-tree `serde` shim:
+//!
+//! * `#[derive(Serialize)]` generates a real `serde::Serialize` impl
+//!   producing a `serde::json::Value` tree — externally tagged enums,
+//!   newtype flattening and field objects, mirroring serde_json's
+//!   default representations.
+//! * `#[derive(Deserialize)]` generates the marker
+//!   `serde::Deserialize` impl (the workspace never parses, only
+//!   emits).
+//!
+//! Supported input shapes: non-generic structs (named, tuple, unit)
+//! and enums (unit, tuple and struct variants). Generic types and
+//! `#[serde(...)]` attributes are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+#[derive(Debug)]
+enum Shape {
+    UnitStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+/// Split a token list on top-level commas, tracking `<`/`>` nesting so
+/// commas inside generic arguments do not split (a `->` return arrow is
+/// ignored via the preceding `-`).
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut prev_dash = false;
+    for tt in tokens {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' if !prev_dash && angle_depth > 0 => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut current));
+                    prev_dash = false;
+                    continue;
+                }
+                _ => {}
+            }
+            prev_dash = p.as_char() == '-';
+        } else {
+            prev_dash = false;
+        }
+        current.push(tt.clone());
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Index just past any leading attributes (`#[...]`, including the
+/// `#[doc = ...]` form doc comments lower to).
+fn skip_attributes(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Index just past a leading visibility qualifier (`pub`,
+/// `pub(crate)`, ...).
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Field names of a named-field body (struct or struct variant).
+fn parse_named_fields(group_tokens: &[TokenTree]) -> Vec<String> {
+    split_top_level(group_tokens)
+        .iter()
+        .filter_map(|field| {
+            let i = skip_visibility(field, skip_attributes(field, 0));
+            match field.get(i) {
+                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+fn parse(input: TokenStream) -> Parsed {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_visibility(&tokens, skip_attributes(&tokens, 0));
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic types are not supported (on `{name}`)");
+        }
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            None | Some(TokenTree::Punct(_)) => Shape::UnitStruct,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::NamedStruct(parse_named_fields(&body))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::TupleStruct(split_top_level(&body).len())
+            }
+            other => panic!("serde shim derive: unexpected struct body {other:?}"),
+        },
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    g.stream().into_iter().collect::<Vec<TokenTree>>()
+                }
+                other => panic!("serde shim derive: expected enum body, got {other:?}"),
+            };
+            let variants = split_top_level(&body)
+                .iter()
+                .filter_map(|v| {
+                    let j = skip_attributes(v, 0);
+                    let name = match v.get(j) {
+                        Some(TokenTree::Ident(id)) => id.to_string(),
+                        _ => return None,
+                    };
+                    let kind = match v.get(j + 1) {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                            VariantKind::Named(parse_named_fields(&body))
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                            VariantKind::Tuple(split_top_level(&body).len())
+                        }
+                        _ => VariantKind::Unit,
+                    };
+                    Some(Variant { name, kind })
+                })
+                .collect();
+            Shape::Enum(variants)
+        }
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    };
+
+    Parsed { name, shape }
+}
+
+fn object_literal(pairs: &[(String, String)]) -> String {
+    let mut s = String::from("serde::json::Value::Object(vec![");
+    for (key, value) in pairs {
+        let _ = write!(s, "({key:?}.to_string(), {value}),");
+    }
+    s.push_str("])");
+    s
+}
+
+fn array_literal(values: &[String]) -> String {
+    let mut s = String::from("serde::json::Value::Array(vec![");
+    for value in values {
+        let _ = write!(s, "{value},");
+    }
+    s.push_str("])");
+    s
+}
+
+fn to_json(expr: &str) -> String {
+    format!("serde::Serialize::to_json({expr})")
+}
+
+/// Generates a `serde::Serialize` impl building a `json::Value`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let Parsed { name, shape } = parse(input);
+    let body = match &shape {
+        Shape::UnitStruct => "serde::json::Value::Null".to_string(),
+        Shape::TupleStruct(1) => to_json("&self.0"),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n).map(|i| to_json(&format!("&self.{i}"))).collect();
+            array_literal(&items)
+        }
+        Shape::NamedStruct(fields) => {
+            let pairs: Vec<(String, String)> = fields
+                .iter()
+                .map(|f| (f.clone(), to_json(&format!("&self.{f}"))))
+                .collect();
+            object_literal(&pairs)
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                let arm = match &v.kind {
+                    VariantKind::Unit => {
+                        format!("{name}::{vn} => serde::json::Value::String({vn:?}.to_string()),")
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let payload = if *n == 1 {
+                            to_json("__f0")
+                        } else {
+                            let items: Vec<String> = binds.iter().map(|b| to_json(b)).collect();
+                            array_literal(&items)
+                        };
+                        format!(
+                            "{name}::{vn}({}) => {},",
+                            binds.join(","),
+                            object_literal(&[(vn.clone(), payload)])
+                        )
+                    }
+                    VariantKind::Named(fields) => {
+                        let pairs: Vec<(String, String)> =
+                            fields.iter().map(|f| (f.clone(), to_json(f))).collect();
+                        format!(
+                            "{name}::{vn} {{ {} }} => {},",
+                            fields.join(","),
+                            object_literal(&[(vn.clone(), object_literal(&pairs))])
+                        )
+                    }
+                };
+                arms.push_str(&arm);
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn to_json(&self) -> serde::json::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde shim derive: generated impl parses")
+}
+
+/// Generates the marker `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let Parsed { name, .. } = parse(input);
+    format!("impl serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("serde shim derive: generated impl parses")
+}
