@@ -15,4 +15,10 @@ cargo build --release
 echo "== cargo test"
 cargo test -q
 
+echo "== cargo doc (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
+echo "== pdr-lint (all gallery flows, deny warnings)"
+cargo run -q --release -p pdr-bench --bin pdr-lint -- --all --deny-warnings --format json
+
 echo "CI OK"

@@ -109,12 +109,25 @@ impl Executive {
     }
 
     /// Sanity check: every `Send` has exactly one matching `Receive` with
-    /// the same tag, medium, bits, and mirrored endpoints.
+    /// the same tag, medium, bits, and mirrored endpoints — and no tag is
+    /// used twice within one operator's sequence (a send and a receive of
+    /// the same tag on one operator is a self-rendezvous that blocks
+    /// forever). Cross-operator properties beyond tag matching — deadlock
+    /// freedom, reconfiguration safety — are `pdr-lint`'s job.
     pub fn validate(&self) -> Result<(), AdequationError> {
         let mut sends: BTreeMap<u32, (String, String, String, u64)> = BTreeMap::new();
         let mut recvs: BTreeMap<u32, (String, String, String, u64)> = BTreeMap::new();
         for (opr, instrs) in &self.per_operator {
+            let mut local_tags: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
             for i in instrs {
+                if let MacroInstr::Send { tag, .. } | MacroInstr::Receive { tag, .. } = i {
+                    if !local_tags.insert(*tag) {
+                        return Err(AdequationError::InvalidSchedule(format!(
+                            "operator `{opr}` uses rendezvous tag {tag} more than \
+                             once in its sequence"
+                        )));
+                    }
+                }
                 match i {
                     MacroInstr::Send {
                         to,
@@ -205,13 +218,35 @@ pub fn generate_executive(
     mapping: &Mapping,
     schedule: &Schedule,
 ) -> Result<Executive, AdequationError> {
-    // Timed event stream per operator: (time, sequence, instruction).
-    let mut events: BTreeMap<OperatorId, Vec<(TimePs, u32, MacroInstr)>> = BTreeMap::new();
+    // Timed event stream per operator. The sort key must order every
+    // operator's events along one consistent global timeline, or two
+    // operators can disagree on the order of their shared rendezvous and
+    // the executive deadlocks under the synchronous Send/Receive
+    // semantics. Key: (time, rank, start, end, seq) where
+    //   * time — when the event binds the operator: a Send at the
+    //     transfer's start, a Receive at its end, Configure/Compute at
+    //     their scheduled start;
+    //   * rank — at equal timestamps, complete incoming rendezvous (0)
+    //     before initiating outgoing ones (1), then Configure (2) before
+    //     the Compute it guards (3). A tie between a Receive ending at t
+    //     and a Send starting at t always means the received transfer
+    //     finished first, so receive-before-send is the chronological
+    //     order; the old insertion-order tie-break could invert it and
+    //     cross the rendezvous (a real deadlock the linter caught);
+    //   * start/end — the transfer's interval, identical on both
+    //     endpoints, so peers break remaining ties identically;
+    //   * seq — insertion order, a final deterministic tie-break.
+    type EventKey = (TimePs, u8, TimePs, TimePs, u32);
+    let mut events: BTreeMap<OperatorId, Vec<(EventKey, MacroInstr)>> = BTreeMap::new();
     let mut seq: u32 = 0;
     let next = |s: &mut u32| {
         *s += 1;
         *s
     };
+    const RANK_RECEIVE: u8 = 0;
+    const RANK_SEND: u8 = 1;
+    const RANK_CONFIGURE: u8 = 2;
+    const RANK_COMPUTE: u8 = 3;
 
     // Transfers: walk each algorithm edge's route; hop k of the medium
     // timeline tells us the times. We re-derive hop endpoints from the
@@ -276,8 +311,7 @@ pub fn generate_executive(
             let receiver = endpoints[hop + 1];
             let med_name = arch.medium(m).name.clone();
             events.entry(sender).or_default().push((
-                item.start,
-                next(&mut seq),
+                (item.start, RANK_SEND, item.start, item.end, next(&mut seq)),
                 MacroInstr::Send {
                     to: arch.operator(receiver).name.clone(),
                     medium: med_name.clone(),
@@ -286,8 +320,7 @@ pub fn generate_executive(
                 },
             ));
             events.entry(receiver).or_default().push((
-                item.end,
-                next(&mut seq),
+                (item.end, RANK_RECEIVE, item.start, item.end, next(&mut seq)),
                 MacroInstr::Receive {
                     from: arch.operator(sender).name.clone(),
                     medium: med_name,
@@ -306,8 +339,13 @@ pub fn generate_executive(
                 if algo.op(*op).kind.is_conditioned() && arch.operator(opr).kind.is_dynamic() {
                     let wc = chars.reconfig_time(function, &arch.operator(opr).name)?;
                     events.entry(opr).or_default().push((
-                        item.start,
-                        next(&mut seq),
+                        (
+                            item.start,
+                            RANK_CONFIGURE,
+                            item.start,
+                            item.start,
+                            next(&mut seq),
+                        ),
                         MacroInstr::Configure {
                             module: function.clone(),
                             worst_case: wc,
@@ -315,8 +353,13 @@ pub fn generate_executive(
                     ));
                 }
                 events.entry(opr).or_default().push((
-                    item.start,
-                    next(&mut seq),
+                    (
+                        item.start,
+                        RANK_COMPUTE,
+                        item.start,
+                        item.start,
+                        next(&mut seq),
+                    ),
                     MacroInstr::Compute {
                         op: op_name,
                         function: function.clone(),
@@ -329,10 +372,10 @@ pub fn generate_executive(
 
     let mut exec = Executive::default();
     for (opr, mut evs) in events {
-        evs.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        evs.sort_by_key(|a| a.0);
         exec.per_operator.insert(
             arch.operator(opr).name.clone(),
-            evs.into_iter().map(|(_, _, i)| i).collect(),
+            evs.into_iter().map(|(_, i)| i).collect(),
         );
     }
     exec.validate()?;
@@ -452,6 +495,33 @@ mod tests {
             }],
         );
         assert!(e.validate().is_err());
+    }
+
+    #[test]
+    fn per_operator_duplicate_tag_rejected() {
+        // A send and a receive of the same tag on ONE operator is a
+        // self-rendezvous: globally the tag maps still pair up, so only
+        // the per-operator check can reject it.
+        let mut e = Executive::default();
+        e.per_operator.insert(
+            "a".into(),
+            vec![
+                MacroInstr::Send {
+                    to: "a".into(),
+                    medium: "m".into(),
+                    bits: 8,
+                    tag: 7,
+                },
+                MacroInstr::Receive {
+                    from: "a".into(),
+                    medium: "m".into(),
+                    bits: 8,
+                    tag: 7,
+                },
+            ],
+        );
+        let err = e.validate().unwrap_err();
+        assert!(err.to_string().contains("more than"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! `pdr-lint` — static analysis of design-flow artifacts from the CLI.
+//!
+//! ```text
+//! pdr-lint --list                         # enumerate gallery flows
+//! pdr-lint --flow paper                   # lint one flow, text report
+//! pdr-lint --all --format json            # lint every flow, JSON
+//! pdr-lint --all --deny-warnings          # CI gate: warnings also fail
+//! ```
+//!
+//! The offline artifact model has no deserializer, so the CLI rebuilds
+//! flows in-process from [`pdr_core::gallery`] and lints what `run()`
+//! produces — the same artifacts `DesignFlow::verify` sees.
+//!
+//! Exit status: 0 when every linted flow is acceptable, 1 when any
+//! diagnostic fails the gate (errors always; warnings under
+//! `--deny-warnings`), 2 on usage errors.
+
+use pdr_core::gallery;
+use pdr_core::lint::render;
+use serde::json::Value;
+use serde::Serialize;
+use std::process::ExitCode;
+
+struct Options {
+    flows: Vec<String>,
+    json: bool,
+    deny_warnings: bool,
+    list: bool,
+}
+
+fn usage() -> String {
+    let names = gallery::names().join(", ");
+    format!(
+        "usage: pdr-lint [--flow NAME]... [--all] [--format text|json] \
+         [--deny-warnings] [--list]\nflows: {names}"
+    )
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        flows: Vec::new(),
+        json: false,
+        deny_warnings: false,
+        list: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--flow" => {
+                let name = it.next().ok_or("--flow needs a name")?;
+                opts.flows.push(name.clone());
+            }
+            "--all" => {
+                opts.flows = gallery::names().iter().map(|s| s.to_string()).collect();
+            }
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => opts.json = false,
+                Some("json") => opts.json = true,
+                other => return Err(format!("bad --format {other:?} (text|json)")),
+            },
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--list" => opts.list = true,
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    if !opts.list && opts.flows.is_empty() {
+        return Err(format!("nothing to lint\n{}", usage()));
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list {
+        for g in gallery::all() {
+            println!("{:24} {}", g.name, g.description);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut failed = false;
+    let mut json_flows: Vec<(String, Value)> = Vec::new();
+    for name in &opts.flows {
+        let Some(g) = gallery::by_name(name) else {
+            eprintln!("unknown flow `{name}`\n{}", usage());
+            return ExitCode::from(2);
+        };
+        let artifacts = match g.flow.run() {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("flow `{name}` failed to build: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let report = g.flow.verify(&artifacts);
+        failed |= report.fails(opts.deny_warnings);
+        if opts.json {
+            json_flows.push((name.clone(), report.to_json()));
+        } else {
+            println!("== {name} ==");
+            print!("{}", render::to_text(&report));
+        }
+    }
+    if opts.json {
+        let doc = Value::obj(json_flows);
+        println!("{}", serde::json::to_string_pretty(&doc));
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

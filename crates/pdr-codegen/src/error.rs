@@ -26,6 +26,9 @@ pub enum CodegenError {
     },
     /// Two pinned modules demand overlapping windows outside a share group.
     PinConflict(String),
+    /// An internal invariant of the placement engine was violated; always a
+    /// bug in `pdr-codegen`, surfaced as an error rather than a panic.
+    Internal(String),
     /// Underlying fabric error.
     Fabric(FabricError),
     /// Underlying graph error.
@@ -54,6 +57,7 @@ impl fmt::Display for CodegenError {
                 "design needs {needed_slices} slices, device offers {capacity}"
             ),
             CodegenError::PinConflict(msg) => write!(f, "pin conflict: {msg}"),
+            CodegenError::Internal(msg) => write!(f, "internal floorplanner invariant: {msg}"),
             CodegenError::Fabric(e) => write!(f, "{e}"),
             CodegenError::Graph(e) => write!(f, "{e}"),
             CodegenError::Adequation(e) => write!(f, "{e}"),

@@ -105,6 +105,9 @@ impl Floorplanner {
         // interior dividing lines so bus macros can straddle them.
         let mut next_free_col = 1u32;
         for (region_name, entries) in &by_region {
+            let first = entries.first().ok_or_else(|| {
+                CodegenError::Internal(format!("region `{region_name}` grouped with no modules"))
+            })?;
             let envelope = entries
                 .iter()
                 .fold(Resources::ZERO, |acc, (_, r)| acc.envelope(r));
@@ -125,7 +128,7 @@ impl Floorplanner {
             };
             if start == 0 || start + width >= self.device.clb_cols {
                 return Err(CodegenError::DoesNotFit {
-                    module: entries[0].0.module.clone(),
+                    module: first.0.module.clone(),
                     needed_slices: envelope.slices,
                     available_slices: (self.device.clb_cols.saturating_sub(start + 1))
                         * slices_per_col,
@@ -194,7 +197,12 @@ impl Floorplanner {
         for (m, _) in modules {
             let region = floorplan
                 .region(&m.region)
-                .expect("region placed above")
+                .ok_or_else(|| {
+                    CodegenError::Internal(format!(
+                        "module `{}` targets region `{}` which was never placed",
+                        m.module, m.region
+                    ))
+                })?
                 .clone();
             let fp = fingerprint(&m.module, &m.region);
             bitstreams.insert(

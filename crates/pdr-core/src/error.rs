@@ -20,6 +20,9 @@ pub enum FlowError {
     Runtime(RtrError),
     /// Simulation failure.
     Sim(SimError),
+    /// Static analysis found errors in the produced artifacts; carries
+    /// the rendered `pdr-lint` report.
+    Lint(String),
     /// Flow configuration error (missing input, inconsistent options).
     Config(String),
 }
@@ -32,6 +35,7 @@ impl fmt::Display for FlowError {
             FlowError::Codegen(e) => write!(f, "design generation: {e}"),
             FlowError::Runtime(e) => write!(f, "runtime: {e}"),
             FlowError::Sim(e) => write!(f, "simulation: {e}"),
+            FlowError::Lint(report) => write!(f, "static analysis: {report}"),
             FlowError::Config(msg) => write!(f, "flow configuration: {msg}"),
         }
     }
@@ -45,7 +49,7 @@ impl std::error::Error for FlowError {
             FlowError::Codegen(e) => Some(e),
             FlowError::Runtime(e) => Some(e),
             FlowError::Sim(e) => Some(e),
-            FlowError::Config(_) => None,
+            FlowError::Lint(_) | FlowError::Config(_) => None,
         }
     }
 }

@@ -154,6 +154,32 @@ impl DesignFlow {
             ucf: ucf_text,
         })
     }
+
+    /// Statically analyze produced artifacts with `pdr-lint`: rendezvous
+    /// matching, deadlock freedom, reconfiguration safety and floorplan
+    /// legality — the verification stage between generation and
+    /// deployment.
+    pub fn verify(&self, artifacts: &FlowArtifacts) -> pdr_lint::Report {
+        pdr_lint::lint(
+            &pdr_lint::LintInput::new(&artifacts.executive)
+                .with_arch(&self.arch)
+                .with_chars(&self.chars)
+                .with_constraints(&self.constraints)
+                .with_floorplan(&artifacts.design.floorplan),
+        )
+    }
+
+    /// Run the pipeline and gate the artifacts on a clean static
+    /// analysis: any error-level diagnostic aborts with
+    /// [`FlowError::Lint`] carrying the rendered report.
+    pub fn run_verified(&self) -> Result<FlowArtifacts, FlowError> {
+        let artifacts = self.run()?;
+        let report = self.verify(&artifacts);
+        if report.has_errors() {
+            return Err(FlowError::Lint(pdr_lint::render::to_text(&report)));
+        }
+        Ok(artifacts)
+    }
 }
 
 #[cfg(test)]
@@ -200,6 +226,35 @@ mod tests {
         let art = paper_flow().run().unwrap();
         let parsed = ConstraintsFile::parse(&art.constraints_text).unwrap();
         assert_eq!(parsed, paper::mccdma_constraints());
+    }
+
+    #[test]
+    fn paper_flow_verifies_clean() {
+        let flow = paper_flow();
+        let art = flow.run_verified().unwrap();
+        let report = flow.verify(&art);
+        assert!(report.is_clean(), "{}", pdr_lint::render::to_text(&report));
+    }
+
+    #[test]
+    fn run_verified_rejects_corrupted_artifacts() {
+        use pdr_adequation::executive::MacroInstr;
+        let flow = paper_flow();
+        let mut art = flow.run().unwrap();
+        // Seed a dangling rendezvous into the executive.
+        art.executive
+            .per_operator
+            .get_mut("dsp")
+            .unwrap()
+            .push(MacroInstr::Receive {
+                from: "nowhere".into(),
+                medium: "shb".into(),
+                bits: 1,
+                tag: 9_999,
+            });
+        let report = flow.verify(&art);
+        assert!(report.has_errors());
+        assert!(report.has_code(pdr_lint::Code::DanglingRendezvous));
     }
 
     #[test]

@@ -1,0 +1,280 @@
+//! A gallery of named, self-contained design flows.
+//!
+//! Every entry builds a complete [`DesignFlow`] from in-tree models, so
+//! tools that need "all the example designs" — the `pdr-lint` CLI, ci.sh,
+//! the lint regression suite — can enumerate them by name instead of
+//! duplicating model-building code. The set covers both §6 case-study
+//! variants (dynamic and the two fixed implementations) and the §7
+//! outlook of multiple dynamic regions, on two device sizes.
+
+use crate::flow::DesignFlow;
+use crate::paper::PaperCaseStudy;
+use pdr_adequation::AdequationOptions;
+use pdr_fabric::{Device, Resources, TimePs};
+use pdr_graph::constraints::{LoadPolicy, ModuleConstraints};
+use pdr_graph::paper as models;
+use pdr_graph::prelude::*;
+
+/// A named flow with a one-line description.
+pub struct GalleryFlow {
+    /// Stable flow name (CLI argument).
+    pub name: &'static str,
+    /// What the flow models.
+    pub description: &'static str,
+    /// The ready-to-run flow.
+    pub flow: DesignFlow,
+}
+
+/// Names of every gallery flow, in gallery order.
+pub fn names() -> Vec<&'static str> {
+    all().into_iter().map(|g| g.name).collect()
+}
+
+/// Look up one gallery flow by name.
+pub fn by_name(name: &str) -> Option<GalleryFlow> {
+    all().into_iter().find(|g| g.name == name)
+}
+
+/// Build every gallery flow.
+pub fn all() -> Vec<GalleryFlow> {
+    vec![
+        GalleryFlow {
+            name: "paper",
+            description: "§6 MC-CDMA transmitter, dynamic modulation on op_dyn (XC2V2000)",
+            flow: paper_flow(),
+        },
+        GalleryFlow {
+            name: "paper_fixed_qpsk",
+            description: "§6 case study, modulation fixed to mod_qpsk in static logic",
+            flow: paper_fixed_flow("mod_qpsk"),
+        },
+        GalleryFlow {
+            name: "paper_fixed_qam16",
+            description: "§6 case study, modulation fixed to mod_qam16 in static logic",
+            flow: paper_fixed_flow("mod_qam16"),
+        },
+        GalleryFlow {
+            name: "two_regions",
+            description: "§7 outlook: SDR receiver with two dynamic regions (XC2V3000)",
+            flow: sdr_flow(Device::by_name("XC2V3000").expect("catalog device")),
+        },
+        GalleryFlow {
+            name: "two_regions_xc2v4000",
+            description: "the two-region SDR receiver on the larger XC2V4000",
+            flow: sdr_flow(Device::by_name("XC2V4000").expect("catalog device")),
+        },
+    ]
+}
+
+/// The §6 case-study flow (dynamic modulation).
+fn paper_flow() -> DesignFlow {
+    DesignFlow::new(
+        models::mccdma_algorithm(),
+        models::sundance_architecture(),
+        models::mccdma_characterization(),
+        Device::xc2v2000(),
+    )
+    .with_constraints(models::mccdma_constraints())
+    .with_adequation_options(PaperCaseStudy::adequation_options())
+}
+
+/// The §6 case study with the modulation fixed to one implementation
+/// (everything static; the paper's Table 2 comparison baseline).
+fn paper_fixed_flow(module: &str) -> DesignFlow {
+    DesignFlow::new(
+        models::mccdma_fixed(module),
+        models::sundance_architecture(),
+        models::mccdma_characterization(),
+        Device::xc2v2000(),
+    )
+    .with_adequation_options(
+        AdequationOptions::default()
+            .pin("interface_in", "dsp")
+            .pin("interface_out", "fpga_static")
+            .pin("modulation", "fpga_static"),
+    )
+}
+
+/// The two-region software-defined-radio receiver front end: a
+/// conditioned channel filter on region `d1`, a conditioned decoder on
+/// region `d2`, fixed AGC/sync blocks in the static part.
+pub fn sdr_algorithm() -> AlgorithmGraph {
+    let mut g = AlgorithmGraph::new("sdr_rx_front_end");
+    let adc = g.add_op("adc", OpKind::Source).expect("fresh graph");
+    let band_sel = g
+        .add_op("band_select", OpKind::Source)
+        .expect("fresh graph");
+    let code_sel = g
+        .add_op("code_select", OpKind::Source)
+        .expect("fresh graph");
+    let agc = g.add_compute("agc").expect("fresh graph");
+    let filter = g
+        .add_op(
+            "channel_filter",
+            OpKind::Conditioned {
+                alternatives: vec!["fir_narrow".into(), "fir_wide".into()],
+            },
+        )
+        .expect("fresh graph");
+    let sync = g.add_compute("symbol_sync").expect("fresh graph");
+    let decoder = g
+        .add_op(
+            "decoder",
+            OpKind::Conditioned {
+                alternatives: vec!["dec_viterbi".into(), "dec_turbo".into()],
+            },
+        )
+        .expect("fresh graph");
+    let sink = g.add_op("payload_out", OpKind::Sink).expect("fresh graph");
+    g.connect(adc, agc, 4096).expect("valid edge");
+    g.connect(agc, filter, 4096).expect("valid edge");
+    g.connect(band_sel, filter, 2).expect("valid edge");
+    g.connect(filter, sync, 2048).expect("valid edge");
+    g.connect(sync, decoder, 1024).expect("valid edge");
+    g.connect(code_sel, decoder, 2).expect("valid edge");
+    g.connect(decoder, sink, 512).expect("valid edge");
+    g
+}
+
+/// The two-region platform: one CPU and one FPGA whose fabric hosts two
+/// independent dynamic regions behind the internal link.
+pub fn sdr_architecture() -> ArchGraph {
+    let mut a = ArchGraph::new("fig1_style_two_regions");
+    let cpu = a
+        .add_operator("cpu", OperatorKind::Processor)
+        .expect("fresh graph");
+    let f1 = a
+        .add_operator("f1", OperatorKind::FpgaStatic)
+        .expect("fresh graph");
+    let d1 = a
+        .add_operator("d1", OperatorKind::FpgaDynamic { host: "f1".into() })
+        .expect("fresh graph");
+    let d2 = a
+        .add_operator("d2", OperatorKind::FpgaDynamic { host: "f1".into() })
+        .expect("fresh graph");
+    let bus = a
+        .add_medium(
+            "host_bus",
+            MediumKind::Bus,
+            800_000_000,
+            TimePs::from_ns(300),
+        )
+        .expect("fresh graph");
+    let il = a
+        .add_medium(
+            "il",
+            MediumKind::InternalLink,
+            1_600_000_000,
+            TimePs::from_ns(20),
+        )
+        .expect("fresh graph");
+    a.link(cpu, bus).expect("valid link");
+    a.link(f1, bus).expect("valid link");
+    a.link(f1, il).expect("valid link");
+    a.link(d1, il).expect("valid link");
+    a.link(d2, il).expect("valid link");
+    a
+}
+
+/// Characterization of the SDR functions on the two-region platform.
+pub fn sdr_characterization() -> Characterization {
+    let mut c = Characterization::new();
+    let us = TimePs::from_us;
+    c.set_duration("agc", "f1", us(3))
+        .set_duration("agc", "cpu", us(50))
+        .set_duration("symbol_sync", "f1", us(4))
+        .set_duration("symbol_sync", "cpu", us(70));
+    for (f, wcet_us, region) in [
+        ("fir_narrow", 5u64, "d1"),
+        ("fir_wide", 8, "d1"),
+        ("dec_viterbi", 10, "d2"),
+        ("dec_turbo", 18, "d2"),
+    ] {
+        c.set_duration(f, region, us(wcet_us));
+        c.set_duration(f, "cpu", us(wcet_us * 20));
+    }
+    c.set_resources("agc", Resources::logic(80, 140, 120));
+    c.set_resources("symbol_sync", Resources::logic(110, 190, 160));
+    c.set_resources("fir_narrow", Resources::logic(220, 380, 340));
+    c.set_resources("fir_wide", Resources::logic(420, 760, 660));
+    c.set_resources("dec_viterbi", Resources::logic(350, 620, 540));
+    c.set_resources("dec_turbo", Resources::logic(780, 1_400, 1_180));
+    c.set_reconfig_default("d1", TimePs::from_ms(3));
+    c.set_reconfig_default("d2", TimePs::from_ms(6));
+    c
+}
+
+/// Constraints of the SDR design: one share group per region, the
+/// initially selected module of each region preloaded at start.
+pub fn sdr_constraints() -> ConstraintsFile {
+    let mut f = ConstraintsFile::new();
+    for (module, region, preload) in [
+        ("fir_narrow", "d1", true),
+        ("fir_wide", "d1", false),
+        ("dec_viterbi", "d2", true),
+        ("dec_turbo", "d2", false),
+    ] {
+        let mut mc = ModuleConstraints::new(module, region);
+        if preload {
+            mc.load = LoadPolicy::AtStart;
+        }
+        mc.share_group = Some(region.to_string());
+        f.add(mc).expect("unique module names");
+    }
+    f
+}
+
+/// The complete two-region SDR flow on the given device.
+pub fn sdr_flow(device: Device) -> DesignFlow {
+    DesignFlow::new(
+        sdr_algorithm(),
+        sdr_architecture(),
+        sdr_characterization(),
+        device,
+    )
+    .with_constraints(sdr_constraints())
+    .with_adequation_options(
+        AdequationOptions::default()
+            .pin("adc", "cpu")
+            .pin("band_select", "cpu")
+            .pin("code_select", "cpu")
+            .pin("payload_out", "f1"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_resolvable() {
+        let names = names();
+        assert_eq!(names.len(), 5);
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len());
+        for n in names {
+            assert!(by_name(n).is_some(), "{n} resolves");
+        }
+        assert!(by_name("nonsense").is_none());
+    }
+
+    #[test]
+    fn every_gallery_flow_runs() {
+        for g in all() {
+            let art = g.flow.run().unwrap_or_else(|e| {
+                panic!("gallery flow `{}` failed: {e}", g.name);
+            });
+            assert!(!art.executive.is_empty(), "{}", g.name);
+        }
+    }
+
+    #[test]
+    fn two_region_flow_produces_two_regions() {
+        let g = by_name("two_regions").unwrap();
+        let art = g.flow.run().unwrap();
+        assert_eq!(art.design.floorplan.floorplan.regions().len(), 2);
+        assert_eq!(art.design.modules.len(), 4);
+    }
+}

@@ -23,6 +23,12 @@
 //!
 //! * [`flow`] — [`DesignFlow`]: one builder that runs the whole pipeline
 //!   and returns every intermediate artifact ([`FlowArtifacts`]);
+//!   [`DesignFlow::verify`] statically analyzes those artifacts with
+//!   `pdr-lint` (rendezvous, deadlock, reconfiguration safety, floorplan)
+//!   and [`DesignFlow::run_verified`] gates on a clean report;
+//! * [`gallery`] — named, ready-to-run example flows (the §6 case-study
+//!   variants plus two-region designs) shared by the `pdr-lint` CLI,
+//!   ci.sh and the lint regression suite;
 //! * [`deploy`] — turn artifacts into a runnable [`deploy::DeployedSystem`]
 //!   (configuration managers built from the generated bitstreams, port and
 //!   memory models chosen per Fig. 2 variant) and simulate it;
@@ -44,6 +50,7 @@
 pub mod deploy;
 pub mod error;
 pub mod flow;
+pub mod gallery;
 pub mod paper;
 
 pub use deploy::{DeployedSystem, PrefetchChoice, RuntimeOptions};
@@ -55,6 +62,7 @@ pub use pdr_adequation as adequation;
 pub use pdr_codegen as codegen;
 pub use pdr_fabric as fabric;
 pub use pdr_graph as graph;
+pub use pdr_lint as lint;
 pub use pdr_mccdma as mccdma;
 pub use pdr_rtr as rtr;
 pub use pdr_sim as sim;

@@ -62,7 +62,7 @@ pub use device::{ColumnKind, Device, DeviceFamily};
 pub use error::FabricError;
 pub use frame::{BlockType, FrameAddress, FrameCounts};
 pub use port::{PortKind, PortProfile};
-pub use region::{Floorplan, ReconfigRegion};
+pub use region::{Floorplan, ReconfigRegion, MIN_REGION_CLB_COLS};
 pub use resources::Resources;
 pub use time::TimePs;
 

@@ -128,6 +128,24 @@ impl Floorplan {
         }
     }
 
+    /// Assemble a floorplan from raw parts *without* validation. The
+    /// checked path is [`Floorplan::new`] + [`Floorplan::add_region`] /
+    /// [`Floorplan::add_bus_macro`]; this constructor exists so that
+    /// verification tooling (`pdr-lint` and its mutation tests) can
+    /// represent illegal floorplans — e.g. overlapping regions or stray
+    /// bus macros — and prove they are diagnosed.
+    pub fn from_parts(
+        device: Device,
+        regions: Vec<ReconfigRegion>,
+        bus_macros: Vec<BusMacro>,
+    ) -> Self {
+        Floorplan {
+            device,
+            regions,
+            bus_macros,
+        }
+    }
+
     /// Add a reconfigurable region, enforcing bounds and non-overlap.
     pub fn add_region(&mut self, region: ReconfigRegion) -> Result<(), FabricError> {
         region.validate_on(&self.device)?;

@@ -1,0 +1,251 @@
+//! Deadlock detection (PDR004).
+//!
+//! The executive is straight-line code per operator, so its rendezvous
+//! behaviour is fully determined: an abstract scheduler that auto-advances
+//! local instructions (`Compute`, `Configure`) and completes a rendezvous
+//! exactly when *both* peers' program counters sit at the matching
+//! instructions explores the only reachable communication order. If that
+//! scheduler gets stuck before every stream finishes, the real system
+//! hangs in the same state.
+//!
+//! At a stuck state every unfinished operator is blocked on exactly one
+//! peer, so the wait-for graph has out-degree one over the stuck set and
+//! must contain at least one cycle — which is reported with a witness
+//! trace, one wait-for edge per line.
+
+use crate::diag::{Code, Diagnostic, Location};
+use crate::rendezvous::RendezvousPair;
+use pdr_adequation::executive::{Executive, MacroInstr};
+use std::collections::BTreeMap;
+
+/// Run the abstract scheduler and report deadlock cycles. `pairs` must
+/// come from a rendezvous pass with no errors — an unmatched rendezvous
+/// is a different defect (PDR001/PDR002) and would make every stuck
+/// state here a duplicate finding.
+pub fn check(executive: &Executive, pairs: &[RendezvousPair]) -> Vec<Diagnostic> {
+    // (operator, index) -> (peer operator, peer index, tag).
+    let mut peer_of: BTreeMap<(&str, usize), (&str, usize, u32)> = BTreeMap::new();
+    for p in pairs {
+        peer_of.insert(
+            (p.send_op.as_str(), p.send_idx),
+            (p.recv_op.as_str(), p.recv_idx, p.tag),
+        );
+        peer_of.insert(
+            (p.recv_op.as_str(), p.recv_idx),
+            (p.send_op.as_str(), p.send_idx, p.tag),
+        );
+    }
+
+    let mut pc: BTreeMap<&str, usize> = executive
+        .per_operator
+        .keys()
+        .map(|op| (op.as_str(), 0))
+        .collect();
+
+    loop {
+        let mut progressed = false;
+        // Local instructions complete on their own.
+        for (op, instrs) in &executive.per_operator {
+            let p = pc.get_mut(op.as_str()).expect("pc covers all operators");
+            while *p < instrs.len() && !instrs[*p].is_comm() {
+                *p += 1;
+                progressed = true;
+            }
+        }
+        // A rendezvous completes when both sides are at the matching pair.
+        for p in pairs {
+            let at_send = pc[p.send_op.as_str()] == p.send_idx;
+            let at_recv = pc[p.recv_op.as_str()] == p.recv_idx;
+            if at_send && at_recv {
+                *pc.get_mut(p.send_op.as_str()).expect("sender known") += 1;
+                *pc.get_mut(p.recv_op.as_str()).expect("receiver known") += 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    // Operators that did not reach the end of their stream are stuck at a
+    // communication instruction, waiting for one peer.
+    let stuck: BTreeMap<&str, usize> = pc
+        .iter()
+        .filter(|(op, &p)| p < executive.of(op).len())
+        .map(|(&op, &p)| (op, p))
+        .collect();
+    if stuck.is_empty() {
+        return Vec::new();
+    }
+
+    // Follow the out-degree-one wait-for graph to enumerate its cycles.
+    let waits_on =
+        |op: &str| -> Option<(&str, usize, u32)> { peer_of.get(&(op, stuck[op])).copied() };
+    let mut diagnostics = Vec::new();
+    // 0 = unvisited, 1 = on current path, 2 = done.
+    let mut mark: BTreeMap<&str, u8> = stuck.keys().map(|&op| (op, 0u8)).collect();
+    for &start in stuck.keys() {
+        if mark[start] != 0 {
+            continue;
+        }
+        let mut path = vec![start];
+        mark.insert(start, 1);
+        let cycle = loop {
+            let cur = *path.last().expect("path never empty");
+            let Some((next, _, _)) = waits_on(cur) else {
+                // Blocked on a rendezvous with no matched pair — that is a
+                // PDR001/PDR002 finding, not a cycle through this node.
+                break None;
+            };
+            match mark.get(next).copied() {
+                Some(0) => {
+                    mark.insert(next, 1);
+                    path.push(next);
+                }
+                Some(1) => {
+                    let at = path.iter().position(|&o| o == next).expect("on path");
+                    break Some(path[at..].to_vec());
+                }
+                // Already resolved (its cycle was reported, or the peer is
+                // not stuck — impossible at a fixpoint, but harmless).
+                _ => break None,
+            }
+        };
+        for &op in &path {
+            mark.insert(op, 2);
+        }
+        if let Some(cycle) = cycle {
+            let anchor = cycle[0];
+            let mut d = Diagnostic::new(
+                Code::Deadlock,
+                format!(
+                    "deadlock: {} operator{} in a cyclic rendezvous wait \
+                     ({})",
+                    cycle.len(),
+                    if cycle.len() == 1 { "" } else { "s" },
+                    cycle.join(" -> "),
+                ),
+            )
+            .at(Location::instr(anchor, stuck[anchor]));
+            for (k, &op) in cycle.iter().enumerate() {
+                let idx = stuck[op];
+                let (peer, peer_idx, tag) = waits_on(op).expect("cycle edges exist");
+                let verb = match &executive.of(op)[idx] {
+                    MacroInstr::Send { .. } => "send",
+                    MacroInstr::Receive { .. } => "receive",
+                    _ => "comm",
+                };
+                let next_in_cycle = cycle[(k + 1) % cycle.len()];
+                d = d.note(format!(
+                    "{op}[{idx}] blocks on {verb} tag {tag}, waiting for \
+                     {peer}[{peer_idx}] — but {next_in_cycle} is itself \
+                     blocked at {next_in_cycle}[{}]",
+                    stuck[next_in_cycle]
+                ));
+            }
+            diagnostics.push(d);
+        }
+    }
+    diagnostics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rendezvous;
+
+    fn send(to: &str, tag: u32) -> MacroInstr {
+        MacroInstr::Send {
+            to: to.into(),
+            medium: "m".into(),
+            bits: 8,
+            tag,
+        }
+    }
+
+    fn recv(from: &str, tag: u32) -> MacroInstr {
+        MacroInstr::Receive {
+            from: from.into(),
+            medium: "m".into(),
+            bits: 8,
+            tag,
+        }
+    }
+
+    fn run(e: &Executive) -> Vec<Diagnostic> {
+        let r = rendezvous::check(e);
+        assert!(
+            r.diagnostics.is_empty(),
+            "deadlock tests need clean rendezvous: {:?}",
+            r.diagnostics
+        );
+        check(e, &r.pairs)
+    }
+
+    #[test]
+    fn straight_pipeline_has_no_deadlock() {
+        let mut e = Executive::default();
+        e.per_operator
+            .insert("a".into(), vec![send("b", 1), send("b", 2)]);
+        e.per_operator
+            .insert("b".into(), vec![recv("a", 1), recv("a", 2), send("c", 3)]);
+        e.per_operator.insert("c".into(), vec![recv("b", 3)]);
+        assert!(run(&e).is_empty());
+    }
+
+    #[test]
+    fn crossed_rendezvous_order_deadlocks_with_witness() {
+        // a sends tag 1 then receives tag 2; b does the same in the
+        // opposite order of the matching pairs: classic crossed waits.
+        let mut e = Executive::default();
+        e.per_operator
+            .insert("a".into(), vec![send("b", 1), recv("b", 2)]);
+        e.per_operator
+            .insert("b".into(), vec![send("a", 2), recv("a", 1)]);
+        let ds = run(&e);
+        assert_eq!(ds.len(), 1);
+        let d = &ds[0];
+        assert_eq!(d.code, Code::Deadlock);
+        assert_eq!(d.notes.len(), 2, "one witness line per cycle edge");
+        assert!(d.message.contains("cyclic"));
+        assert!(d.notes.iter().any(|n| n.contains("a[0]")), "{d}");
+        assert!(d.notes.iter().any(|n| n.contains("b[0]")), "{d}");
+    }
+
+    #[test]
+    fn three_party_cycle_is_one_diagnostic() {
+        // a waits on c, c waits on b, b waits on a.
+        let mut e = Executive::default();
+        e.per_operator
+            .insert("a".into(), vec![recv("c", 3), send("b", 1)]);
+        e.per_operator
+            .insert("b".into(), vec![recv("a", 1), send("c", 2)]);
+        e.per_operator
+            .insert("c".into(), vec![recv("b", 2), send("a", 3)]);
+        let ds = run(&e);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].notes.len(), 3);
+    }
+
+    #[test]
+    fn local_instructions_do_not_block() {
+        let mut e = Executive::default();
+        e.per_operator.insert(
+            "a".into(),
+            vec![
+                MacroInstr::Configure {
+                    module: "m".into(),
+                    worst_case: pdr_fabric::TimePs::from_ms(4),
+                },
+                MacroInstr::Compute {
+                    op: "o".into(),
+                    function: "m".into(),
+                    duration: pdr_fabric::TimePs::from_us(1),
+                },
+                send("b", 1),
+            ],
+        );
+        e.per_operator.insert("b".into(), vec![recv("a", 1)]);
+        assert!(run(&e).is_empty());
+    }
+}

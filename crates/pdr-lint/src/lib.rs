@@ -1,0 +1,190 @@
+//! # pdr-lint — static analysis for compiled flow artifacts
+//!
+//! The §3 synchronized executive is straight-line macro-code per operator
+//! whose correctness hinges on *cross-operator* properties: every
+//! rendezvous must pair up, the pairing must be acyclic enough to make
+//! progress, every `Compute` on a dynamic region must run behind a
+//! matching `Configure`, and the §4 exclusion relations plus the §5
+//! Modular Design floorplan rules must hold. Simulation only discovers
+//! violations as hangs; this crate proves or refutes them statically,
+//! before any simulation runs.
+//!
+//! ## Analyses
+//!
+//! | Codes | Pass | Property |
+//! |---|---|---|
+//! | PDR001–003 | [`rendezvous`] | every `Send{tag}` has exactly one peer `Receive{tag}`, attributes mirrored, no duplicate/self tags |
+//! | PDR004 | [`deadlock`] | the cross-operator wait-for graph is cycle-free; cycles come with a witness trace |
+//! | PDR005–007, PDR012 | [`reconfig`] | Configure dominates Compute, worst-case times match the characterization, exclusion groups are statically safe, cross-references resolve |
+//! | PDR008–011 | [`floorplan`] | Modular Design geometry, bus-macro straddling, bitstream/frame consistency |
+//!
+//! ## Entry point
+//!
+//! ```
+//! use pdr_adequation::executive::Executive;
+//! use pdr_lint::{lint, LintInput};
+//!
+//! let executive = Executive::default();
+//! let report = lint(&LintInput::new(&executive));
+//! assert!(report.is_clean());
+//! ```
+//!
+//! Architecture, characterization, constraints and floorplan inputs are
+//! optional: passes needing an absent input are skipped, so the same
+//! entry point serves the full `DesignFlow::verify()` stage and narrow
+//! unit/mutation tests.
+
+pub mod deadlock;
+pub mod diag;
+pub mod floorplan;
+pub mod reconfig;
+pub mod render;
+pub mod rendezvous;
+
+pub use diag::{Code, Diagnostic, Location, Report, Severity};
+pub use rendezvous::RendezvousPair;
+
+use pdr_adequation::executive::Executive;
+use pdr_codegen::floorplan::FloorplanResult;
+use pdr_graph::{ArchGraph, Characterization, ConstraintsFile};
+
+/// Everything the linter can look at. Only the executive is mandatory.
+pub struct LintInput<'a> {
+    /// The synchronized executive (always analyzed).
+    pub executive: &'a Executive,
+    /// Architecture graph — enables the reconfiguration-safety pass.
+    pub arch: Option<&'a ArchGraph>,
+    /// Characterization tables — enables worst-case-time checking.
+    pub chars: Option<&'a Characterization>,
+    /// Constraints file — enables module/exclusion checking.
+    pub constraints: Option<&'a ConstraintsFile>,
+    /// Placed design — enables the floorplan/bitstream pass.
+    pub floorplan: Option<&'a FloorplanResult>,
+}
+
+impl<'a> LintInput<'a> {
+    /// Lint input over just an executive.
+    pub fn new(executive: &'a Executive) -> Self {
+        LintInput {
+            executive,
+            arch: None,
+            chars: None,
+            constraints: None,
+            floorplan: None,
+        }
+    }
+
+    /// Attach the architecture graph.
+    pub fn with_arch(mut self, arch: &'a ArchGraph) -> Self {
+        self.arch = Some(arch);
+        self
+    }
+
+    /// Attach the characterization tables.
+    pub fn with_chars(mut self, chars: &'a Characterization) -> Self {
+        self.chars = Some(chars);
+        self
+    }
+
+    /// Attach the constraints file.
+    pub fn with_constraints(mut self, constraints: &'a ConstraintsFile) -> Self {
+        self.constraints = Some(constraints);
+        self
+    }
+
+    /// Attach the placed design.
+    pub fn with_floorplan(mut self, floorplan: &'a FloorplanResult) -> Self {
+        self.floorplan = Some(floorplan);
+        self
+    }
+}
+
+/// Run every applicable analysis and aggregate the findings.
+///
+/// The deadlock pass only runs when the rendezvous pass found no errors:
+/// with unmatched or mismatched pairs, every stuck state would just
+/// restate the PDR001/PDR002 findings.
+pub fn lint(input: &LintInput<'_>) -> Report {
+    let mut report = Report::new();
+
+    let rv = rendezvous::check(input.executive);
+    let rendezvous_clean = rv.diagnostics.is_empty();
+    report.extend(rv.diagnostics);
+
+    if rendezvous_clean {
+        report.extend(deadlock::check(input.executive, &rv.pairs));
+    }
+
+    if let (Some(arch), Some(chars), Some(constraints)) =
+        (input.arch, input.chars, input.constraints)
+    {
+        report.extend(reconfig::check(
+            input.executive,
+            &rv.pairs,
+            arch,
+            chars,
+            constraints,
+        ));
+    }
+
+    if let Some(fp) = input.floorplan {
+        report.extend(floorplan::check(fp));
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdr_adequation::executive::MacroInstr;
+
+    #[test]
+    fn empty_executive_is_clean() {
+        let e = Executive::default();
+        assert!(lint(&LintInput::new(&e)).is_clean());
+    }
+
+    #[test]
+    fn deadlock_pass_is_suppressed_by_rendezvous_errors() {
+        // A dangling send blocks forever, but the finding must be the
+        // precise PDR001, not a redundant PDR004 on top.
+        let mut e = Executive::default();
+        e.per_operator.insert(
+            "a".into(),
+            vec![MacroInstr::Send {
+                to: "b".into(),
+                medium: "m".into(),
+                bits: 8,
+                tag: 1,
+            }],
+        );
+        let r = lint(&LintInput::new(&e));
+        assert!(r.has_code(Code::DanglingRendezvous));
+        assert!(!r.has_code(Code::Deadlock));
+    }
+
+    #[test]
+    fn crossed_waits_reach_the_deadlock_pass() {
+        let mk_send = |to: &str, tag| MacroInstr::Send {
+            to: to.into(),
+            medium: "m".into(),
+            bits: 8,
+            tag,
+        };
+        let mk_recv = |from: &str, tag| MacroInstr::Receive {
+            from: from.into(),
+            medium: "m".into(),
+            bits: 8,
+            tag,
+        };
+        let mut e = Executive::default();
+        e.per_operator
+            .insert("a".into(), vec![mk_send("b", 1), mk_recv("b", 2)]);
+        e.per_operator
+            .insert("b".into(), vec![mk_send("a", 2), mk_recv("a", 1)]);
+        let r = lint(&LintInput::new(&e));
+        assert!(r.has_code(Code::Deadlock));
+        assert!(!r.with_code(Code::Deadlock)[0].notes.is_empty());
+    }
+}

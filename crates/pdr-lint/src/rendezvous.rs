@@ -1,0 +1,303 @@
+//! Rendezvous matching (PDR001–PDR003).
+//!
+//! The §3 synchronized executive pairs every `Send{tag}` with exactly one
+//! `Receive{tag}`: same medium, same payload width, mirrored endpoints,
+//! and on two *different* operators (an operator cannot rendezvous with
+//! itself — both sides block forever). This pass checks all of that and
+//! hands the matched pairs to the deadlock and exclusion analyses.
+
+use crate::diag::{Code, Diagnostic, Location};
+use pdr_adequation::executive::{Executive, MacroInstr};
+use std::collections::BTreeMap;
+
+/// One endpoint of a rendezvous, as found in an operator stream.
+#[derive(Debug, Clone)]
+struct Endpoint {
+    operator: String,
+    index: usize,
+    peer: String,
+    medium: String,
+    bits: u64,
+}
+
+/// A fully matched rendezvous pair: where the `Send` and the `Receive`
+/// of one tag sit. Consumed by the deadlock and exclusion analyses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RendezvousPair {
+    /// Rendezvous tag.
+    pub tag: u32,
+    /// Sending operator.
+    pub send_op: String,
+    /// Index of the `Send` in the sender's stream.
+    pub send_idx: usize,
+    /// Receiving operator.
+    pub recv_op: String,
+    /// Index of the `Receive` in the receiver's stream.
+    pub recv_idx: usize,
+}
+
+/// Outcome of the rendezvous pass.
+pub struct RendezvousAnalysis {
+    /// Findings.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Tag-matched pairs on distinct operators (present even when their
+    /// attributes mismatch, so downstream analyses still see the edge).
+    pub pairs: Vec<RendezvousPair>,
+}
+
+/// Check rendezvous matching over the whole executive.
+pub fn check(executive: &Executive) -> RendezvousAnalysis {
+    let mut diagnostics = Vec::new();
+    let mut sends: BTreeMap<u32, Endpoint> = BTreeMap::new();
+    let mut recvs: BTreeMap<u32, Endpoint> = BTreeMap::new();
+
+    for (operator, instrs) in &executive.per_operator {
+        // Tags already seen in *this* operator's stream, in either role:
+        // a second use is PDR003 even when the global role maps stay
+        // consistent (a send+receive of one tag on one operator is a
+        // self-rendezvous that can never complete).
+        let mut local_tags: BTreeMap<u32, usize> = BTreeMap::new();
+        for (index, instr) in instrs.iter().enumerate() {
+            let (tag, peer, medium, bits, role_map, role) = match instr {
+                MacroInstr::Send {
+                    to,
+                    medium,
+                    bits,
+                    tag,
+                } => (*tag, to, medium, *bits, &mut sends, "send"),
+                MacroInstr::Receive {
+                    from,
+                    medium,
+                    bits,
+                    tag,
+                } => (*tag, from, medium, *bits, &mut recvs, "receive"),
+                _ => continue,
+            };
+            if let Some(&first) = local_tags.get(&tag) {
+                diagnostics.push(
+                    Diagnostic::new(
+                        Code::DuplicateTag,
+                        format!(
+                            "tag {tag} used twice within operator `{operator}` \
+                             (first at {operator}[{first}]); a tag names exactly \
+                             one transfer hop between two operators"
+                        ),
+                    )
+                    .at(Location::instr(operator, index)),
+                );
+            }
+            local_tags.insert(tag, index);
+            let ep = Endpoint {
+                operator: operator.clone(),
+                index,
+                peer: peer.clone(),
+                medium: medium.clone(),
+                bits,
+            };
+            if let Some(prev) = role_map.get(&tag) {
+                if prev.operator != *operator {
+                    diagnostics.push(
+                        Diagnostic::new(
+                            Code::DuplicateTag,
+                            format!(
+                                "tag {tag} has a second {role} at \
+                                 {operator}[{index}] (first at {}[{}])",
+                                prev.operator, prev.index
+                            ),
+                        )
+                        .at(Location::instr(operator, index)),
+                    );
+                }
+                // Keep the first endpoint for pairing.
+            } else {
+                role_map.insert(tag, ep);
+            }
+        }
+    }
+
+    // Pair up by tag; report dangling and mismatched pairs.
+    let mut pairs = Vec::new();
+    let tags: Vec<u32> = sends.keys().chain(recvs.keys()).copied().collect();
+    let mut seen = std::collections::BTreeSet::new();
+    for tag in tags {
+        if !seen.insert(tag) {
+            continue;
+        }
+        match (sends.get(&tag), recvs.get(&tag)) {
+            (Some(s), None) => diagnostics.push(
+                Diagnostic::new(
+                    Code::DanglingRendezvous,
+                    format!(
+                        "send tag {tag} to `{}` over `{}` has no matching \
+                         receive anywhere; the sender blocks forever",
+                        s.peer, s.medium
+                    ),
+                )
+                .at(Location::instr(&s.operator, s.index)),
+            ),
+            (None, Some(r)) => diagnostics.push(
+                Diagnostic::new(
+                    Code::DanglingRendezvous,
+                    format!(
+                        "receive tag {tag} from `{}` over `{}` has no matching \
+                         send anywhere; the receiver blocks forever",
+                        r.peer, r.medium
+                    ),
+                )
+                .at(Location::instr(&r.operator, r.index)),
+            ),
+            (Some(s), Some(r)) => {
+                let mut problems = Vec::new();
+                if s.medium != r.medium {
+                    problems.push(format!(
+                        "medium differs: send over `{}`, receive over `{}`",
+                        s.medium, r.medium
+                    ));
+                }
+                if s.bits != r.bits {
+                    problems.push(format!(
+                        "payload differs: send {} bits, receive {} bits",
+                        s.bits, r.bits
+                    ));
+                }
+                if s.peer != r.operator {
+                    problems.push(format!(
+                        "send targets `{}` but the receive sits on `{}`",
+                        s.peer, r.operator
+                    ));
+                }
+                if r.peer != s.operator {
+                    problems.push(format!(
+                        "receive expects `{}` but the send sits on `{}`",
+                        r.peer, s.operator
+                    ));
+                }
+                if !problems.is_empty() {
+                    let mut d = Diagnostic::new(
+                        Code::RendezvousMismatch,
+                        format!(
+                            "rendezvous tag {tag} is mismatched between \
+                             {}[{}] and {}[{}]",
+                            s.operator, s.index, r.operator, r.index
+                        ),
+                    )
+                    .at(Location::instr(&s.operator, s.index));
+                    for p in problems {
+                        d = d.note(p);
+                    }
+                    diagnostics.push(d);
+                }
+                if s.operator != r.operator {
+                    pairs.push(RendezvousPair {
+                        tag,
+                        send_op: s.operator.clone(),
+                        send_idx: s.index,
+                        recv_op: r.operator.clone(),
+                        recv_idx: r.index,
+                    });
+                }
+            }
+            (None, None) => unreachable!("tag came from one of the maps"),
+        }
+    }
+
+    RendezvousAnalysis { diagnostics, pairs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn send(to: &str, tag: u32) -> MacroInstr {
+        MacroInstr::Send {
+            to: to.into(),
+            medium: "m".into(),
+            bits: 8,
+            tag,
+        }
+    }
+
+    fn recv(from: &str, tag: u32) -> MacroInstr {
+        MacroInstr::Receive {
+            from: from.into(),
+            medium: "m".into(),
+            bits: 8,
+            tag,
+        }
+    }
+
+    #[test]
+    fn matched_pair_is_clean_and_collected() {
+        let mut e = Executive::default();
+        e.per_operator.insert("a".into(), vec![send("b", 1)]);
+        e.per_operator.insert("b".into(), vec![recv("a", 1)]);
+        let r = check(&e);
+        assert!(r.diagnostics.is_empty());
+        assert_eq!(
+            r.pairs,
+            vec![RendezvousPair {
+                tag: 1,
+                send_op: "a".into(),
+                send_idx: 0,
+                recv_op: "b".into(),
+                recv_idx: 0,
+            }]
+        );
+    }
+
+    #[test]
+    fn dangling_send_and_receive_flagged() {
+        let mut e = Executive::default();
+        e.per_operator.insert("a".into(), vec![send("b", 1)]);
+        e.per_operator.insert("b".into(), vec![recv("a", 2)]);
+        let r = check(&e);
+        assert_eq!(r.diagnostics.len(), 2);
+        assert!(r
+            .diagnostics
+            .iter()
+            .all(|d| d.code == Code::DanglingRendezvous));
+        assert!(r.pairs.is_empty());
+    }
+
+    #[test]
+    fn attribute_mismatch_flagged_with_details() {
+        let mut e = Executive::default();
+        e.per_operator.insert("a".into(), vec![send("b", 1)]);
+        e.per_operator.insert(
+            "b".into(),
+            vec![MacroInstr::Receive {
+                from: "c".into(),
+                medium: "other".into(),
+                bits: 16,
+                tag: 1,
+            }],
+        );
+        let r = check(&e);
+        assert_eq!(r.diagnostics.len(), 1);
+        let d = &r.diagnostics[0];
+        assert_eq!(d.code, Code::RendezvousMismatch);
+        assert_eq!(d.notes.len(), 3, "medium, bits, expected-sender: {d}");
+        // Still paired for downstream analyses.
+        assert_eq!(r.pairs.len(), 1);
+    }
+
+    #[test]
+    fn self_rendezvous_is_a_duplicate_tag() {
+        let mut e = Executive::default();
+        e.per_operator
+            .insert("a".into(), vec![send("a", 1), recv("a", 1)]);
+        let r = check(&e);
+        assert!(r.diagnostics.iter().any(|d| d.code == Code::DuplicateTag));
+        assert!(r.pairs.is_empty());
+    }
+
+    #[test]
+    fn duplicate_role_across_operators_flagged() {
+        let mut e = Executive::default();
+        e.per_operator.insert("a".into(), vec![send("c", 1)]);
+        e.per_operator.insert("b".into(), vec![send("c", 1)]);
+        e.per_operator.insert("c".into(), vec![recv("a", 1)]);
+        let r = check(&e);
+        assert!(r.diagnostics.iter().any(|d| d.code == Code::DuplicateTag));
+    }
+}

@@ -19,6 +19,9 @@ pub enum RtrError {
     },
     /// Underlying fabric error (malformed bitstream, device mismatch, ...).
     Fabric(FabricError),
+    /// An internal invariant of the runtime machinery was violated; always
+    /// a bug in `pdr-rtr`, surfaced as an error rather than a panic.
+    Internal(String),
     /// A module was requested for a region it was not built for.
     RegionMismatch {
         /// Module name.
@@ -55,6 +58,7 @@ impl fmt::Display for RtrError {
                 "staging cache ({capacity} B) cannot hold bitstream of `{module}` ({needed} B)"
             ),
             RtrError::Fabric(e) => write!(f, "{e}"),
+            RtrError::Internal(msg) => write!(f, "internal runtime invariant: {msg}"),
             RtrError::RegionMismatch {
                 module,
                 built_for,

@@ -112,7 +112,9 @@ impl BitstreamStore {
     /// (compressed when compression is on).
     pub fn stored_size_of(&self, module: &str) -> Result<usize, RtrError> {
         self.get(module)?;
-        Ok(self.stored_sizes[module])
+        self.stored_sizes.get(module).copied().ok_or_else(|| {
+            RtrError::Internal(format!("no stored size recorded for module `{module}`"))
+        })
     }
 
     /// Number of stored modules.

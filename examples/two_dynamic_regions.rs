@@ -1,6 +1,6 @@
-//! Build a *custom* reconfigurable system from scratch with two dynamic
-//! regions — the paper's §7 outlook: *"complex design and architecture can
-//! support more than one dynamic part"*.
+//! A reconfigurable system with two dynamic regions — the paper's §7
+//! outlook: *"complex design and architecture can support more than one
+//! dynamic part"*.
 //!
 //! ```text
 //! cargo run --example two_dynamic_regions
@@ -12,148 +12,31 @@
 //! * a conditioned **decoder** (viterbi | turbo-like) on region D2;
 //! * fixed AGC/sync blocks in the static part.
 //!
-//! Everything below uses only the public API: graphs, characterization,
-//! constraints, the flow, and deployment.
+//! The models live in [`pdr_core::gallery`] (shared with the `pdr-lint`
+//! CLI and the lint regression suite); this example runs the flow through
+//! the static-analysis gate, inspects the two-region floorplan, and
+//! simulates adaptive module switching on both regions at once.
 
-use pdr_adequation::AdequationOptions;
-use pdr_core::{DesignFlow, RuntimeOptions};
-use pdr_fabric::{Device, Resources, TimePs};
-use pdr_graph::constraints::{LoadPolicy, ModuleConstraints};
-use pdr_graph::prelude::*;
+use pdr_core::gallery;
+use pdr_core::{DeployedSystem, RuntimeOptions};
 use pdr_sim::SimConfig;
 
-fn build_algorithm() -> AlgorithmGraph {
-    let mut g = AlgorithmGraph::new("sdr_rx_front_end");
-    let adc = g.add_op("adc", OpKind::Source).unwrap();
-    let band_sel = g.add_op("band_select", OpKind::Source).unwrap();
-    let code_sel = g.add_op("code_select", OpKind::Source).unwrap();
-    let agc = g.add_compute("agc").unwrap();
-    let filter = g
-        .add_op(
-            "channel_filter",
-            OpKind::Conditioned {
-                alternatives: vec!["fir_narrow".into(), "fir_wide".into()],
-            },
-        )
-        .unwrap();
-    let sync = g.add_compute("symbol_sync").unwrap();
-    let decoder = g
-        .add_op(
-            "decoder",
-            OpKind::Conditioned {
-                alternatives: vec!["dec_viterbi".into(), "dec_turbo".into()],
-            },
-        )
-        .unwrap();
-    let sink = g.add_op("payload_out", OpKind::Sink).unwrap();
-    g.connect(adc, agc, 4096).unwrap();
-    g.connect(agc, filter, 4096).unwrap();
-    g.connect(band_sel, filter, 2).unwrap();
-    g.connect(filter, sync, 2048).unwrap();
-    g.connect(sync, decoder, 1024).unwrap();
-    g.connect(code_sel, decoder, 2).unwrap();
-    g.connect(decoder, sink, 512).unwrap();
-    g
-}
-
-fn build_architecture() -> ArchGraph {
-    let mut a = ArchGraph::new("fig1_style_two_regions");
-    let cpu = a.add_operator("cpu", OperatorKind::Processor).unwrap();
-    let f1 = a.add_operator("f1", OperatorKind::FpgaStatic).unwrap();
-    let d1 = a
-        .add_operator("d1", OperatorKind::FpgaDynamic { host: "f1".into() })
-        .unwrap();
-    let d2 = a
-        .add_operator("d2", OperatorKind::FpgaDynamic { host: "f1".into() })
-        .unwrap();
-    let bus = a
-        .add_medium(
-            "host_bus",
-            MediumKind::Bus,
-            800_000_000,
-            TimePs::from_ns(300),
-        )
-        .unwrap();
-    let il = a
-        .add_medium(
-            "il",
-            MediumKind::InternalLink,
-            1_600_000_000,
-            TimePs::from_ns(20),
-        )
-        .unwrap();
-    a.link(cpu, bus).unwrap();
-    a.link(f1, bus).unwrap();
-    a.link(f1, il).unwrap();
-    a.link(d1, il).unwrap();
-    a.link(d2, il).unwrap();
-    a
-}
-
-fn build_characterization() -> Characterization {
-    let mut c = Characterization::new();
-    let us = TimePs::from_us;
-    c.set_duration("agc", "f1", us(3))
-        .set_duration("agc", "cpu", us(50))
-        .set_duration("symbol_sync", "f1", us(4))
-        .set_duration("symbol_sync", "cpu", us(70));
-    for (f, d1_us, region) in [
-        ("fir_narrow", 5u64, "d1"),
-        ("fir_wide", 8, "d1"),
-        ("dec_viterbi", 10, "d2"),
-        ("dec_turbo", 18, "d2"),
-    ] {
-        c.set_duration(f, region, us(d1_us));
-        c.set_duration(f, "cpu", us(d1_us * 20));
-    }
-    c.set_resources("agc", Resources::logic(80, 140, 120));
-    c.set_resources("symbol_sync", Resources::logic(110, 190, 160));
-    c.set_resources("fir_narrow", Resources::logic(220, 380, 340));
-    c.set_resources("fir_wide", Resources::logic(420, 760, 660));
-    c.set_resources("dec_viterbi", Resources::logic(350, 620, 540));
-    c.set_resources("dec_turbo", Resources::logic(780, 1_400, 1_180));
-    c.set_reconfig_default("d1", TimePs::from_ms(3));
-    c.set_reconfig_default("d2", TimePs::from_ms(6));
-    c
-}
-
-fn build_constraints() -> ConstraintsFile {
-    let mut f = ConstraintsFile::new();
-    for (module, region, preload) in [
-        ("fir_narrow", "d1", true),
-        ("fir_wide", "d1", false),
-        ("dec_viterbi", "d2", true),
-        ("dec_turbo", "d2", false),
-    ] {
-        let mut mc = ModuleConstraints::new(module, region);
-        if preload {
-            mc.load = LoadPolicy::AtStart;
-        }
-        mc.share_group = Some(region.to_string());
-        f.add(mc).unwrap();
-    }
-    f
-}
-
 fn main() {
-    let arch = build_architecture();
-    let flow = DesignFlow::new(
-        build_algorithm(),
-        arch.clone(),
-        build_characterization(),
-        Device::by_name("XC2V3000").expect("catalog device"),
-    )
-    .with_constraints(build_constraints())
-    .with_adequation_options(
-        AdequationOptions::default()
-            .pin("adc", "cpu")
-            .pin("band_select", "cpu")
-            .pin("code_select", "cpu")
-            .pin("payload_out", "f1"),
+    let g = gallery::by_name("two_regions").expect("gallery flow");
+    println!("== flow `{}` ==\n{}\n", g.name, g.description);
+
+    // Run the pipeline gated on a clean static analysis: rendezvous,
+    // deadlock, reconfiguration safety and floorplan lints all pass or
+    // the flow refuses to hand out artifacts.
+    let artifacts = g.flow.run_verified().expect("flow runs and lints clean");
+    let report = g.flow.verify(&artifacts);
+    println!(
+        "pdr-lint: {} ({} diagnostics)",
+        if report.is_clean() { "clean" } else { "dirty" },
+        report.diagnostics.len()
     );
 
-    let artifacts = flow.run().expect("custom flow runs");
-    println!("== two-region floorplan on XC2V3000 ==");
+    println!("\n== two-region floorplan on {} ==", g.flow.device().name);
     for region in artifacts.design.floorplan.floorplan.regions() {
         println!(
             "region {:4} columns [{}, {}) holding {:?}",
@@ -195,10 +78,11 @@ fn main() {
             }
         })
         .collect();
-    let deployed = pdr_core::DeployedSystem::new(
+    let arch = gallery::sdr_architecture();
+    let deployed = DeployedSystem::new(
         &arch,
         &artifacts,
-        Device::by_name("XC2V3000").unwrap(),
+        g.flow.device().clone(),
         RuntimeOptions::paper_baseline(),
     );
     let report = deployed

@@ -1,0 +1,408 @@
+//! Regression and mutation suite for the `pdr-lint` static analyzer.
+//!
+//! Two directions of evidence:
+//!
+//! * **soundness on good designs** — every gallery flow, and every
+//!   executive generated from a random valid graph, lints clean;
+//! * **sensitivity to bad designs** — one targeted mutation per
+//!   diagnostic code (PDR001–PDR012), each caught with exactly the
+//!   expected code.
+
+use pdr_adequation::executive::{generate_executive, MacroInstr};
+use pdr_adequation::{adequate, AdequationOptions};
+use pdr_core::gallery;
+use pdr_core::{DesignFlow, FlowArtifacts};
+use pdr_fabric::{Bitstream, BusMacro, BusMacroDirection, Floorplan, ReconfigRegion, TimePs};
+use pdr_graph::constraints::{ConstraintsFile, ModuleConstraints};
+use pdr_graph::prelude::*;
+use pdr_lint::{lint, render, Code, LintInput, Report};
+use proptest::prelude::*;
+
+/// Build and run one gallery flow, returning the flow and its artifacts.
+fn built(name: &str) -> (DesignFlow, FlowArtifacts) {
+    let g = gallery::by_name(name).expect("gallery flow exists");
+    let art = g.flow.run().expect("gallery flow runs");
+    (g.flow, art)
+}
+
+/// The instruction stream of `operator`, for mutation.
+fn stream_mut<'a>(art: &'a mut FlowArtifacts, operator: &str) -> &'a mut Vec<MacroInstr> {
+    art.executive
+        .per_operator
+        .get_mut(operator)
+        .expect("operator stream exists")
+}
+
+// ------------------------------------------------------- clean designs
+
+#[test]
+fn every_gallery_flow_lints_clean() {
+    for g in gallery::all() {
+        let art = g.flow.run().expect("gallery flow runs");
+        let report = g.flow.verify(&art);
+        assert!(
+            report.is_clean(),
+            "gallery flow `{}` is not lint-clean:\n{}",
+            g.name,
+            render::to_text(&report)
+        );
+    }
+}
+
+#[test]
+fn run_verified_accepts_every_gallery_flow() {
+    for g in gallery::all() {
+        g.flow
+            .run_verified()
+            .unwrap_or_else(|e| panic!("gallery flow `{}` rejected: {e}", g.name));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Executives generated from random valid layered graphs on the paper
+    /// platform always lint clean — the generator and the analyzer agree
+    /// on what a well-formed executive is.
+    #[test]
+    fn random_graph_executives_lint_clean(
+        layers in 1usize..5,
+        width in 1usize..5,
+        wcets in prop::collection::vec(1u64..50, 25),
+        edge_mask in prop::collection::vec(any::<bool>(), 64),
+    ) {
+        let arch = pdr_graph::paper::sundance_architecture();
+        let mut g = AlgorithmGraph::new("lint_prop");
+        let mut chars = Characterization::new();
+        let src = g.add_op("src", OpKind::Source).unwrap();
+        let mut prev = vec![src];
+        let mut mask = edge_mask.iter().cycle();
+        let mut wcet = wcets.iter().cycle();
+        for l in 0..layers {
+            let mut layer = Vec::new();
+            for w in 0..width {
+                let name = format!("n_{l}_{w}");
+                let id = g.add_compute(&name).unwrap();
+                let us = *wcet.next().unwrap();
+                chars.set_duration(&name, "fpga_static", TimePs::from_us(us));
+                chars.set_duration(&name, "dsp", TimePs::from_us(us * 10));
+                layer.push(id);
+            }
+            for (i, &b) in layer.iter().enumerate() {
+                g.connect(prev[i % prev.len()], b, 32).unwrap();
+                for &a in &prev {
+                    if *mask.next().unwrap() && !g.predecessors(b).contains(&a) {
+                        g.connect(a, b, 32).unwrap();
+                    }
+                }
+            }
+            prev = layer;
+        }
+        let sink = g.add_op("sink", OpKind::Sink).unwrap();
+        for &a in &prev {
+            g.connect(a, sink, 32).unwrap();
+        }
+        let constraints = ConstraintsFile::new();
+        let r = adequate(&g, &arch, &chars, &constraints, &AdequationOptions::default()).unwrap();
+        let executive =
+            generate_executive(&g, &arch, &chars, &r.mapping, &r.schedule).unwrap();
+        let report = lint(
+            &LintInput::new(&executive)
+                .with_arch(&arch)
+                .with_chars(&chars)
+                .with_constraints(&constraints),
+        );
+        prop_assert!(report.is_clean(), "{}", render::to_text(&report));
+    }
+}
+
+// ---------------------------------------------------- executive mutations
+
+#[test]
+fn dropped_receive_is_pdr001() {
+    let (flow, mut art) = built("paper");
+    let stream = stream_mut(&mut art, "op_dyn");
+    let idx = stream
+        .iter()
+        .position(|i| matches!(i, MacroInstr::Receive { .. }))
+        .expect("op_dyn receives its input");
+    stream.remove(idx);
+    let report = flow.verify(&art);
+    assert!(report.has_errors());
+    assert!(report.has_code(Code::DanglingRendezvous));
+}
+
+#[test]
+fn swapped_tags_are_pdr002() {
+    // Swap the tags of the two sends from fpga_static to op_dyn: each
+    // send now pairs with the other's receive, whose payload size differs.
+    let (flow, mut art) = built("paper");
+    let stream = stream_mut(&mut art, "fpga_static");
+    let sends: Vec<usize> = stream
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| matches!(i, MacroInstr::Send { to, .. } if to == "op_dyn"))
+        .map(|(idx, _)| idx)
+        .collect();
+    assert!(sends.len() >= 2, "paper flow has two sends to op_dyn");
+    let (a, b) = (sends[0], sends[1]);
+    let tag_a = match &stream[a] {
+        MacroInstr::Send { tag, .. } => *tag,
+        _ => unreachable!(),
+    };
+    let tag_b = match &stream[b] {
+        MacroInstr::Send { tag, .. } => *tag,
+        _ => unreachable!(),
+    };
+    if let MacroInstr::Send { tag, .. } = &mut stream[a] {
+        *tag = tag_b;
+    }
+    if let MacroInstr::Send { tag, .. } = &mut stream[b] {
+        *tag = tag_a;
+    }
+    let report = flow.verify(&art);
+    assert!(report.has_errors());
+    assert!(report.has_code(Code::RendezvousMismatch));
+}
+
+#[test]
+fn duplicated_tag_is_pdr003() {
+    // Give fpga_static's second receive-from-dsp the tag of its first:
+    // the same operator now uses one tag twice.
+    let (flow, mut art) = built("paper");
+    let stream = stream_mut(&mut art, "fpga_static");
+    let recvs: Vec<usize> = stream
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| matches!(i, MacroInstr::Receive { from, .. } if from == "dsp"))
+        .map(|(idx, _)| idx)
+        .collect();
+    assert!(recvs.len() >= 2, "paper flow receives twice from the dsp");
+    let first_tag = match &stream[recvs[0]] {
+        MacroInstr::Receive { tag, .. } => *tag,
+        _ => unreachable!(),
+    };
+    if let MacroInstr::Receive { tag, .. } = &mut stream[recvs[1]] {
+        *tag = first_tag;
+    }
+    let report = flow.verify(&art);
+    assert!(report.has_errors());
+    assert!(report.has_code(Code::DuplicateTag));
+}
+
+#[test]
+fn crossed_rendezvous_order_is_pdr004_with_witness_trace() {
+    // Reverse the order of op_dyn's two receives: fpga_static sends the
+    // first tag while op_dyn waits for the second — a two-party cycle.
+    let (flow, mut art) = built("paper");
+    let stream = stream_mut(&mut art, "op_dyn");
+    let recvs: Vec<usize> = stream
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| matches!(i, MacroInstr::Receive { .. }))
+        .map(|(idx, _)| idx)
+        .collect();
+    assert!(recvs.len() >= 2, "op_dyn receives data and selector");
+    stream.swap(recvs[0], recvs[1]);
+    let report = flow.verify(&art);
+    assert!(report.has_errors());
+    assert!(report.has_code(Code::Deadlock));
+    // Every tag still pairs up: the defect is purely one of ordering.
+    assert!(!report.has_code(Code::DanglingRendezvous));
+    assert!(!report.has_code(Code::RendezvousMismatch));
+    // The diagnostic carries the cyclic wait-for witness, one hop per note.
+    let deadlocks = report.with_code(Code::Deadlock);
+    assert!(
+        deadlocks[0].notes.len() >= 2,
+        "witness trace covers the cycle"
+    );
+    assert!(deadlocks[0].notes.iter().any(|n| n.contains("blocks on")));
+}
+
+#[test]
+fn removed_configure_is_pdr005() {
+    let (flow, mut art) = built("paper");
+    let stream = stream_mut(&mut art, "op_dyn");
+    let idx = stream
+        .iter()
+        .position(|i| matches!(i, MacroInstr::Configure { .. }))
+        .expect("op_dyn configures its module");
+    stream.remove(idx);
+    let report = flow.verify(&art);
+    assert!(report.has_errors());
+    assert!(report.has_code(Code::UnconfiguredCompute));
+}
+
+#[test]
+fn perturbed_worst_case_is_pdr006() {
+    let (flow, mut art) = built("paper");
+    let stream = stream_mut(&mut art, "op_dyn");
+    let idx = stream
+        .iter()
+        .position(|i| matches!(i, MacroInstr::Configure { .. }))
+        .expect("op_dyn configures its module");
+    if let MacroInstr::Configure { worst_case, .. } = &mut stream[idx] {
+        *worst_case += TimePs::from_ms(1);
+    }
+    let report = flow.verify(&art);
+    assert!(report.has_code(Code::WcetMismatch));
+    // A stale worst-case is a warning: it only gates under --deny-warnings.
+    assert!(!report.has_errors());
+    assert!(report.fails(true));
+    assert!(!report.fails(false));
+}
+
+#[test]
+fn cross_region_exclusion_is_pdr007() {
+    // Declare the two preloaded SDR modules mutually exclusive even
+    // though they live in different regions. Both are configured once and
+    // never released, so no rendezvous chain can order the residencies.
+    let g = gallery::by_name("two_regions").expect("gallery flow");
+    let art = g.flow.run().expect("flow runs");
+    let mut constraints = ConstraintsFile::new();
+    for (module, region) in [
+        ("fir_narrow", "d1"),
+        ("fir_wide", "d1"),
+        ("dec_viterbi", "d2"),
+        ("dec_turbo", "d2"),
+    ] {
+        let mut mc = ModuleConstraints::new(module, region);
+        if module == "fir_wide" {
+            mc.exclusive_with = vec!["dec_turbo".to_string()];
+        }
+        constraints.add(mc).expect("unique module names");
+    }
+    let arch = gallery::sdr_architecture();
+    let chars = gallery::sdr_characterization();
+    let report = lint(
+        &LintInput::new(&art.executive)
+            .with_arch(&arch)
+            .with_chars(&chars)
+            .with_constraints(&constraints),
+    );
+    assert!(report.has_errors());
+    assert!(report.has_code(Code::ExclusionViolable));
+    let notes = &report.with_code(Code::ExclusionViolable)[0].notes;
+    assert!(!notes.is_empty(), "PDR007 explains both residency spans");
+}
+
+// ---------------------------------------------------- floorplan mutations
+
+#[test]
+fn shrunk_region_is_pdr008() {
+    let (flow, mut art) = built("paper");
+    let fp = &art.design.floorplan.floorplan;
+    let mut regions = fp.regions().to_vec();
+    regions[0].clb_col_width = 1; // below the four-slice minimum
+    art.design.floorplan.floorplan =
+        Floorplan::from_parts(fp.device.clone(), regions, fp.bus_macros().to_vec());
+    let report = flow.verify(&art);
+    assert!(report.has_errors());
+    assert!(report.has_code(Code::RegionGeometry));
+}
+
+#[test]
+fn overlapping_regions_are_pdr009() {
+    let (flow, mut art) = built("two_regions");
+    let fp = &art.design.floorplan.floorplan;
+    let mut regions = fp.regions().to_vec();
+    assert!(regions.len() >= 2, "two-region flow places two regions");
+    regions[1].clb_col_start = regions[0].clb_col_start;
+    art.design.floorplan.floorplan =
+        Floorplan::from_parts(fp.device.clone(), regions, fp.bus_macros().to_vec());
+    let report = flow.verify(&art);
+    assert!(report.has_errors());
+    assert!(report.has_code(Code::RegionOverlap));
+}
+
+#[test]
+fn stray_bus_macro_is_pdr010() {
+    let (flow, mut art) = built("paper");
+    let fp = &art.design.floorplan.floorplan;
+    let region = &fp.regions()[0];
+    // A column strictly inside the static part, far from any boundary.
+    let stray_col = region.clb_col_end() + 10;
+    let mut bus_macros = fp.bus_macros().to_vec();
+    bus_macros.push(BusMacro::new(0, stray_col, BusMacroDirection::IntoRegion));
+    art.design.floorplan.floorplan =
+        Floorplan::from_parts(fp.device.clone(), fp.regions().to_vec(), bus_macros);
+    let report = flow.verify(&art);
+    assert!(report.has_errors());
+    assert!(report.has_code(Code::BusMacroPlacement));
+}
+
+#[test]
+fn mis_sized_bitstream_is_pdr011() {
+    // Replace a module's partial bitstream with one generated for a wider
+    // window: right region name, wrong frame count.
+    let (flow, mut art) = built("paper");
+    let device = flow.device().clone();
+    let wide = ReconfigRegion::new("op_dyn", 26, 8).expect("legal region shape");
+    let bogus = Bitstream::partial_for_region(&device, &wide, 42);
+    art.design
+        .floorplan
+        .bitstreams
+        .insert("mod_qpsk".to_string(), bogus);
+    let report = flow.verify(&art);
+    assert!(report.has_errors());
+    assert!(report.has_code(Code::BitstreamSize));
+}
+
+#[test]
+fn unknown_configured_module_is_pdr012() {
+    let (flow, mut art) = built("paper");
+    let stream = stream_mut(&mut art, "op_dyn");
+    let idx = stream
+        .iter()
+        .position(|i| matches!(i, MacroInstr::Configure { .. }))
+        .expect("op_dyn configures its module");
+    if let MacroInstr::Configure { module, .. } = &mut stream[idx] {
+        *module = "ghost_module".to_string();
+    }
+    let report = flow.verify(&art);
+    assert!(report.has_code(Code::UnknownModule));
+}
+
+// -------------------------------------------------------------- coverage
+
+/// Every diagnostic code the analyzer defines is exercised by a mutation
+/// in this suite — adding a code without a mutation test fails here.
+#[test]
+fn all_codes_have_mutation_coverage() {
+    let covered = [
+        Code::DanglingRendezvous,
+        Code::RendezvousMismatch,
+        Code::DuplicateTag,
+        Code::Deadlock,
+        Code::UnconfiguredCompute,
+        Code::WcetMismatch,
+        Code::ExclusionViolable,
+        Code::RegionGeometry,
+        Code::RegionOverlap,
+        Code::BusMacroPlacement,
+        Code::BitstreamSize,
+        Code::UnknownModule,
+    ];
+    assert_eq!(covered.len(), Code::ALL.len());
+    for code in Code::ALL {
+        assert!(covered.contains(&code), "no mutation test for {code:?}");
+    }
+}
+
+/// Mutations leave the text renderer with something meaningful to say:
+/// the rendered report names the code and the location.
+#[test]
+fn rendered_mutation_report_names_code_and_location() {
+    let (flow, mut art) = built("paper");
+    let stream = stream_mut(&mut art, "op_dyn");
+    let idx = stream
+        .iter()
+        .position(|i| matches!(i, MacroInstr::Receive { .. }))
+        .expect("op_dyn receives its input");
+    stream.remove(idx);
+    let report = flow.verify(&art);
+    let text = render::to_text(&report);
+    assert!(text.contains("PDR001"), "{text}");
+    assert!(text.contains("error"), "{text}");
+    let _report_is_reusable: &Report = &report;
+}
