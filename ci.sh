@@ -21,4 +21,10 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 echo "== pdr-lint (all gallery flows, deny warnings)"
 cargo run -q --release -p pdr-bench --bin pdr-lint -- --all --deny-warnings --format json
 
+echo "== benches compile"
+cargo bench -p pdr-bench --no-run -q
+
+echo "== bench_ir_sim (test mode: report parity + speedup floor)"
+cargo bench -p pdr-bench --bench bench_ir_sim -- --test --out BENCH_ir_sim.json
+
 echo "CI OK"

@@ -26,6 +26,7 @@ use crate::mapping::Mapping;
 use crate::schedule::{ItemKind, Schedule};
 use pdr_fabric::TimePs;
 use pdr_graph::prelude::*;
+use pdr_ir::{IrBuilder, IrExecutive, SymbolTable};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -115,8 +116,8 @@ impl Executive {
     /// forever). Cross-operator properties beyond tag matching — deadlock
     /// freedom, reconfiguration safety — are `pdr-lint`'s job.
     pub fn validate(&self) -> Result<(), AdequationError> {
-        let mut sends: BTreeMap<u32, (String, String, String, u64)> = BTreeMap::new();
-        let mut recvs: BTreeMap<u32, (String, String, String, u64)> = BTreeMap::new();
+        let mut sends: BTreeMap<u32, (&str, &str, &str, u64)> = BTreeMap::new();
+        let mut recvs: BTreeMap<u32, (&str, &str, &str, u64)> = BTreeMap::new();
         for (opr, instrs) in &self.per_operator {
             let mut local_tags: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
             for i in instrs {
@@ -135,7 +136,7 @@ impl Executive {
                         bits,
                         tag,
                     } if sends
-                        .insert(*tag, (opr.clone(), to.clone(), medium.clone(), *bits))
+                        .insert(*tag, (opr.as_str(), to.as_str(), medium.as_str(), *bits))
                         .is_some() =>
                     {
                         return Err(AdequationError::InvalidSchedule(format!(
@@ -148,7 +149,7 @@ impl Executive {
                         bits,
                         tag,
                     } if recvs
-                        .insert(*tag, (from.clone(), opr.clone(), medium.clone(), *bits))
+                        .insert(*tag, (from.as_str(), opr.as_str(), medium.as_str(), *bits))
                         .is_some() =>
                     {
                         return Err(AdequationError::InvalidSchedule(format!(
@@ -171,6 +172,44 @@ impl Executive {
             )));
         }
         Ok(())
+    }
+
+    /// Lower to the interned, fully index-based [`IrExecutive`],
+    /// interning every name through `table`. Streams are emitted in this
+    /// executive's (alphabetical) operator order, so
+    /// `IrExecutive::render` reproduces [`Executive::render`]
+    /// byte-for-byte and index order equals name order everywhere
+    /// downstream.
+    pub fn lower(&self, table: &mut SymbolTable) -> IrExecutive {
+        let mut b = IrBuilder::new(table);
+        for (opr, instrs) in &self.per_operator {
+            b.begin_operator(opr);
+            for i in instrs {
+                match i {
+                    MacroInstr::Compute {
+                        op,
+                        function,
+                        duration,
+                    } => b.compute(op, function, *duration),
+                    MacroInstr::Send {
+                        to,
+                        medium,
+                        bits,
+                        tag,
+                    } => b.send(to, medium, *bits, *tag),
+                    MacroInstr::Receive {
+                        from,
+                        medium,
+                        bits,
+                        tag,
+                    } => b.receive(from, medium, *bits, *tag),
+                    MacroInstr::Configure { module, worst_case } => {
+                        b.configure(module, *worst_case)
+                    }
+                }
+            }
+        }
+        b.finish()
     }
 
     /// Pretty-print the executive (one block per operator) — the human
@@ -458,6 +497,20 @@ mod tests {
         assert!(text.contains("operator dsp:"));
         assert!(text.contains("configure"));
         assert!(text.contains("compute"));
+    }
+
+    #[test]
+    fn lowering_renders_byte_identically() {
+        let (e, arch) = paper_executive();
+        let mut table = arch.symbols().clone();
+        let ir = e.lower(&mut table);
+        assert_eq!(ir.render(&table), e.render());
+        assert_eq!(ir.len(), e.len());
+        assert_eq!(ir.operator_count(), e.per_operator.len());
+        // Stream order equals the string form's alphabetical order.
+        for (i, opr) in e.per_operator.keys().enumerate() {
+            assert_eq!(ir.operator_sym(i).resolve(&table), opr);
+        }
     }
 
     #[test]

@@ -1,0 +1,90 @@
+//! Criterion bench behind the `pdr-ir` tentpole: string vs interned
+//! interpretation of the gallery executives.
+//!
+//! Flags (after `--`):
+//!
+//! * `--test` — quick mode for CI: fewer repetitions/iterations, asserts
+//!   report parity on every flow and the >= 2x speedup floor on the
+//!   gallery's largest flow (`two_regions_xc2v4000`);
+//! * `--out <path>` — persist the comparison as a `BENCH_ir_sim.json`
+//!   artifact through the `pdr-sweep` JSON writer.
+
+use criterion::{black_box, Criterion};
+use pdr_bench::ir_sim;
+use pdr_core::gallery;
+use pdr_sim::{IrSimSystem, SimSystem};
+use pdr_sweep::artifact::Artifact;
+use serde::json::Value;
+
+/// The flow the speedup floor is asserted on — the gallery's largest.
+const LARGEST: &str = "two_regions_xc2v4000";
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let test_mode = args.iter().any(|a| a == "--test");
+    let out = args
+        .windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| w[1].clone());
+
+    let (reps, iterations) = if test_mode { (3, 2048) } else { (5, 8192) };
+    let cmp = ir_sim::run(reps, iterations).expect("gallery flows deploy");
+    print!("{}", cmp.render());
+    assert!(
+        cmp.all_match(),
+        "string and interned interpreters disagree on a gallery flow"
+    );
+
+    let largest = cmp.case(LARGEST).expect("largest gallery flow present");
+    if test_mode {
+        assert!(
+            largest.speedup() >= 2.0,
+            "interned interpreter is only {:.2}x faster than the string \
+             interpreter on {LARGEST} (floor: 2x)",
+            largest.speedup()
+        );
+        println!(
+            "ok: {LARGEST} interned speedup {:.2}x (floor 2x)",
+            largest.speedup()
+        );
+    }
+
+    if let Some(path) = &out {
+        let mut artifact = Artifact::new("ir_sim")
+            .with_field(
+                "mode",
+                Value::String(if test_mode { "test" } else { "full" }.into()),
+            )
+            .with_field("reps", Value::UInt(reps as u64))
+            .with_field("iterations", Value::UInt(u64::from(iterations)));
+        artifact.push_section("comparison", cmp.to_json());
+        artifact.write(path).expect("artifact written");
+        println!("wrote {path}");
+    }
+
+    if !test_mode {
+        // Criterion timing display on the largest flow: pure interpretation
+        // (no managers attached, steady workload), so the two series isolate
+        // the interpreter difference the study is about.
+        let g = gallery::by_name(LARGEST).expect("gallery flow");
+        let art = g.flow.run().expect("flow runs");
+        let arch = g.flow.architecture();
+        let cfg = ir_sim::steady_workload(iterations);
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("ir_sim");
+        group.sample_size(10);
+        group.bench_function(format!("string/{LARGEST}"), |b| {
+            b.iter(|| {
+                let mut sys = SimSystem::new(arch, &art.executive);
+                black_box(sys.run(&cfg).expect("simulation runs"))
+            })
+        });
+        group.bench_function(format!("interned/{LARGEST}"), |b| {
+            b.iter(|| {
+                let mut sys = IrSimSystem::new(arch, &art.ir_executive, &art.symbols);
+                black_box(sys.run(&cfg).expect("simulation runs"))
+            })
+        });
+        group.finish();
+    }
+}

@@ -103,7 +103,7 @@ pub fn run_system(symbols: u32) -> Result<Fig4System, FlowError> {
         ("baseline (no prefetch)", RuntimeOptions::paper_baseline()),
         (
             "prefetch (schedule-driven)",
-            RuntimeOptions::paper_prefetch(loads.clone()),
+            RuntimeOptions::paper_prefetch(loads),
         ),
     ] {
         let dep = study.deploy(options);

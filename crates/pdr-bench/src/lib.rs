@@ -17,6 +17,7 @@
 //! | [`adequation_study`] | §3/§7 — reconfiguration-aware adequation |
 //! | [`area_latency`] | §6 — region size ↔ reconfiguration time |
 //! | [`compression`] | extension — compressed bitstream storage |
+//! | [`ir_sim`] | infrastructure — string vs interned interpreter speedup |
 
 pub mod adequation_study;
 pub mod area_latency;
@@ -24,5 +25,6 @@ pub mod compression;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
+pub mod ir_sim;
 pub mod prefetch;
 pub mod table1;

@@ -16,7 +16,7 @@ use pdr_rtr::{
     FirstOrderMarkov, LastValue, LoaderStats, MemoryModel, Predictor, ProtocolBuilder,
     ScheduleDriven,
 };
-use pdr_sim::{SimConfig, SimReport, SimSystem};
+use pdr_sim::{IrSimSystem, SimConfig, SimReport, SimSystem};
 use std::sync::Arc;
 
 /// Prefetching policy selection.
@@ -166,17 +166,46 @@ impl<'a> DeployedSystem<'a> {
         ))))
     }
 
+    /// Build every region's configuration manager, with the shared
+    /// exclusion ledger attached — ready to hand to either interpreter.
+    /// Useful to separate deployment setup from interpretation (the
+    /// `bench_ir_sim` benchmark times `run()` alone).
+    pub fn managers(&self) -> Result<Vec<(String, ConfigurationManager)>, FlowError> {
+        let ledger = self.exclusion_ledger()?;
+        let mut out = Vec::new();
+        for region in self.artifacts.design.floorplan.floorplan.regions() {
+            out.push((
+                region.name.clone(),
+                self.manager_for(&region.name)?
+                    .with_exclusions(ledger.clone()),
+            ));
+        }
+        Ok(out)
+    }
+
     /// Simulate the deployed system. Cross-region exclusions from the
     /// constraints file are enforced at run time by a shared ledger.
     pub fn simulate(&self, config: &SimConfig) -> Result<SimReport, FlowError> {
-        let ledger = self.exclusion_ledger()?;
         let mut sys = SimSystem::new(self.arch, &self.artifacts.executive);
-        for region in self.artifacts.design.floorplan.floorplan.regions() {
-            sys.add_manager(
-                &region.name,
-                self.manager_for(&region.name)?
-                    .with_exclusions(ledger.clone()),
-            );
+        for (region, mgr) in self.managers()? {
+            sys.add_manager(&region, mgr);
+        }
+        sys.run(config).map_err(FlowError::Sim)
+    }
+
+    /// Simulate the deployed system on the interned interpreter: the
+    /// lowered executive runs with zero per-event allocation, resolving
+    /// names through the artifacts' symbol table only when the report is
+    /// materialized. Produces a report identical to
+    /// [`DeployedSystem::simulate`].
+    pub fn simulate_ir(&self, config: &SimConfig) -> Result<SimReport, FlowError> {
+        let mut sys = IrSimSystem::new(
+            self.arch,
+            &self.artifacts.ir_executive,
+            &self.artifacts.symbols,
+        );
+        for (region, mgr) in self.managers()? {
+            sys.add_manager(&region, mgr);
         }
         sys.run(config).map_err(FlowError::Sim)
     }
@@ -302,6 +331,21 @@ mod tests {
         assert_eq!(base.reconfig_count(), pf.reconfig_count());
         assert!(pf.lockup_time() < base.lockup_time());
         assert!(pf.makespan < base.makespan);
+    }
+
+    #[test]
+    fn interned_deployment_matches_string_deployment() {
+        let (arch, art) = build();
+        let dep = DeployedSystem::new(
+            &arch,
+            &art,
+            Device::xc2v2000(),
+            RuntimeOptions::paper_baseline(),
+        );
+        let cfg = SimConfig::iterations(32).with_selection("op_dyn", switching(32));
+        let via_string = dep.simulate(&cfg).unwrap();
+        let via_ir = dep.simulate_ir(&cfg).unwrap();
+        assert_eq!(via_string, via_ir);
     }
 
     #[test]

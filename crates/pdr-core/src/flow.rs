@@ -6,6 +6,7 @@ use pdr_adequation::{adequate, AdequationOptions, AdequationResult, Executive};
 use pdr_codegen::{generate_design, ucf, vhdl, CostModel, GeneratedDesign};
 use pdr_fabric::Device;
 use pdr_graph::prelude::*;
+use pdr_ir::{IrExecutive, SymbolTable};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -14,8 +15,16 @@ use std::collections::BTreeMap;
 pub struct FlowArtifacts {
     /// Stage 1: mapping + schedule (the adequation).
     pub adequation: AdequationResult,
-    /// Stage 2: the synchronized executive (macro-code).
+    /// Stage 2: the synchronized executive (macro-code) — the
+    /// human-readable render/golden surface.
     pub executive: Executive,
+    /// Stage 2: the same executive lowered to the interned, index-based
+    /// form — what verification and deployment actually run on.
+    pub ir_executive: IrExecutive,
+    /// The symbol table the whole flow interns through: seeded with the
+    /// graphs' names at modelisation, extended by lowering. Resolves every
+    /// id in [`FlowArtifacts::ir_executive`].
+    pub symbols: SymbolTable,
     /// Stage 2b: the §4 constraints file, serialized (travels with the
     /// design to the placement step, as in Fig. 3).
     pub constraints_text: String,
@@ -145,9 +154,16 @@ impl DesignFlow {
             );
         }
         let ucf_text = ucf::emit_ucf(&design.floorplan);
+        // Lower through one symbol table seeded with every name the graphs
+        // interned at construction, so ids stay shared across the flow.
+        let mut symbols = self.arch.symbols().clone();
+        symbols.absorb(self.algo.symbols());
+        let ir_executive = executive.lower(&mut symbols);
         Ok(FlowArtifacts {
             adequation,
             executive,
+            ir_executive,
+            symbols,
             constraints_text: self.constraints.to_string(),
             design,
             vhdl: vhdl_out,
@@ -158,10 +174,11 @@ impl DesignFlow {
     /// Statically analyze produced artifacts with `pdr-lint`: rendezvous
     /// matching, deadlock freedom, reconfiguration safety and floorplan
     /// legality — the verification stage between generation and
-    /// deployment.
+    /// deployment. Runs over the lowered executive through the artifacts'
+    /// symbol table; diagnostics are identical to linting the string form.
     pub fn verify(&self, artifacts: &FlowArtifacts) -> pdr_lint::Report {
-        pdr_lint::lint(
-            &pdr_lint::LintInput::new(&artifacts.executive)
+        pdr_lint::lint_ir(
+            &pdr_lint::IrLintInput::new(&artifacts.ir_executive, &artifacts.symbols)
                 .with_arch(&self.arch)
                 .with_chars(&self.chars)
                 .with_constraints(&self.constraints)
@@ -241,7 +258,8 @@ mod tests {
         use pdr_adequation::executive::MacroInstr;
         let flow = paper_flow();
         let mut art = flow.run().unwrap();
-        // Seed a dangling rendezvous into the executive.
+        // Seed a dangling rendezvous into the executive, and re-lower so
+        // the index-based twin verification runs on sees the corruption.
         art.executive
             .per_operator
             .get_mut("dsp")
@@ -252,6 +270,7 @@ mod tests {
                 bits: 1,
                 tag: 9_999,
             });
+        art.ir_executive = art.executive.lower(&mut art.symbols);
         let report = flow.verify(&art);
         assert!(report.has_errors());
         assert!(report.has_code(pdr_lint::Code::DanglingRendezvous));
@@ -262,6 +281,18 @@ mod tests {
         let a = paper_flow().run().unwrap();
         let b = paper_flow().run().unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lowered_executive_renders_like_the_string_one() {
+        let art = paper_flow().run().unwrap();
+        assert_eq!(
+            art.ir_executive.render(&art.symbols),
+            art.executive.render()
+        );
+        // The table is seeded from the graphs: every architecture name is
+        // resolvable even if the executive never mentions it.
+        assert!(art.symbols.lookup("dsp").is_some());
     }
 
     #[test]

@@ -538,7 +538,7 @@ mod tests {
         // Flip a bit inside the frame payload.
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x01;
-        let err = Bitstream::decode(&bytes, &d, bs.kind.clone(), 42).unwrap_err();
+        let err = Bitstream::decode(&bytes, &d, bs.kind, 42).unwrap_err();
         assert!(err.to_string().contains("CRC"), "got: {err}");
     }
 
@@ -547,7 +547,7 @@ mod tests {
         let d = dev();
         let bs = Bitstream::partial_for_region(&d, &region(), 42);
         let bytes = bs.encode();
-        let err = Bitstream::decode(&bytes[..bytes.len() - 8], &d, bs.kind.clone(), 42);
+        let err = Bitstream::decode(&bytes[..bytes.len() - 8], &d, bs.kind, 42);
         assert!(err.is_err());
     }
 

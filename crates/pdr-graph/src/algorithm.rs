@@ -14,6 +14,7 @@
 //! dynamic operator the vertex is mapped onto.
 
 use crate::error::GraphError;
+use pdr_ir::SymbolTable;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
@@ -97,6 +98,9 @@ pub struct AlgorithmGraph {
     ops: Vec<Operation>,
     edges: Vec<DataEdge>,
     by_name: HashMap<String, OpId>,
+    /// Interner holding every operation and function-symbol name,
+    /// populated at construction for allocation-free lowering.
+    symbols: SymbolTable,
 }
 
 impl AlgorithmGraph {
@@ -107,6 +111,7 @@ impl AlgorithmGraph {
             ops: Vec::new(),
             edges: Vec::new(),
             by_name: HashMap::new(),
+            symbols: SymbolTable::new(),
         }
     }
 
@@ -131,8 +136,26 @@ impl AlgorithmGraph {
         }
         let id = OpId(self.ops.len());
         self.by_name.insert(name.clone(), id);
+        self.symbols.intern(&name);
+        for f in kind.functions() {
+            self.symbols.intern(f);
+        }
         self.ops.push(Operation { name, kind });
         Ok(id)
+    }
+
+    /// The interner holding every operation and function-symbol name.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Interned name of an operation.
+    pub fn op_sym(&self, id: OpId) -> pdr_ir::OpId {
+        let sym = self
+            .symbols
+            .lookup(&self.ops[id.0].name)
+            .expect("operation names are interned at construction");
+        pdr_ir::OpId::new(sym)
     }
 
     /// Shorthand: add a `Compute` vertex whose function symbol equals its name.
@@ -496,5 +519,15 @@ mod tests {
         let (g, src, ..) = small();
         assert_eq!(g.by_name("src"), Some(src));
         assert_eq!(g.by_name("nope"), None);
+    }
+
+    #[test]
+    fn operation_and_function_names_interned() {
+        let (g, src, _, _, cond, _) = small();
+        assert_eq!(g.op_sym(src).resolve(g.symbols()), "src");
+        assert_eq!(g.op_sym(cond).resolve(g.symbols()), "cond");
+        // Conditioned alternatives are interned as module names too.
+        assert!(g.symbols().lookup("x").is_some());
+        assert!(g.symbols().lookup("y").is_some());
     }
 }

@@ -19,6 +19,7 @@
 
 use crate::error::GraphError;
 use pdr_fabric::TimePs;
+use pdr_ir::SymbolTable;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -150,6 +151,10 @@ pub struct ArchGraph {
     med_links: Vec<Vec<OperatorId>>,
     op_by_name: HashMap<String, OperatorId>,
     med_by_name: HashMap<String, MediumId>,
+    /// Interner holding every operator and medium name, populated at
+    /// construction so downstream stages can lower to `pdr-ir` handles
+    /// without re-hashing strings.
+    symbols: SymbolTable,
 }
 
 impl ArchGraph {
@@ -163,6 +168,7 @@ impl ArchGraph {
             med_links: Vec::new(),
             op_by_name: HashMap::new(),
             med_by_name: HashMap::new(),
+            symbols: SymbolTable::new(),
         }
     }
 
@@ -189,6 +195,7 @@ impl ArchGraph {
         }
         let id = OperatorId(self.operators.len());
         self.op_by_name.insert(name.clone(), id);
+        self.symbols.intern(&name);
         self.operators.push(Operator { name, kind });
         self.op_links.push(Vec::new());
         Ok(id)
@@ -213,6 +220,7 @@ impl ArchGraph {
         }
         let id = MediumId(self.media.len());
         self.med_by_name.insert(name.clone(), id);
+        self.symbols.intern(&name);
         self.media.push(Medium {
             name,
             kind,
@@ -246,6 +254,29 @@ impl ArchGraph {
     /// Medium accessor.
     pub fn medium(&self, id: MediumId) -> &Medium {
         &self.media[id.0]
+    }
+
+    /// The interner holding every operator and medium name of this graph.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Interned name of an operator.
+    pub fn operator_sym(&self, id: OperatorId) -> pdr_ir::OperatorId {
+        let sym = self
+            .symbols
+            .lookup(&self.operators[id.0].name)
+            .expect("operator names are interned at construction");
+        pdr_ir::OperatorId::new(sym)
+    }
+
+    /// Interned name of a medium.
+    pub fn medium_sym(&self, id: MediumId) -> pdr_ir::MediumId {
+        let sym = self
+            .symbols
+            .lookup(&self.media[id.0].name)
+            .expect("medium names are interned at construction");
+        pdr_ir::MediumId::new(sym)
     }
 
     /// Operator lookup by name.
@@ -505,6 +536,16 @@ mod tests {
         };
         // 1 bit at 3 bps = 333333333333.33.. ps, rounded up.
         assert_eq!(m.transfer_time(1).as_ps(), 333_333_333_334);
+    }
+
+    #[test]
+    fn names_are_interned_at_construction() {
+        let (a, dsp, _, d1, _) = fig1_like();
+        assert_eq!(a.symbols().len(), a.operator_count() + a.medium_count());
+        assert_eq!(a.operator_sym(dsp).resolve(a.symbols()), "dsp");
+        assert_eq!(a.operator_sym(d1).resolve(a.symbols()), "d1");
+        let shb = a.medium_by_name("shb").unwrap();
+        assert_eq!(a.medium_sym(shb).resolve(a.symbols()), "shb");
     }
 
     #[test]

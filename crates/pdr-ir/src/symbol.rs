@@ -1,0 +1,210 @@
+//! The string interner: [`SymbolTable`] and the copyable [`Sym`] handle.
+//!
+//! Every stage of the flow names things — operators, media, operations,
+//! modules — and until this crate existed those names travelled as owned
+//! `String`s, cloned at every hand-off. The interner assigns each distinct
+//! name one `u32` handle; downstream stages carry and compare handles and
+//! resolve back to text only at render time (diagnostics, reports, golden
+//! artifacts).
+//!
+//! Symbols are stable for the lifetime of the table: interning never
+//! invalidates previously returned handles, and interning the same string
+//! twice returns the same handle.
+
+use serde::json::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A handle to an interned string. Copyable, 4 bytes, order-preserving
+/// only with respect to interning order (not lexicographic order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// The raw index into the owning table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u32` value (for packing into wider keys).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuild a handle from a raw value previously obtained via
+    /// [`Sym::raw`]. The caller is responsible for pairing it with the
+    /// table that produced it.
+    pub fn from_raw(raw: u32) -> Sym {
+        Sym(raw)
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym{}", self.0)
+    }
+}
+
+impl Serialize for Sym {
+    fn to_json(&self) -> Value {
+        Value::UInt(u64::from(self.0))
+    }
+}
+
+impl Deserialize for Sym {}
+
+/// An append-only string interner. Equality and serialization consider
+/// only the interned names (in interning order); the reverse index is
+/// derived data.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl SymbolTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        SymbolTable::default()
+    }
+
+    /// Intern `name`, returning its (new or existing) handle.
+    pub fn intern(&mut self, name: &str) -> Sym {
+        if let Some(&ix) = self.index.get(name) {
+            return Sym(ix);
+        }
+        let ix = u32::try_from(self.names.len()).expect("symbol table overflow");
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), ix);
+        Sym(ix)
+    }
+
+    /// The handle of an already-interned name, if any.
+    pub fn lookup(&self, name: &str) -> Option<Sym> {
+        self.index.get(name).copied().map(Sym)
+    }
+
+    /// The text of a handle. Panics if `sym` came from another table and
+    /// is out of range here — symbols are only meaningful with the table
+    /// that produced them.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of distinct interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// All (handle, name) pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Sym(i as u32), n.as_str()))
+    }
+
+    /// Intern every name of `other` into `self` (handles are NOT shared
+    /// between the tables; use this to seed one table from several
+    /// sources before lowering).
+    pub fn absorb(&mut self, other: &SymbolTable) {
+        for name in &other.names {
+            self.intern(name);
+        }
+    }
+}
+
+impl PartialEq for SymbolTable {
+    fn eq(&self, other: &Self) -> bool {
+        self.names == other.names
+    }
+}
+
+impl Eq for SymbolTable {}
+
+impl Serialize for SymbolTable {
+    fn to_json(&self) -> Value {
+        Value::Array(
+            self.names
+                .iter()
+                .map(|n| Value::String(n.clone()))
+                .collect(),
+        )
+    }
+}
+
+impl Deserialize for SymbolTable {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("dsp");
+        let b = t.intern("fpga_static");
+        assert_ne!(a, b);
+        assert_eq!(t.intern("dsp"), a);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.resolve(a), "dsp");
+        assert_eq!(t.resolve(b), "fpga_static");
+    }
+
+    #[test]
+    fn lookup_without_interning() {
+        let mut t = SymbolTable::new();
+        assert!(t.lookup("x").is_none());
+        let s = t.intern("x");
+        assert_eq!(t.lookup("x"), Some(s));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn equality_ignores_reverse_index() {
+        let mut a = SymbolTable::new();
+        a.intern("p");
+        a.intern("q");
+        let mut b = SymbolTable::new();
+        b.intern("p");
+        b.intern("q");
+        assert_eq!(a, b);
+        b.intern("r");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn absorb_merges_names() {
+        let mut a = SymbolTable::new();
+        a.intern("x");
+        let mut b = SymbolTable::new();
+        b.intern("y");
+        b.intern("x");
+        a.absorb(&b);
+        assert_eq!(a.len(), 2);
+        assert!(a.lookup("y").is_some());
+    }
+
+    #[test]
+    fn iter_in_interning_order() {
+        let mut t = SymbolTable::new();
+        t.intern("b");
+        t.intern("a");
+        let names: Vec<&str> = t.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, ["b", "a"]);
+    }
+
+    #[test]
+    fn serializes_as_name_array() {
+        let mut t = SymbolTable::new();
+        t.intern("m");
+        let json = serde::json::to_string(&t.to_json());
+        assert_eq!(json, "[\"m\"]");
+    }
+}

@@ -12,41 +12,42 @@
 //! peer, so the wait-for graph has out-degree one over the stuck set and
 //! must contain at least one cycle — which is reported with a witness
 //! trace, one wait-for edge per line.
+//!
+//! The scheduler runs entirely on the lowered [`IrExecutive`]: program
+//! counters are a dense `Vec<usize>` indexed by stream, and the wait-for
+//! graph is keyed by `(stream, index)` pairs. Names resolve through the
+//! [`SymbolTable`] only when a witness trace is rendered.
 
 use crate::diag::{Code, Diagnostic, Location};
 use crate::rendezvous::RendezvousPair;
-use pdr_adequation::executive::{Executive, MacroInstr};
+use pdr_ir::{IrExecutive, IrInstr, SymbolTable};
 use std::collections::BTreeMap;
 
 /// Run the abstract scheduler and report deadlock cycles. `pairs` must
 /// come from a rendezvous pass with no errors — an unmatched rendezvous
 /// is a different defect (PDR001/PDR002) and would make every stuck
 /// state here a duplicate finding.
-pub fn check(executive: &Executive, pairs: &[RendezvousPair]) -> Vec<Diagnostic> {
-    // (operator, index) -> (peer operator, peer index, tag).
-    let mut peer_of: BTreeMap<(&str, usize), (&str, usize, u32)> = BTreeMap::new();
+pub fn check(ir: &IrExecutive, table: &SymbolTable, pairs: &[RendezvousPair]) -> Vec<Diagnostic> {
+    // (stream, index) -> (peer stream, peer index, tag).
+    let mut peer_of: BTreeMap<(usize, usize), (usize, usize, u32)> = BTreeMap::new();
     for p in pairs {
         peer_of.insert(
-            (p.send_op.as_str(), p.send_idx),
-            (p.recv_op.as_str(), p.recv_idx, p.tag),
+            (p.send_stream, p.send_idx),
+            (p.recv_stream, p.recv_idx, p.tag),
         );
         peer_of.insert(
-            (p.recv_op.as_str(), p.recv_idx),
-            (p.send_op.as_str(), p.send_idx, p.tag),
+            (p.recv_stream, p.recv_idx),
+            (p.send_stream, p.send_idx, p.tag),
         );
     }
 
-    let mut pc: BTreeMap<&str, usize> = executive
-        .per_operator
-        .keys()
-        .map(|op| (op.as_str(), 0))
-        .collect();
+    let mut pc: Vec<usize> = vec![0; ir.operator_count()];
 
     loop {
         let mut progressed = false;
         // Local instructions complete on their own.
-        for (op, instrs) in &executive.per_operator {
-            let p = pc.get_mut(op.as_str()).expect("pc covers all operators");
+        for (stream, p) in pc.iter_mut().enumerate() {
+            let instrs = ir.program(stream);
             while *p < instrs.len() && !instrs[*p].is_comm() {
                 *p += 1;
                 progressed = true;
@@ -54,11 +55,11 @@ pub fn check(executive: &Executive, pairs: &[RendezvousPair]) -> Vec<Diagnostic>
         }
         // A rendezvous completes when both sides are at the matching pair.
         for p in pairs {
-            let at_send = pc[p.send_op.as_str()] == p.send_idx;
-            let at_recv = pc[p.recv_op.as_str()] == p.recv_idx;
+            let at_send = pc[p.send_stream] == p.send_idx;
+            let at_recv = pc[p.recv_stream] == p.recv_idx;
             if at_send && at_recv {
-                *pc.get_mut(p.send_op.as_str()).expect("sender known") += 1;
-                *pc.get_mut(p.recv_op.as_str()).expect("receiver known") += 1;
+                pc[p.send_stream] += 1;
+                pc[p.recv_stream] += 1;
                 progressed = true;
             }
         }
@@ -68,24 +69,30 @@ pub fn check(executive: &Executive, pairs: &[RendezvousPair]) -> Vec<Diagnostic>
     }
 
     // Operators that did not reach the end of their stream are stuck at a
-    // communication instruction, waiting for one peer.
-    let stuck: BTreeMap<&str, usize> = pc
+    // communication instruction, waiting for one peer. Stream order is the
+    // string executive's alphabetical order, so findings keep their
+    // historical order.
+    let stuck: BTreeMap<usize, usize> = pc
         .iter()
-        .filter(|(op, &p)| p < executive.of(op).len())
-        .map(|(&op, &p)| (op, p))
+        .enumerate()
+        .filter(|&(stream, &p)| p < ir.program(stream).len())
+        .map(|(stream, &p)| (stream, p))
         .collect();
     if stuck.is_empty() {
         return Vec::new();
     }
 
+    let op_name = |stream: usize| ir.operator_sym(stream).resolve(table);
+
     // Follow the out-degree-one wait-for graph to enumerate its cycles.
-    let waits_on =
-        |op: &str| -> Option<(&str, usize, u32)> { peer_of.get(&(op, stuck[op])).copied() };
+    let waits_on = |stream: usize| -> Option<(usize, usize, u32)> {
+        peer_of.get(&(stream, stuck[&stream])).copied()
+    };
     let mut diagnostics = Vec::new();
     // 0 = unvisited, 1 = on current path, 2 = done.
-    let mut mark: BTreeMap<&str, u8> = stuck.keys().map(|&op| (op, 0u8)).collect();
+    let mut mark: BTreeMap<usize, u8> = stuck.keys().map(|&s| (s, 0u8)).collect();
     for &start in stuck.keys() {
-        if mark[start] != 0 {
+        if mark[&start] != 0 {
             continue;
         }
         let mut path = vec![start];
@@ -97,13 +104,13 @@ pub fn check(executive: &Executive, pairs: &[RendezvousPair]) -> Vec<Diagnostic>
                 // PDR001/PDR002 finding, not a cycle through this node.
                 break None;
             };
-            match mark.get(next).copied() {
+            match mark.get(&next).copied() {
                 Some(0) => {
                     mark.insert(next, 1);
                     path.push(next);
                 }
                 Some(1) => {
-                    let at = path.iter().position(|&o| o == next).expect("on path");
+                    let at = path.iter().position(|&s| s == next).expect("on path");
                     break Some(path[at..].to_vec());
                 }
                 // Already resolved (its cycle was reported, or the peer is
@@ -111,11 +118,12 @@ pub fn check(executive: &Executive, pairs: &[RendezvousPair]) -> Vec<Diagnostic>
                 _ => break None,
             }
         };
-        for &op in &path {
-            mark.insert(op, 2);
+        for &s in &path {
+            mark.insert(s, 2);
         }
         if let Some(cycle) = cycle {
             let anchor = cycle[0];
+            let cycle_names: Vec<&str> = cycle.iter().map(|&s| op_name(s)).collect();
             let mut d = Diagnostic::new(
                 Code::Deadlock,
                 format!(
@@ -123,24 +131,26 @@ pub fn check(executive: &Executive, pairs: &[RendezvousPair]) -> Vec<Diagnostic>
                      ({})",
                     cycle.len(),
                     if cycle.len() == 1 { "" } else { "s" },
-                    cycle.join(" -> "),
+                    cycle_names.join(" -> "),
                 ),
             )
-            .at(Location::instr(anchor, stuck[anchor]));
-            for (k, &op) in cycle.iter().enumerate() {
-                let idx = stuck[op];
-                let (peer, peer_idx, tag) = waits_on(op).expect("cycle edges exist");
-                let verb = match &executive.of(op)[idx] {
-                    MacroInstr::Send { .. } => "send",
-                    MacroInstr::Receive { .. } => "receive",
+            .at(Location::instr(op_name(anchor), stuck[&anchor]));
+            for (k, &stream) in cycle.iter().enumerate() {
+                let idx = stuck[&stream];
+                let (peer, peer_idx, tag) = waits_on(stream).expect("cycle edges exist");
+                let verb = match ir.program(stream)[idx] {
+                    IrInstr::Send { .. } => "send",
+                    IrInstr::Receive { .. } => "receive",
                     _ => "comm",
                 };
-                let next_in_cycle = cycle[(k + 1) % cycle.len()];
+                let op = op_name(stream);
+                let peer = op_name(peer);
+                let next_in_cycle = cycle_names[(k + 1) % cycle.len()];
                 d = d.note(format!(
                     "{op}[{idx}] blocks on {verb} tag {tag}, waiting for \
                      {peer}[{peer_idx}] — but {next_in_cycle} is itself \
                      blocked at {next_in_cycle}[{}]",
-                    stuck[next_in_cycle]
+                    stuck[&cycle[(k + 1) % cycle.len()]]
                 ));
             }
             diagnostics.push(d);
@@ -153,6 +163,7 @@ pub fn check(executive: &Executive, pairs: &[RendezvousPair]) -> Vec<Diagnostic>
 mod tests {
     use super::*;
     use crate::rendezvous;
+    use pdr_adequation::executive::{Executive, MacroInstr};
 
     fn send(to: &str, tag: u32) -> MacroInstr {
         MacroInstr::Send {
@@ -173,13 +184,15 @@ mod tests {
     }
 
     fn run(e: &Executive) -> Vec<Diagnostic> {
-        let r = rendezvous::check(e);
+        let mut table = SymbolTable::new();
+        let ir = e.lower(&mut table);
+        let r = rendezvous::check(&ir, &table);
         assert!(
             r.diagnostics.is_empty(),
             "deadlock tests need clean rendezvous: {:?}",
             r.diagnostics
         );
-        check(e, &r.pairs)
+        check(&ir, &table, &r.pairs)
     }
 
     #[test]

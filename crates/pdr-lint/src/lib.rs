@@ -18,7 +18,7 @@
 //! | PDR005–007, PDR012 | [`reconfig`] | Configure dominates Compute, worst-case times match the characterization, exclusion groups are statically safe, cross-references resolve |
 //! | PDR008–011 | [`floorplan`] | Modular Design geometry, bus-macro straddling, bitstream/frame consistency |
 //!
-//! ## Entry point
+//! ## Entry points
 //!
 //! ```
 //! use pdr_adequation::executive::Executive;
@@ -33,6 +33,14 @@
 //! optional: passes needing an absent input are skipped, so the same
 //! entry point serves the full `DesignFlow::verify()` stage and narrow
 //! unit/mutation tests.
+//!
+//! All executive analyses run over the lowered, index-based
+//! [`pdr_ir::IrExecutive`]; [`lint`] lowers its string executive
+//! internally, while callers that already hold flow artifacts (symbol
+//! table plus lowered executive, as `pdr-core` produces) skip that step
+//! with [`lint_ir`] and [`IrLintInput`]. Both entry points render
+//! diagnostics back through the symbol table, byte-identical to the
+//! historical string-pass output.
 
 pub mod deadlock;
 pub mod diag;
@@ -47,6 +55,7 @@ pub use rendezvous::RendezvousPair;
 use pdr_adequation::executive::Executive;
 use pdr_codegen::floorplan::FloorplanResult;
 use pdr_graph::{ArchGraph, Characterization, ConstraintsFile};
+use pdr_ir::{IrExecutive, SymbolTable};
 
 /// Everything the linter can look at. Only the executive is mandatory.
 pub struct LintInput<'a> {
@@ -99,27 +108,100 @@ impl<'a> LintInput<'a> {
     }
 }
 
+/// Everything the IR-based linter can look at: a lowered executive and
+/// the symbol table that resolves its interned names. Only those two are
+/// mandatory.
+pub struct IrLintInput<'a> {
+    /// The lowered executive (always analyzed).
+    pub ir: &'a IrExecutive,
+    /// The symbol table the executive was lowered through.
+    pub table: &'a SymbolTable,
+    /// Architecture graph — enables the reconfiguration-safety pass.
+    pub arch: Option<&'a ArchGraph>,
+    /// Characterization tables — enables worst-case-time checking.
+    pub chars: Option<&'a Characterization>,
+    /// Constraints file — enables module/exclusion checking.
+    pub constraints: Option<&'a ConstraintsFile>,
+    /// Placed design — enables the floorplan/bitstream pass.
+    pub floorplan: Option<&'a FloorplanResult>,
+}
+
+impl<'a> IrLintInput<'a> {
+    /// Lint input over just a lowered executive.
+    pub fn new(ir: &'a IrExecutive, table: &'a SymbolTable) -> Self {
+        IrLintInput {
+            ir,
+            table,
+            arch: None,
+            chars: None,
+            constraints: None,
+            floorplan: None,
+        }
+    }
+
+    /// Attach the architecture graph.
+    pub fn with_arch(mut self, arch: &'a ArchGraph) -> Self {
+        self.arch = Some(arch);
+        self
+    }
+
+    /// Attach the characterization tables.
+    pub fn with_chars(mut self, chars: &'a Characterization) -> Self {
+        self.chars = Some(chars);
+        self
+    }
+
+    /// Attach the constraints file.
+    pub fn with_constraints(mut self, constraints: &'a ConstraintsFile) -> Self {
+        self.constraints = Some(constraints);
+        self
+    }
+
+    /// Attach the placed design.
+    pub fn with_floorplan(mut self, floorplan: &'a FloorplanResult) -> Self {
+        self.floorplan = Some(floorplan);
+        self
+    }
+}
+
 /// Run every applicable analysis and aggregate the findings.
+///
+/// Lowers the string executive through a scratch [`SymbolTable`] and runs
+/// the IR passes; output is byte-identical to linting the lowered form
+/// directly with [`lint_ir`].
+pub fn lint(input: &LintInput<'_>) -> Report {
+    let mut table = SymbolTable::new();
+    let ir = input.executive.lower(&mut table);
+    let mut ir_input = IrLintInput::new(&ir, &table);
+    ir_input.arch = input.arch;
+    ir_input.chars = input.chars;
+    ir_input.constraints = input.constraints;
+    ir_input.floorplan = input.floorplan;
+    lint_ir(&ir_input)
+}
+
+/// Run every applicable analysis over an already-lowered executive.
 ///
 /// The deadlock pass only runs when the rendezvous pass found no errors:
 /// with unmatched or mismatched pairs, every stuck state would just
 /// restate the PDR001/PDR002 findings.
-pub fn lint(input: &LintInput<'_>) -> Report {
+pub fn lint_ir(input: &IrLintInput<'_>) -> Report {
     let mut report = Report::new();
 
-    let rv = rendezvous::check(input.executive);
+    let rv = rendezvous::check(input.ir, input.table);
     let rendezvous_clean = rv.diagnostics.is_empty();
     report.extend(rv.diagnostics);
 
     if rendezvous_clean {
-        report.extend(deadlock::check(input.executive, &rv.pairs));
+        report.extend(deadlock::check(input.ir, input.table, &rv.pairs));
     }
 
     if let (Some(arch), Some(chars), Some(constraints)) =
         (input.arch, input.chars, input.constraints)
     {
         report.extend(reconfig::check(
-            input.executive,
+            input.ir,
+            input.table,
             &rv.pairs,
             arch,
             chars,
@@ -186,5 +268,40 @@ mod tests {
         let r = lint(&LintInput::new(&e));
         assert!(r.has_code(Code::Deadlock));
         assert!(!r.with_code(Code::Deadlock)[0].notes.is_empty());
+    }
+
+    #[test]
+    fn lint_and_lint_ir_agree_byte_for_byte() {
+        // One executive exercising PDR002 + (suppressed) deadlock paths:
+        // the two entry points must render the same diagnostics.
+        let mut e = Executive::default();
+        e.per_operator.insert(
+            "a".into(),
+            vec![MacroInstr::Send {
+                to: "b".into(),
+                medium: "m".into(),
+                bits: 8,
+                tag: 1,
+            }],
+        );
+        e.per_operator.insert(
+            "b".into(),
+            vec![MacroInstr::Receive {
+                from: "c".into(),
+                medium: "other".into(),
+                bits: 16,
+                tag: 1,
+            }],
+        );
+        let via_string = lint(&LintInput::new(&e));
+        let mut table = pdr_ir::SymbolTable::new();
+        let ir = e.lower(&mut table);
+        let via_ir = lint_ir(&IrLintInput::new(&ir, &table));
+        assert_eq!(via_string, via_ir);
+        assert_eq!(
+            render::to_text(&via_string),
+            render::to_text(&via_ir),
+            "rendered text must be byte-identical"
+        );
     }
 }

@@ -23,16 +23,21 @@
 //! file does not know, or on an operator other than the module's declared
 //! region; an executive stream for an operator absent from the
 //! architecture) are reported as PDR012 warnings.
+//!
+//! The passes walk the lowered [`IrExecutive`]: residency is tracked as
+//! interned [`ModuleId`]s, and the happens-before graph numbers nodes
+//! directly by the flat instruction array (`stream_start(i) + index`).
 
 use crate::diag::{Code, Diagnostic, Location};
 use crate::rendezvous::RendezvousPair;
-use pdr_adequation::executive::{Executive, MacroInstr};
 use pdr_graph::{ArchGraph, Characterization, ConstraintsFile};
+use pdr_ir::{IrExecutive, IrInstr, ModuleId, SymbolTable};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Run the reconfiguration-safety checks.
 pub fn check(
-    executive: &Executive,
+    ir: &IrExecutive,
+    table: &SymbolTable,
     pairs: &[RendezvousPair],
     arch: &ArchGraph,
     chars: &Characterization,
@@ -45,12 +50,15 @@ pub fn check(
         .map(|(_, o)| (o.name.as_str(), o.kind.is_dynamic()))
         .collect();
 
-    // Per-region residency intervals: (operator, configure idx, module,
-    // release idx — the next Configure on the same stream, if any).
-    let mut intervals: Vec<(String, usize, String, Option<usize>)> = Vec::new();
+    let op_name = |stream: usize| ir.operator_sym(stream).resolve(table);
 
-    for (operator, instrs) in &executive.per_operator {
-        let Some(&is_dynamic) = arch_ops.get(operator.as_str()) else {
+    // Per-region residency intervals: (stream, configure idx, module,
+    // release idx — the next Configure on the same stream, if any).
+    let mut intervals: Vec<(usize, usize, ModuleId, Option<usize>)> = Vec::new();
+
+    for stream in 0..ir.operator_count() {
+        let operator = op_name(stream);
+        let Some(&is_dynamic) = arch_ops.get(operator) else {
             diagnostics.push(
                 Diagnostic::new(
                     Code::UnknownModule,
@@ -59,34 +67,35 @@ pub fn check(
                          which the architecture graph does not declare"
                     ),
                 )
-                .at(Location::Operator(operator.clone())),
+                .at(Location::Operator(operator.to_string())),
             );
             continue;
         };
 
-        let mut resident: Option<&str> = None;
-        let mut open_interval: Option<(usize, String)> = None;
-        for (index, instr) in instrs.iter().enumerate() {
+        let mut resident: Option<ModuleId> = None;
+        let mut open_interval: Option<(usize, ModuleId)> = None;
+        for (index, instr) in ir.program(stream).iter().enumerate() {
             match instr {
-                MacroInstr::Configure { module, worst_case } => {
+                IrInstr::Configure { module, worst_case } => {
+                    let module_name = module.resolve(table);
                     if !is_dynamic {
                         diagnostics.push(
                             Diagnostic::new(
                                 Code::UnknownModule,
                                 format!(
-                                    "configure of `{module}` on `{operator}`, \
+                                    "configure of `{module_name}` on `{operator}`, \
                                      which is not a dynamic operator"
                                 ),
                             )
                             .at(Location::instr(operator, index)),
                         );
                     }
-                    match constraints.module(module) {
+                    match constraints.module(module_name) {
                         None => diagnostics.push(
                             Diagnostic::new(
                                 Code::UnknownModule,
                                 format!(
-                                    "configure of module `{module}` which the \
+                                    "configure of module `{module_name}` which the \
                                      constraints file does not declare"
                                 ),
                             )
@@ -96,7 +105,7 @@ pub fn check(
                             Diagnostic::new(
                                 Code::UnknownModule,
                                 format!(
-                                    "module `{module}` is constrained to region \
+                                    "module `{module_name}` is constrained to region \
                                      `{}` but configured on `{operator}`",
                                     mc.region
                                 ),
@@ -105,12 +114,12 @@ pub fn check(
                         ),
                         Some(_) => {}
                     }
-                    match chars.reconfig_time(module, operator) {
+                    match chars.reconfig_time(module_name, operator) {
                         Ok(t) if t != *worst_case => diagnostics.push(
                             Diagnostic::new(
                                 Code::WcetMismatch,
                                 format!(
-                                    "configure of `{module}` carries worst-case \
+                                    "configure of `{module_name}` carries worst-case \
                                      {worst_case} but the characterization says {t}"
                                 ),
                             )
@@ -121,7 +130,7 @@ pub fn check(
                             Diagnostic::new(
                                 Code::WcetMismatch,
                                 format!(
-                                    "configure of `{module}` on `{operator}` has \
+                                    "configure of `{module_name}` on `{operator}` has \
                                      no characterized reconfiguration time"
                                 ),
                             )
@@ -129,29 +138,32 @@ pub fn check(
                         ),
                     }
                     if let Some((start, m)) = open_interval.take() {
-                        intervals.push((operator.clone(), start, m, Some(index)));
+                        intervals.push((stream, start, m, Some(index)));
                     }
-                    open_interval = Some((index, module.clone()));
-                    resident = Some(module);
+                    open_interval = Some((index, *module));
+                    resident = Some(*module);
                 }
                 // Only functions the constraints file declares as dynamic
                 // modules need configuration; everything else is static
                 // logic or software.
-                MacroInstr::Compute { function, .. }
+                IrInstr::Compute { function, .. }
                     if is_dynamic
-                        && constraints.module(function).is_some()
-                        && resident != Some(function.as_str()) =>
+                        && constraints.module(function.resolve(table)).is_some()
+                        && resident != Some(*function) =>
                 {
                     let mut d = Diagnostic::new(
                         Code::UnconfiguredCompute,
                         format!(
-                            "compute of dynamic module `{function}` is not \
-                             dominated by a configure of that module"
+                            "compute of dynamic module `{}` is not \
+                             dominated by a configure of that module",
+                            function.resolve(table)
                         ),
                     )
                     .at(Location::instr(operator, index));
                     d = match resident {
-                        Some(other) => d.note(format!("region currently holds `{other}`")),
+                        Some(other) => {
+                            d.note(format!("region currently holds `{}`", other.resolve(table)))
+                        }
                         None => d.note("no configure precedes this compute"),
                     };
                     diagnostics.push(d);
@@ -160,42 +172,39 @@ pub fn check(
             }
         }
         if let Some((start, m)) = open_interval.take() {
-            intervals.push((operator.clone(), start, m, None));
+            intervals.push((stream, start, m, None));
         }
     }
 
-    diagnostics.extend(check_exclusion(executive, pairs, constraints, &intervals));
+    diagnostics.extend(check_exclusion(ir, table, pairs, constraints, &intervals));
     diagnostics
 }
 
 /// PDR007: can two cross-region exclusive modules be co-resident?
 fn check_exclusion(
-    executive: &Executive,
+    ir: &IrExecutive,
+    table: &SymbolTable,
     pairs: &[RendezvousPair],
     constraints: &ConstraintsFile,
-    intervals: &[(String, usize, String, Option<usize>)],
+    intervals: &[(usize, usize, ModuleId, Option<usize>)],
 ) -> Vec<Diagnostic> {
-    // Node numbering over every instruction of every operator.
-    let mut base: BTreeMap<&str, usize> = BTreeMap::new();
-    let mut total = 0usize;
-    for (op, instrs) in &executive.per_operator {
-        base.insert(op.as_str(), total);
-        total += instrs.len();
-    }
-    let node = |op: &str, idx: usize| base[op] + idx;
+    // Node numbering over every instruction of every operator: the flat
+    // instruction array already is that numbering.
+    let total = ir.len();
+    let node = |stream: usize, idx: usize| ir.stream_start(stream) + idx;
 
     // Happens-before edges: program order, plus both directions across
     // each rendezvous (the two sides complete together, so each orders
     // everything after the other side's instruction).
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); total];
-    for (op, instrs) in &executive.per_operator {
-        for idx in 1..instrs.len() {
-            adj[node(op, idx - 1)].push(node(op, idx));
+    for stream in 0..ir.operator_count() {
+        for idx in 1..ir.program(stream).len() {
+            adj[node(stream, idx - 1)].push(node(stream, idx));
         }
     }
     for p in pairs {
-        let s = node(&p.send_op, p.send_idx);
-        let r = node(&p.recv_op, p.recv_idx);
+        let s = node(p.send_stream, p.send_idx);
+        let r = node(p.recv_stream, p.recv_idx);
         adj[s].push(r);
         adj[r].push(s);
     }
@@ -218,11 +227,15 @@ fn check_exclusion(
         false
     };
 
+    let op_name = |stream: usize| ir.operator_sym(stream).resolve(table);
+
     let mut diagnostics = Vec::new();
     let mut reported: BTreeSet<(usize, usize)> = BTreeSet::new();
     for (i, (op_a, cfg_a, mod_a, rel_a)) in intervals.iter().enumerate() {
         for (j, (op_b, cfg_b, mod_b, rel_b)) in intervals.iter().enumerate().skip(i + 1) {
-            if op_a == op_b || !constraints.mutually_exclusive(mod_a, mod_b) {
+            if op_a == op_b
+                || !constraints.mutually_exclusive(mod_a.resolve(table), mod_b.resolve(table))
+            {
                 continue;
             }
             // A's residency ends before B's begins (or vice versa) in
@@ -230,32 +243,34 @@ fn check_exclusion(
             // other configure. An interval never released can only be safe
             // in the other direction.
             let a_before_b = rel_a
-                .map(|r| reaches(node(op_a, r), node(op_b, *cfg_b)))
+                .map(|r| reaches(node(*op_a, r), node(*op_b, *cfg_b)))
                 .unwrap_or(false);
             let b_before_a = rel_b
-                .map(|r| reaches(node(op_b, r), node(op_a, *cfg_a)))
+                .map(|r| reaches(node(*op_b, r), node(*op_a, *cfg_a)))
                 .unwrap_or(false);
             if !a_before_b && !b_before_a && reported.insert((i, j)) {
+                let (mod_a, mod_b) = (mod_a.resolve(table), mod_b.resolve(table));
+                let (op_a_name, op_b_name) = (op_name(*op_a), op_name(*op_b));
                 diagnostics.push(
                     Diagnostic::new(
                         Code::ExclusionViolable,
                         format!(
                             "mutually exclusive modules `{mod_a}` (region \
-                             `{op_a}`) and `{mod_b}` (region `{op_b}`) can be \
+                             `{op_a_name}`) and `{mod_b}` (region `{op_b_name}`) can be \
                              resident simultaneously"
                         ),
                     )
-                    .at(Location::instr(op_a, *cfg_a))
+                    .at(Location::instr(op_a_name, *cfg_a))
                     .note(format!(
-                        "`{mod_a}` resident from {op_a}[{cfg_a}] to {}",
+                        "`{mod_a}` resident from {op_a_name}[{cfg_a}] to {}",
                         rel_a
-                            .map(|r| format!("{op_a}[{r}]"))
+                            .map(|r| format!("{op_a_name}[{r}]"))
                             .unwrap_or_else(|| "end of iteration".into())
                     ))
                     .note(format!(
-                        "`{mod_b}` resident from {op_b}[{cfg_b}] to {}",
+                        "`{mod_b}` resident from {op_b_name}[{cfg_b}] to {}",
                         rel_b
-                            .map(|r| format!("{op_b}[{r}]"))
+                            .map(|r| format!("{op_b_name}[{r}]"))
                             .unwrap_or_else(|| "end of iteration".into())
                     ))
                     .note(
@@ -273,6 +288,7 @@ fn check_exclusion(
 mod tests {
     use super::*;
     use crate::rendezvous;
+    use pdr_adequation::executive::{Executive, MacroInstr};
     use pdr_fabric::TimePs;
     use pdr_graph::constraints::ModuleConstraints;
     use pdr_graph::OperatorKind;
@@ -337,9 +353,15 @@ mod tests {
         }
     }
 
+    fn run_with(e: &Executive, f: &ConstraintsFile) -> Vec<Diagnostic> {
+        let mut table = SymbolTable::new();
+        let ir = e.lower(&mut table);
+        let r = rendezvous::check(&ir, &table);
+        check(&ir, &table, &r.pairs, &arch(), &chars(), f)
+    }
+
     fn run(e: &Executive) -> Vec<Diagnostic> {
-        let r = rendezvous::check(e);
-        check(e, &r.pairs, &arch(), &chars(), &cons())
+        run_with(e, &cons())
     }
 
     #[test]
@@ -365,8 +387,7 @@ mod tests {
         let mut e = Executive::default();
         e.per_operator
             .insert("d1".into(), vec![cfg("mod_a"), cfg("mod_c"), cmp("mod_a")]);
-        let r = rendezvous::check(&e);
-        let ds = check(&e, &r.pairs, &arch(), &chars(), &f);
+        let ds = run_with(&e, &f);
         assert!(ds.iter().any(|d| d.code == Code::UnconfiguredCompute));
     }
 
@@ -436,9 +457,7 @@ mod tests {
         );
         e.per_operator
             .insert("d2".into(), vec![recv("d1", 1), cfg("mod_b"), cmp("mod_b")]);
-        let r = rendezvous::check(&e);
-        assert!(r.diagnostics.is_empty());
-        let ds = check(&e, &r.pairs, &arch(), &chars(), &f);
+        let ds = run_with(&e, &f);
         assert!(
             !ds.iter().any(|d| d.code == Code::ExclusionViolable),
             "{ds:?}"

@@ -5,33 +5,41 @@
 //! and on two *different* operators (an operator cannot rendezvous with
 //! itself — both sides block forever). This pass checks all of that and
 //! hands the matched pairs to the deadlock and exclusion analyses.
+//!
+//! The pass runs over the lowered [`IrExecutive`]: endpoints are compared
+//! as interned refs (`PeerRef`/`MediumRef` equality, no string compares)
+//! and names only reappear, through the [`SymbolTable`], inside the
+//! rendered diagnostics — which stay byte-identical to the historical
+//! string-executive output.
 
 use crate::diag::{Code, Diagnostic, Location};
-use pdr_adequation::executive::{Executive, MacroInstr};
+use pdr_ir::{IrExecutive, IrInstr, MediumRef, PeerRef, SymbolTable};
 use std::collections::BTreeMap;
 
 /// One endpoint of a rendezvous, as found in an operator stream.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct Endpoint {
-    operator: String,
+    /// Stream index of the operator the instruction sits on.
+    stream: usize,
     index: usize,
-    peer: String,
-    medium: String,
+    peer: PeerRef,
+    medium: MediumRef,
     bits: u64,
 }
 
 /// A fully matched rendezvous pair: where the `Send` and the `Receive`
-/// of one tag sit. Consumed by the deadlock and exclusion analyses.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// of one tag sit, as stream/instruction indices into the lowered
+/// executive. Consumed by the deadlock and exclusion analyses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RendezvousPair {
     /// Rendezvous tag.
     pub tag: u32,
-    /// Sending operator.
-    pub send_op: String,
+    /// Stream index of the sending operator.
+    pub send_stream: usize,
     /// Index of the `Send` in the sender's stream.
     pub send_idx: usize,
-    /// Receiving operator.
-    pub recv_op: String,
+    /// Stream index of the receiving operator.
+    pub recv_stream: usize,
     /// Index of the `Receive` in the receiver's stream.
     pub recv_idx: usize,
 }
@@ -45,32 +53,35 @@ pub struct RendezvousAnalysis {
     pub pairs: Vec<RendezvousPair>,
 }
 
-/// Check rendezvous matching over the whole executive.
-pub fn check(executive: &Executive) -> RendezvousAnalysis {
+/// Check rendezvous matching over the whole lowered executive.
+pub fn check(ir: &IrExecutive, table: &SymbolTable) -> RendezvousAnalysis {
     let mut diagnostics = Vec::new();
     let mut sends: BTreeMap<u32, Endpoint> = BTreeMap::new();
     let mut recvs: BTreeMap<u32, Endpoint> = BTreeMap::new();
 
-    for (operator, instrs) in &executive.per_operator {
+    let op_name = |stream: usize| ir.operator_sym(stream).resolve(table);
+
+    for stream in 0..ir.operator_count() {
+        let operator = op_name(stream);
         // Tags already seen in *this* operator's stream, in either role:
         // a second use is PDR003 even when the global role maps stay
         // consistent (a send+receive of one tag on one operator is a
         // self-rendezvous that can never complete).
         let mut local_tags: BTreeMap<u32, usize> = BTreeMap::new();
-        for (index, instr) in instrs.iter().enumerate() {
+        for (index, instr) in ir.program(stream).iter().enumerate() {
             let (tag, peer, medium, bits, role_map, role) = match instr {
-                MacroInstr::Send {
+                IrInstr::Send {
                     to,
                     medium,
                     bits,
                     tag,
-                } => (*tag, to, medium, *bits, &mut sends, "send"),
-                MacroInstr::Receive {
+                } => (*tag, *to, *medium, *bits, &mut sends, "send"),
+                IrInstr::Receive {
                     from,
                     medium,
                     bits,
                     tag,
-                } => (*tag, from, medium, *bits, &mut recvs, "receive"),
+                } => (*tag, *from, *medium, *bits, &mut recvs, "receive"),
                 _ => continue,
             };
             if let Some(&first) = local_tags.get(&tag) {
@@ -88,21 +99,22 @@ pub fn check(executive: &Executive) -> RendezvousAnalysis {
             }
             local_tags.insert(tag, index);
             let ep = Endpoint {
-                operator: operator.clone(),
+                stream,
                 index,
-                peer: peer.clone(),
-                medium: medium.clone(),
+                peer,
+                medium,
                 bits,
             };
             if let Some(prev) = role_map.get(&tag) {
-                if prev.operator != *operator {
+                if prev.stream != stream {
                     diagnostics.push(
                         Diagnostic::new(
                             Code::DuplicateTag,
                             format!(
                                 "tag {tag} has a second {role} at \
                                  {operator}[{index}] (first at {}[{}])",
-                                prev.operator, prev.index
+                                op_name(prev.stream),
+                                prev.index
                             ),
                         )
                         .at(Location::instr(operator, index)),
@@ -114,6 +126,9 @@ pub fn check(executive: &Executive) -> RendezvousAnalysis {
             }
         }
     }
+
+    let peer_name = |peer: PeerRef| ir.peer_sym(peer).resolve(table);
+    let medium_name = |m: MediumRef| ir.medium_sym(m).resolve(table);
 
     // Pair up by tag; report dangling and mismatched pairs.
     let mut pairs = Vec::new();
@@ -130,10 +145,11 @@ pub fn check(executive: &Executive) -> RendezvousAnalysis {
                     format!(
                         "send tag {tag} to `{}` over `{}` has no matching \
                          receive anywhere; the sender blocks forever",
-                        s.peer, s.medium
+                        peer_name(s.peer),
+                        medium_name(s.medium)
                     ),
                 )
-                .at(Location::instr(&s.operator, s.index)),
+                .at(Location::instr(op_name(s.stream), s.index)),
             ),
             (None, Some(r)) => diagnostics.push(
                 Diagnostic::new(
@@ -141,17 +157,19 @@ pub fn check(executive: &Executive) -> RendezvousAnalysis {
                     format!(
                         "receive tag {tag} from `{}` over `{}` has no matching \
                          send anywhere; the receiver blocks forever",
-                        r.peer, r.medium
+                        peer_name(r.peer),
+                        medium_name(r.medium)
                     ),
                 )
-                .at(Location::instr(&r.operator, r.index)),
+                .at(Location::instr(op_name(r.stream), r.index)),
             ),
             (Some(s), Some(r)) => {
                 let mut problems = Vec::new();
                 if s.medium != r.medium {
                     problems.push(format!(
                         "medium differs: send over `{}`, receive over `{}`",
-                        s.medium, r.medium
+                        medium_name(s.medium),
+                        medium_name(r.medium)
                     ));
                 }
                 if s.bits != r.bits {
@@ -160,16 +178,18 @@ pub fn check(executive: &Executive) -> RendezvousAnalysis {
                         s.bits, r.bits
                     ));
                 }
-                if s.peer != r.operator {
+                if ir.peer_sym(s.peer) != ir.operator_sym(r.stream) {
                     problems.push(format!(
                         "send targets `{}` but the receive sits on `{}`",
-                        s.peer, r.operator
+                        peer_name(s.peer),
+                        op_name(r.stream)
                     ));
                 }
-                if r.peer != s.operator {
+                if ir.peer_sym(r.peer) != ir.operator_sym(s.stream) {
                     problems.push(format!(
                         "receive expects `{}` but the send sits on `{}`",
-                        r.peer, s.operator
+                        peer_name(r.peer),
+                        op_name(s.stream)
                     ));
                 }
                 if !problems.is_empty() {
@@ -178,21 +198,24 @@ pub fn check(executive: &Executive) -> RendezvousAnalysis {
                         format!(
                             "rendezvous tag {tag} is mismatched between \
                              {}[{}] and {}[{}]",
-                            s.operator, s.index, r.operator, r.index
+                            op_name(s.stream),
+                            s.index,
+                            op_name(r.stream),
+                            r.index
                         ),
                     )
-                    .at(Location::instr(&s.operator, s.index));
+                    .at(Location::instr(op_name(s.stream), s.index));
                     for p in problems {
                         d = d.note(p);
                     }
                     diagnostics.push(d);
                 }
-                if s.operator != r.operator {
+                if s.stream != r.stream {
                     pairs.push(RendezvousPair {
                         tag,
-                        send_op: s.operator.clone(),
+                        send_stream: s.stream,
                         send_idx: s.index,
-                        recv_op: r.operator.clone(),
+                        recv_stream: r.stream,
                         recv_idx: r.index,
                     });
                 }
@@ -207,6 +230,7 @@ pub fn check(executive: &Executive) -> RendezvousAnalysis {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pdr_adequation::executive::{Executive, MacroInstr};
 
     fn send(to: &str, tag: u32) -> MacroInstr {
         MacroInstr::Send {
@@ -226,20 +250,26 @@ mod tests {
         }
     }
 
+    fn run(e: &Executive) -> RendezvousAnalysis {
+        let mut table = SymbolTable::new();
+        let ir = e.lower(&mut table);
+        check(&ir, &table)
+    }
+
     #[test]
     fn matched_pair_is_clean_and_collected() {
         let mut e = Executive::default();
         e.per_operator.insert("a".into(), vec![send("b", 1)]);
         e.per_operator.insert("b".into(), vec![recv("a", 1)]);
-        let r = check(&e);
+        let r = run(&e);
         assert!(r.diagnostics.is_empty());
         assert_eq!(
             r.pairs,
             vec![RendezvousPair {
                 tag: 1,
-                send_op: "a".into(),
+                send_stream: 0,
                 send_idx: 0,
-                recv_op: "b".into(),
+                recv_stream: 1,
                 recv_idx: 0,
             }]
         );
@@ -250,7 +280,7 @@ mod tests {
         let mut e = Executive::default();
         e.per_operator.insert("a".into(), vec![send("b", 1)]);
         e.per_operator.insert("b".into(), vec![recv("a", 2)]);
-        let r = check(&e);
+        let r = run(&e);
         assert_eq!(r.diagnostics.len(), 2);
         assert!(r
             .diagnostics
@@ -272,7 +302,7 @@ mod tests {
                 tag: 1,
             }],
         );
-        let r = check(&e);
+        let r = run(&e);
         assert_eq!(r.diagnostics.len(), 1);
         let d = &r.diagnostics[0];
         assert_eq!(d.code, Code::RendezvousMismatch);
@@ -286,7 +316,7 @@ mod tests {
         let mut e = Executive::default();
         e.per_operator
             .insert("a".into(), vec![send("a", 1), recv("a", 1)]);
-        let r = check(&e);
+        let r = run(&e);
         assert!(r.diagnostics.iter().any(|d| d.code == Code::DuplicateTag));
         assert!(r.pairs.is_empty());
     }
@@ -297,7 +327,7 @@ mod tests {
         e.per_operator.insert("a".into(), vec![send("c", 1)]);
         e.per_operator.insert("b".into(), vec![send("c", 1)]);
         e.per_operator.insert("c".into(), vec![recv("a", 1)]);
-        let r = check(&e);
+        let r = run(&e);
         assert!(r.diagnostics.iter().any(|d| d.code == Code::DuplicateTag));
     }
 }

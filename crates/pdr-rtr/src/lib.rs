@@ -41,7 +41,7 @@ pub use arch::{LatencyBreakdown, ReconfigArchitecture};
 pub use error::RtrError;
 pub use exclusion::ExclusionLedger;
 pub use loader::{DeviceLoader, LoaderStats};
-pub use manager::{ConfigurationManager, ManagerStats, RequestOutcome};
+pub use manager::{ConfigurationManager, ManagerStats, RequestOutcome, RequestTiming};
 pub use prefetch::{FirstOrderMarkov, LastValue, Predictor, ScheduleDriven};
 pub use protocol::ProtocolBuilder;
 pub use store::{BitstreamCache, BitstreamStore, MemoryModel};
@@ -52,7 +52,7 @@ pub mod prelude {
     pub use crate::error::RtrError;
     pub use crate::exclusion::ExclusionLedger;
     pub use crate::loader::{DeviceLoader, LoaderStats};
-    pub use crate::manager::{ConfigurationManager, ManagerStats, RequestOutcome};
+    pub use crate::manager::{ConfigurationManager, ManagerStats, RequestOutcome, RequestTiming};
     pub use crate::prefetch::{FirstOrderMarkov, LastValue, Predictor, ScheduleDriven};
     pub use crate::protocol::ProtocolBuilder;
     pub use crate::store::{BitstreamCache, BitstreamStore, MemoryModel};

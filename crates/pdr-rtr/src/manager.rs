@@ -54,6 +54,25 @@ pub struct ManagerStats {
     pub load_time: TimePs,
 }
 
+/// The timing decomposition of one configuration request — `Copy`, no
+/// owned strings, so the simulator's hot loop can call
+/// [`ConfigurationManager::request_at`] without allocating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestTiming {
+    /// Simulated time at which the region holds the module.
+    pub ready_at: TimePs,
+    /// `ready_at - now`: the latency the requester observed.
+    pub latency: TimePs,
+    /// The module was already configured (no work done).
+    pub already_loaded: bool,
+    /// The fetch leg was fully hidden (cache or completed prefetch).
+    pub fetch_hidden: bool,
+    /// Critical-path fetch wait component.
+    pub fetch_wait: TimePs,
+    /// Port load component.
+    pub load: TimePs,
+}
+
 /// The outcome of one configuration request.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RequestOutcome {
@@ -177,12 +196,30 @@ impl ConfigurationManager {
     /// Request `module` at simulated time `now`; returns when the region is
     /// ready and the latency decomposition. Launches the next speculative
     /// fetch afterwards when a predictor is attached.
+    ///
+    /// Convenience wrapper over [`ConfigurationManager::request_at`] that
+    /// also carries the module name in the outcome.
     pub fn request(&mut self, module: &str, now: TimePs) -> Result<RequestOutcome, RtrError> {
+        let t = self.request_at(module, now)?;
+        Ok(RequestOutcome {
+            module: module.to_string(),
+            ready_at: t.ready_at,
+            latency: t.latency,
+            already_loaded: t.already_loaded,
+            fetch_hidden: t.fetch_hidden,
+            fetch_wait: t.fetch_wait,
+            load: t.load,
+        })
+    }
+
+    /// [`ConfigurationManager::request`] without the owned module name in
+    /// the result: returns the `Copy` timing decomposition only, and
+    /// allocates nothing on the already-loaded and cache-hit fast paths.
+    pub fn request_at(&mut self, module: &str, now: TimePs) -> Result<RequestTiming, RtrError> {
         self.stats.requests += 1;
         if self.loaded.as_deref() == Some(module) {
             self.stats.already_loaded += 1;
-            return Ok(RequestOutcome {
-                module: module.to_string(),
+            return Ok(RequestTiming {
                 ready_at: now,
                 latency: TimePs::ZERO,
                 already_loaded: true,
@@ -192,12 +229,13 @@ impl ConfigurationManager {
             });
         }
 
-        let bs = self.store.get(module)?.clone();
         // The fetch leg and the staging cache deal in *stored* bytes
         // (compressed when the store compresses); the port plan below deals
         // in raw bytes.
         let bytes = self.store.stored_size_of(module)?;
-        let plan = self.builder.plan(module, &self.region, &bs)?;
+        let plan = self
+            .builder
+            .plan(module, &self.region, self.store.get(module)?)?;
         if let Some(ledger) = &self.exclusions {
             ledger.lock().check_and_load(&self.region, module)?;
         }
@@ -208,13 +246,12 @@ impl ConfigurationManager {
         if self.cache.lookup(module) {
             self.stats.cache_hits += 1;
             fetch_hidden = true;
-        } else if let Some((m, completes_at)) = self.inflight.clone() {
+        } else if let Some((m, completes_at)) = self.inflight.take() {
             if m == module {
                 // The prediction was right; wait out the remainder (zero if
                 // it already completed).
                 fetch_wait = completes_at.saturating_sub(now);
                 fetch_hidden = fetch_wait.is_zero();
-                self.inflight = None;
                 self.cache.insert(module, bytes)?;
                 if fetch_hidden {
                     self.stats.prefetch_hits += 1;
@@ -225,7 +262,6 @@ impl ConfigurationManager {
             } else {
                 // Wrong prediction: the speculative fetch is abandoned and
                 // the real one starts now.
-                self.inflight = None;
                 fetch_wait = self.memory.read_time(bytes);
                 self.cache.insert(module, bytes)?;
                 self.stats.fetches += 1;
@@ -238,7 +274,9 @@ impl ConfigurationManager {
 
         let ready_at = now + fetch_wait + plan.load_time;
         if let Some(loader) = &self.loader {
-            loader.lock().load(&self.region, module, &bs)?;
+            loader
+                .lock()
+                .load(&self.region, module, self.store.get(module)?)?;
         }
         self.loaded = Some(module.to_string());
         self.stats.fetch_wait += fetch_wait;
@@ -257,8 +295,7 @@ impl ConfigurationManager {
             }
         }
 
-        Ok(RequestOutcome {
-            module: module.to_string(),
+        Ok(RequestTiming {
             ready_at,
             latency: ready_at - now,
             already_loaded: false,
@@ -403,8 +440,8 @@ mod tests {
 
         let d = Device::xc2v2000();
         let region = ReconfigRegion::new("op_dyn", 20, 4).unwrap();
-        let mut loader = DeviceLoader::new(d.clone());
-        loader.add_region(region.clone()).unwrap();
+        let mut loader = DeviceLoader::new(d);
+        loader.add_region(region).unwrap();
         let loader = Arc::new(Mutex::new(loader));
         let mut m = manager(2, None).with_loader(loader.clone());
 

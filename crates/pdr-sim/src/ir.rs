@@ -1,0 +1,718 @@
+//! The interned-executive interpreter: [`IrSimSystem`].
+//!
+//! Semantically identical to [`crate::system::SimSystem`] — same event
+//! ordering, same rendezvous/contention model, same reports, same error
+//! messages — but it interprets the lowered
+//! [`IrExecutive`] instead of the string
+//! `Executive`, with **zero per-event allocation** on the hot path:
+//!
+//! * instructions are `Copy` values read by index from one flat array
+//!   (the string interpreter clones a heap-string-carrying `MacroInstr`
+//!   per executed instruction);
+//! * media occupancy lives in dense `Vec`s indexed by the executive's
+//!   [`MediumRef`], not `BTreeMap<String, _>`;
+//! * pending rendezvous are kept in a `HashMap<u64, _>` keyed by packed
+//!   `(tag, iteration)` integers;
+//! * blocked-state bookkeeping is a small `Copy` enum rather than a
+//!   formatted `String` (the strings are produced only if the run ends
+//!   in deadlock);
+//! * `Configure` goes through the allocation-free
+//!   [`ConfigurationManager::request_at`] and reconfiguration/trace
+//!   events are recorded compactly and materialized to the string-based
+//!   [`SimReport`] once, after the run.
+//!
+//! The equivalence suite (`tests/ir_equivalence.rs` at the workspace
+//! root) asserts report- and trace-level equality against the string
+//! interpreter for every gallery flow and for random graphs.
+
+use crate::engine::EventQueue;
+use crate::error::SimError;
+use crate::report::{ReconfigEvent, SimReport, TraceEvent, TraceKind};
+use crate::system::SimConfig;
+use pdr_fabric::TimePs;
+use pdr_graph::{ArchGraph, Medium};
+use pdr_ir::{IrExecutive, IrInstr, MediumRef, PeerRef, SymbolTable};
+use pdr_rtr::ConfigurationManager;
+use std::collections::{BTreeMap, HashMap};
+
+/// Operator progress state. `Copy`; blocked states carry the rendezvous
+/// key and are rendered to the string interpreter's exact wording only
+/// on deadlock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IrStatus {
+    Ready,
+    BlockedSend { tag: u32, iter: u32 },
+    BlockedRecv { tag: u32, iter: u32 },
+    Done,
+}
+
+impl IrStatus {
+    fn describe(self) -> String {
+        match self {
+            IrStatus::BlockedSend { tag, iter } => format!("send tag {tag} iter {iter}"),
+            IrStatus::BlockedRecv { tag, iter } => format!("recv tag {tag} iter {iter}"),
+            IrStatus::Ready => "Ready".to_string(),
+            IrStatus::Done => "Done".to_string(),
+        }
+    }
+}
+
+struct IrOpRuntime<'p> {
+    program: &'p [IrInstr],
+    /// Per-iteration module selection for this operator, if configured.
+    sel: Option<&'p [String]>,
+    pc: u32,
+    iteration: u32,
+    status: IrStatus,
+    busy: TimePs,
+}
+
+/// Compactly recorded reconfiguration; materialized after the run.
+#[derive(Clone, Copy)]
+struct RawReconfig {
+    stream: u32,
+    pc: u32,
+    iteration: u32,
+    requested_at: TimePs,
+    ready_at: TimePs,
+    fetch_hidden: bool,
+}
+
+/// Compactly recorded trace event; materialized after the run.
+#[derive(Clone, Copy)]
+enum RawTraceKind {
+    Compute {
+        stream: u32,
+        pc: u32,
+    },
+    Transfer {
+        from: PeerRef,
+        to: PeerRef,
+        medium: MediumRef,
+        bits: u64,
+    },
+    Reconfigure {
+        stream: u32,
+        pc: u32,
+        fetch_hidden: bool,
+    },
+}
+
+#[derive(Clone, Copy)]
+struct RawTrace {
+    iteration: u32,
+    start: TimePs,
+    end: TimePs,
+    kind: RawTraceKind,
+}
+
+#[inline]
+fn rv_key(tag: u32, iter: u32) -> u64 {
+    (u64::from(tag) << 32) | u64::from(iter)
+}
+
+/// A runnable system over the lowered executive: architecture +
+/// [`IrExecutive`] + the symbol table that interned it + configuration
+/// managers. Accepts the same [`SimConfig`] as the string interpreter
+/// and produces the same [`SimReport`].
+pub struct IrSimSystem<'a> {
+    arch: &'a ArchGraph,
+    ir: &'a IrExecutive,
+    table: &'a SymbolTable,
+    managers: BTreeMap<String, ConfigurationManager>,
+}
+
+impl<'a> IrSimSystem<'a> {
+    /// Build a system; attach managers with [`IrSimSystem::add_manager`].
+    /// `table` must be the table the executive was lowered through (or a
+    /// superset of it, e.g. the one carried by `pdr-core`'s artifacts).
+    pub fn new(arch: &'a ArchGraph, ir: &'a IrExecutive, table: &'a SymbolTable) -> Self {
+        IrSimSystem {
+            arch,
+            ir,
+            table,
+            managers: BTreeMap::new(),
+        }
+    }
+
+    /// Attach the configuration manager serving the named dynamic operator.
+    pub fn add_manager(&mut self, operator: &str, manager: ConfigurationManager) -> &mut Self {
+        self.managers.insert(operator.to_string(), manager);
+        self
+    }
+
+    /// Run the system and produce a report.
+    pub fn run(&mut self, config: &SimConfig) -> Result<SimReport, SimError> {
+        let ir = self.ir;
+        let table = self.table;
+        let arch = self.arch;
+        let managers = &mut self.managers;
+
+        // Validate selections (same order and messages as the string
+        // interpreter: unknown operator first, then length).
+        for (opr, mods) in &config.selections {
+            if arch.operator_by_name(opr).is_none() {
+                return Err(SimError::BadSelection(format!("unknown operator `{opr}`")));
+            }
+            if mods.len() != config.iterations as usize {
+                return Err(SimError::BadSelection(format!(
+                    "selection for `{opr}` has {} entries, expected {}",
+                    mods.len(),
+                    config.iterations
+                )));
+            }
+        }
+
+        // Dense per-stream runtimes. Stream order is the executive's
+        // lowering order (alphabetical for lowered string executives).
+        let n = ir.operator_count();
+        let mut op_names: Vec<&str> = Vec::with_capacity(n);
+        let mut ops: Vec<IrOpRuntime<'_>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let name = ir.operator_sym(i).resolve(table);
+            if arch.operator_by_name(name).is_none() {
+                return Err(SimError::UnknownName(name.to_string()));
+            }
+            op_names.push(name);
+            ops.push(IrOpRuntime {
+                program: ir.program(i),
+                sel: config.selections.get(name).map(Vec::as_slice),
+                pc: 0,
+                iteration: 0,
+                status: if config.iterations == 0 {
+                    IrStatus::Done
+                } else {
+                    IrStatus::Ready
+                },
+                busy: TimePs::ZERO,
+            });
+        }
+
+        // Dense medium tables indexed by the executive's MediumRef. A ref
+        // that does not resolve to an architecture medium only errors when
+        // a transfer over it completes, matching the string interpreter's
+        // lazy name resolution.
+        let med_arch: Vec<Option<&Medium>> = ir
+            .media()
+            .iter()
+            .map(|m| {
+                arch.medium_by_name(m.resolve(table))
+                    .map(|id| arch.medium(id))
+            })
+            .collect();
+        let mut medium_free = vec![TimePs::ZERO; med_arch.len()];
+        let mut medium_busy = vec![TimePs::ZERO; med_arch.len()];
+        let mut medium_touched = vec![false; med_arch.len()];
+
+        let mut queue: EventQueue<usize> = EventQueue::new();
+        for i in 0..ops.len() {
+            queue.schedule(TimePs::ZERO, i);
+        }
+
+        // Rendezvous bookkeeping: packed (tag, iteration) -> (op, arrival).
+        let mut pending_send: HashMap<u64, (u32, TimePs)> = HashMap::new();
+        let mut pending_recv: HashMap<u64, (u32, TimePs)> = HashMap::new();
+        let mut reconfigs: Vec<RawReconfig> = Vec::new();
+        let mut trace: Vec<RawTrace> = Vec::new();
+        let mut makespan = TimePs::ZERO;
+        let mut iteration_ends = vec![TimePs::ZERO; config.iterations as usize];
+
+        while let Some((now, i)) = queue.pop() {
+            makespan = makespan.max(now);
+            if ops[i].status == IrStatus::Done {
+                continue;
+            }
+            ops[i].status = IrStatus::Ready;
+            // Step instructions until the operator blocks or finishes.
+            'step: loop {
+                if ops[i].pc as usize >= ops[i].program.len() {
+                    if !ops[i].program.is_empty() {
+                        let done = ops[i].iteration as usize;
+                        if done < iteration_ends.len() {
+                            iteration_ends[done] = iteration_ends[done].max(now);
+                        }
+                    }
+                    ops[i].iteration += 1;
+                    ops[i].pc = 0;
+                    if ops[i].iteration >= config.iterations {
+                        ops[i].status = IrStatus::Done;
+                        break 'step;
+                    }
+                    if ops[i].program.is_empty() {
+                        ops[i].iteration = config.iterations;
+                        ops[i].status = IrStatus::Done;
+                        break 'step;
+                    }
+                    continue 'step;
+                }
+                let pc = ops[i].pc;
+                let instr = ops[i].program[pc as usize];
+                let iter = ops[i].iteration;
+                match instr {
+                    IrInstr::Compute { duration, .. } => {
+                        ops[i].pc += 1;
+                        ops[i].busy += duration;
+                        if config.capture_trace {
+                            trace.push(RawTrace {
+                                iteration: iter,
+                                start: now,
+                                end: now + duration,
+                                kind: RawTraceKind::Compute {
+                                    stream: i as u32,
+                                    pc,
+                                },
+                            });
+                        }
+                        if duration.is_zero() {
+                            continue 'step;
+                        }
+                        queue.schedule(now + duration, i);
+                        break 'step;
+                    }
+                    IrInstr::Configure { module, worst_case } => {
+                        let chosen: &str = match ops[i].sel {
+                            Some(mods) => {
+                                mods.get(iter as usize).map(String::as_str).ok_or_else(|| {
+                                    SimError::BadSelection(format!(
+                                        "selection for `{}` has no entry for iteration {iter}",
+                                        op_names[i]
+                                    ))
+                                })?
+                            }
+                            None => module.resolve(table),
+                        };
+                        let (ready_at, hidden) = match managers.get_mut(op_names[i]) {
+                            Some(mgr) => {
+                                let t = mgr
+                                    .request_at(chosen, now)
+                                    .map_err(|e| SimError::Manager(e.to_string()))?;
+                                if t.already_loaded {
+                                    ops[i].pc += 1;
+                                    continue 'step;
+                                }
+                                (t.ready_at, t.fetch_hidden)
+                            }
+                            // No manager: charge the characterized worst case
+                            // (see the string interpreter for the rationale).
+                            None => (now + worst_case, false),
+                        };
+                        ops[i].pc += 1;
+                        ops[i].busy += ready_at - now;
+                        reconfigs.push(RawReconfig {
+                            stream: i as u32,
+                            pc,
+                            iteration: iter,
+                            requested_at: now,
+                            ready_at,
+                            fetch_hidden: hidden,
+                        });
+                        if config.capture_trace {
+                            trace.push(RawTrace {
+                                iteration: iter,
+                                start: now,
+                                end: ready_at,
+                                kind: RawTraceKind::Reconfigure {
+                                    stream: i as u32,
+                                    pc,
+                                    fetch_hidden: hidden,
+                                },
+                            });
+                        }
+                        if ready_at == now {
+                            continue 'step;
+                        }
+                        queue.schedule(ready_at, i);
+                        break 'step;
+                    }
+                    IrInstr::Send {
+                        to,
+                        medium,
+                        bits,
+                        tag,
+                    } => {
+                        let key = rv_key(tag, iter);
+                        if let Some((j, _)) = pending_recv.remove(&key) {
+                            let j = j as usize;
+                            let m = medium.0 as usize;
+                            let med = med_arch[m].ok_or_else(|| {
+                                SimError::UnknownName(
+                                    ir.medium_sym(medium).resolve(table).to_string(),
+                                )
+                            })?;
+                            let start = now.max(medium_free[m]);
+                            let end = start + med.transfer_time(bits);
+                            medium_free[m] = end;
+                            medium_busy[m] += end - start;
+                            medium_touched[m] = true;
+                            if config.capture_trace {
+                                trace.push(RawTrace {
+                                    iteration: iter,
+                                    start,
+                                    end,
+                                    kind: RawTraceKind::Transfer {
+                                        from: ir.operator_ref(i),
+                                        to,
+                                        medium,
+                                        bits,
+                                    },
+                                });
+                            }
+                            ops[i].pc += 1;
+                            ops[j].pc += 1;
+                            ops[j].status = IrStatus::Ready;
+                            queue.schedule(end, i);
+                            queue.schedule(end, j);
+                            break 'step;
+                        }
+                        pending_send.insert(key, (i as u32, now));
+                        ops[i].status = IrStatus::BlockedSend { tag, iter };
+                        break 'step;
+                    }
+                    IrInstr::Receive {
+                        from,
+                        medium,
+                        bits,
+                        tag,
+                    } => {
+                        let key = rv_key(tag, iter);
+                        if let Some((j, _)) = pending_send.remove(&key) {
+                            let j = j as usize;
+                            let m = medium.0 as usize;
+                            let med = med_arch[m].ok_or_else(|| {
+                                SimError::UnknownName(
+                                    ir.medium_sym(medium).resolve(table).to_string(),
+                                )
+                            })?;
+                            let start = now.max(medium_free[m]);
+                            let end = start + med.transfer_time(bits);
+                            medium_free[m] = end;
+                            medium_busy[m] += end - start;
+                            medium_touched[m] = true;
+                            if config.capture_trace {
+                                trace.push(RawTrace {
+                                    iteration: iter,
+                                    start,
+                                    end,
+                                    kind: RawTraceKind::Transfer {
+                                        from,
+                                        to: ir.operator_ref(i),
+                                        medium,
+                                        bits,
+                                    },
+                                });
+                            }
+                            ops[i].pc += 1;
+                            ops[j].pc += 1;
+                            ops[j].status = IrStatus::Ready;
+                            queue.schedule(end, i);
+                            queue.schedule(end, j);
+                            break 'step;
+                        }
+                        pending_recv.insert(key, (i as u32, now));
+                        ops[i].status = IrStatus::BlockedRecv { tag, iter };
+                        break 'step;
+                    }
+                }
+            }
+        }
+
+        // Every operator must have finished.
+        let blocked: Vec<(String, String)> = ops
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.status != IrStatus::Done)
+            .map(|(i, o)| (op_names[i].to_string(), o.status.describe()))
+            .collect();
+        if !blocked.is_empty() {
+            return Err(SimError::Deadlock {
+                at_ps: makespan.as_ps(),
+                blocked,
+            });
+        }
+
+        // Materialize the report's string-keyed views once, after the run.
+        let chosen_module = |stream: u32, pc: u32, iteration: u32| -> String {
+            let i = stream as usize;
+            if let Some(mods) = ops[i].sel {
+                return mods[iteration as usize].clone();
+            }
+            match ops[i].program[pc as usize] {
+                IrInstr::Configure { module, .. } => module.resolve(table).to_string(),
+                _ => unreachable!("reconfiguration recorded on a non-Configure instruction"),
+            }
+        };
+        let mut operator_busy = BTreeMap::new();
+        for (i, o) in ops.iter().enumerate() {
+            operator_busy.insert(op_names[i].to_string(), o.busy);
+        }
+        let mut medium_busy_map: BTreeMap<String, TimePs> = BTreeMap::new();
+        for (m, &touched) in medium_touched.iter().enumerate() {
+            if touched {
+                let name = ir.media()[m].resolve(table).to_string();
+                medium_busy_map.insert(name, medium_busy[m]);
+            }
+        }
+        let reconfigs: Vec<ReconfigEvent> = reconfigs
+            .into_iter()
+            .map(|r| ReconfigEvent {
+                operator: op_names[r.stream as usize].to_string(),
+                module: chosen_module(r.stream, r.pc, r.iteration),
+                iteration: r.iteration,
+                requested_at: r.requested_at,
+                ready_at: r.ready_at,
+                fetch_hidden: r.fetch_hidden,
+            })
+            .collect();
+        let trace: Vec<TraceEvent> = trace
+            .into_iter()
+            .map(|t| {
+                let (site, kind) = match t.kind {
+                    RawTraceKind::Compute { stream, pc } => {
+                        let (op, function) = match ops[stream as usize].program[pc as usize] {
+                            IrInstr::Compute { op, function, .. } => (
+                                op.resolve(table).to_string(),
+                                function.resolve(table).to_string(),
+                            ),
+                            _ => unreachable!("compute trace on a non-Compute instruction"),
+                        };
+                        (
+                            op_names[stream as usize].to_string(),
+                            TraceKind::Compute { op, function },
+                        )
+                    }
+                    RawTraceKind::Transfer {
+                        from,
+                        to,
+                        medium,
+                        bits,
+                    } => {
+                        let medium = ir.medium_sym(medium).resolve(table).to_string();
+                        (
+                            medium.clone(),
+                            TraceKind::Transfer {
+                                from: ir.peer_sym(from).resolve(table).to_string(),
+                                to: ir.peer_sym(to).resolve(table).to_string(),
+                                medium,
+                                bits,
+                            },
+                        )
+                    }
+                    RawTraceKind::Reconfigure {
+                        stream,
+                        pc,
+                        fetch_hidden,
+                    } => (
+                        op_names[stream as usize].to_string(),
+                        TraceKind::Reconfigure {
+                            module: chosen_module(stream, pc, t.iteration),
+                            fetch_hidden,
+                        },
+                    ),
+                };
+                TraceEvent {
+                    site,
+                    iteration: t.iteration,
+                    start: t.start,
+                    end: t.end,
+                    kind,
+                }
+            })
+            .collect();
+        let manager_stats = managers
+            .iter()
+            .map(|(k, m)| (k.clone(), m.stats()))
+            .collect();
+        Ok(SimReport {
+            makespan,
+            iterations: config.iterations,
+            operator_busy,
+            medium_busy: medium_busy_map,
+            reconfigs,
+            manager_stats,
+            iteration_ends,
+            trace,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::SimSystem;
+    use pdr_adequation::executive::generate_executive;
+    use pdr_adequation::{adequate, AdequationOptions, Executive};
+    use pdr_fabric::{Bitstream, Device, PortProfile, ReconfigRegion};
+    use pdr_graph::paper;
+    use pdr_rtr::{BitstreamCache, BitstreamStore, MemoryModel, ProtocolBuilder};
+
+    struct Setup {
+        arch: ArchGraph,
+        executive: Executive,
+        table: SymbolTable,
+        ir: IrExecutive,
+    }
+
+    fn paper_setup() -> Setup {
+        let algo = paper::mccdma_algorithm();
+        let arch = paper::sundance_architecture();
+        let chars = paper::mccdma_characterization();
+        let cons = paper::mccdma_constraints();
+        let opts = AdequationOptions::default()
+            .pin("interface_in", "dsp")
+            .pin("select", "dsp")
+            .pin("interface_out", "fpga_static");
+        let r = adequate(&algo, &arch, &chars, &cons, &opts).unwrap();
+        let executive = generate_executive(&algo, &arch, &chars, &r.mapping, &r.schedule).unwrap();
+        let mut table = arch.symbols().clone();
+        let ir = executive.lower(&mut table);
+        Setup {
+            arch,
+            executive,
+            table,
+            ir,
+        }
+    }
+
+    fn paper_manager() -> ConfigurationManager {
+        let d = Device::xc2v2000();
+        let region = ReconfigRegion::new("op_dyn", 20, 4).unwrap();
+        let mut store = BitstreamStore::new();
+        let qpsk = Bitstream::partial_for_region(&d, &region, 1);
+        let bytes = qpsk.len_bytes();
+        store.insert("mod_qpsk", qpsk);
+        store.insert("mod_qam16", Bitstream::partial_for_region(&d, &region, 2));
+        let builder = ProtocolBuilder::new(d, PortProfile::icap_virtex2());
+        let mut mgr = ConfigurationManager::new(
+            builder,
+            store,
+            BitstreamCache::sized_for(2, bytes),
+            MemoryModel::paper_flash(),
+            "op_dyn",
+        );
+        mgr.preload("mod_qpsk").unwrap();
+        mgr
+    }
+
+    fn alternating(n: u32) -> Vec<String> {
+        (0..n)
+            .map(|i| {
+                if (i / 4) % 2 == 0 {
+                    "mod_qpsk".to_string()
+                } else {
+                    "mod_qam16".to_string()
+                }
+            })
+            .collect()
+    }
+
+    fn both_reports(s: &Setup, cfg: &SimConfig, with_manager: bool) -> (SimReport, SimReport) {
+        let mut sys = SimSystem::new(&s.arch, &s.executive);
+        let mut ir_sys = IrSimSystem::new(&s.arch, &s.ir, &s.table);
+        if with_manager {
+            sys.add_manager("op_dyn", paper_manager());
+            ir_sys.add_manager("op_dyn", paper_manager());
+        }
+        (sys.run(cfg).unwrap(), ir_sys.run(cfg).unwrap())
+    }
+
+    #[test]
+    fn reports_match_string_interpreter_with_selections() {
+        let s = paper_setup();
+        let cfg = SimConfig::iterations(16)
+            .with_selection("op_dyn", alternating(16))
+            .with_trace();
+        let (a, b) = both_reports(&s, &cfg, true);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reports_match_without_manager() {
+        let s = paper_setup();
+        let cfg = SimConfig::iterations(4).with_trace();
+        let (a, b) = both_reports(&s, &cfg, false);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_iterations_match() {
+        let s = paper_setup();
+        let (a, b) = both_reports(&s, &SimConfig::iterations(0), false);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn selection_errors_match() {
+        let s = paper_setup();
+        let mut sys = SimSystem::new(&s.arch, &s.executive);
+        let mut ir_sys = IrSimSystem::new(&s.arch, &s.ir, &s.table);
+        for cfg in [
+            SimConfig::iterations(4).with_selection("op_dyn", vec!["mod_qpsk".to_string(); 3]),
+            SimConfig::iterations(1).with_selection("ghost", vec!["mod_qpsk".to_string()]),
+        ] {
+            let a = sys.run(&cfg).unwrap_err();
+            let b = ir_sys.run(&cfg).unwrap_err();
+            assert_eq!(a.to_string(), b.to_string());
+        }
+    }
+
+    #[test]
+    fn manager_errors_match() {
+        let s = paper_setup();
+        let cfg = SimConfig::iterations(1).with_selection("op_dyn", vec!["mod_ghost".to_string()]);
+        let mut sys = SimSystem::new(&s.arch, &s.executive);
+        sys.add_manager("op_dyn", paper_manager());
+        let mut ir_sys = IrSimSystem::new(&s.arch, &s.ir, &s.table);
+        ir_sys.add_manager("op_dyn", paper_manager());
+        let a = sys.run(&cfg).unwrap_err();
+        let b = ir_sys.run(&cfg).unwrap_err();
+        assert!(matches!(b, SimError::Manager(_)));
+        assert_eq!(a.to_string(), b.to_string());
+    }
+
+    #[test]
+    fn deadlock_errors_match() {
+        let mut arch = ArchGraph::new("t");
+        arch.add_operator("a", pdr_graph::OperatorKind::Processor)
+            .unwrap();
+        arch.add_operator("b", pdr_graph::OperatorKind::Processor)
+            .unwrap();
+        let a_id = arch.operator_by_name("a").unwrap();
+        let b_id = arch.operator_by_name("b").unwrap();
+        let m = arch
+            .add_medium("m", pdr_graph::MediumKind::Bus, 1_000_000, TimePs::ZERO)
+            .unwrap();
+        arch.link(a_id, m).unwrap();
+        arch.link(b_id, m).unwrap();
+        let mut exec = Executive::default();
+        exec.per_operator.insert(
+            "a".into(),
+            vec![pdr_adequation::MacroInstr::Send {
+                to: "b".into(),
+                medium: "m".into(),
+                bits: 8,
+                tag: 1,
+            }],
+        );
+        exec.per_operator.insert("b".into(), vec![]);
+        let mut table = arch.symbols().clone();
+        let ir = exec.lower(&mut table);
+        let mut sys = SimSystem::new(&arch, &exec);
+        let mut ir_sys = IrSimSystem::new(&arch, &ir, &table);
+        let ea = sys.run(&SimConfig::iterations(1)).unwrap_err();
+        let eb = ir_sys.run(&SimConfig::iterations(1)).unwrap_err();
+        assert_eq!(ea.to_string(), eb.to_string());
+        assert!(eb.to_string().contains("send tag 1"));
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let s = paper_setup();
+        let run = || {
+            let mut sys = IrSimSystem::new(&s.arch, &s.ir, &s.table);
+            sys.add_manager("op_dyn", paper_manager());
+            let cfg = SimConfig::iterations(12).with_selection("op_dyn", alternating(12));
+            sys.run(&cfg).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+}

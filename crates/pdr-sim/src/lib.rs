@@ -26,11 +26,13 @@
 pub mod engine;
 pub mod error;
 pub mod gantt;
+pub mod ir;
 pub mod report;
 pub mod system;
 
 pub use engine::EventQueue;
 pub use error::SimError;
+pub use ir::IrSimSystem;
 pub use report::{ReconfigEvent, SimReport, TraceEvent, TraceKind};
 pub use system::{SimConfig, SimSystem};
 
@@ -39,6 +41,7 @@ pub mod prelude {
     pub use crate::engine::EventQueue;
     pub use crate::error::SimError;
     pub use crate::gantt::{to_csv, to_gantt};
+    pub use crate::ir::IrSimSystem;
     pub use crate::report::{ReconfigEvent, SimReport, TraceEvent, TraceKind};
     pub use crate::system::{SimConfig, SimSystem};
 }

@@ -216,11 +216,18 @@ impl<'a> SimSystem<'a> {
                         break 'step;
                     }
                     MacroInstr::Configure { module, worst_case } => {
-                        let chosen = config
-                            .selections
-                            .get(&ops[i].name)
-                            .map(|mods| mods[iter as usize].clone())
-                            .unwrap_or(module);
+                        // Selection vectors are validated against the
+                        // iteration count up front, but index defensively:
+                        // a short vector is a typed error, not a panic.
+                        let chosen = match config.selections.get(&ops[i].name) {
+                            Some(mods) => mods.get(iter as usize).cloned().ok_or_else(|| {
+                                SimError::BadSelection(format!(
+                                    "selection for `{}` has no entry for iteration {iter}",
+                                    ops[i].name
+                                ))
+                            })?,
+                            None => module,
+                        };
                         let (ready_at, hidden) = match self.managers.get_mut(&ops[i].name) {
                             Some(mgr) => {
                                 let out = mgr

@@ -37,7 +37,7 @@ fn main() {
     println!("\n== system half (simulated hardware) ==");
     for (label, options) in [
         ("baseline ", RuntimeOptions::paper_baseline()),
-        ("prefetch ", RuntimeOptions::paper_prefetch(loads.clone())),
+        ("prefetch ", RuntimeOptions::paper_prefetch(loads)),
     ] {
         let report = study
             .deploy(options)

@@ -22,7 +22,7 @@ fn corrupted_bitstream_rejected_by_protocol_builder() {
     let mut bytes = good.encode().to_vec();
     let mid = bytes.len() / 2;
     bytes[mid] ^= 0x40;
-    let err = Bitstream::decode(&bytes, &d, good.kind.clone(), 1).unwrap_err();
+    let err = Bitstream::decode(&bytes, &d, good.kind, 1).unwrap_err();
     assert!(matches!(err, FabricError::MalformedBitstream { .. }));
 }
 

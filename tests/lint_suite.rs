@@ -33,6 +33,13 @@ fn stream_mut<'a>(art: &'a mut FlowArtifacts, operator: &str) -> &'a mut Vec<Mac
         .expect("operator stream exists")
 }
 
+/// Re-lower after mutating the string executive: `DesignFlow::verify`
+/// analyzes the index-based twin, so a mutation must land in both forms
+/// of the artifact to be observable.
+fn relower(art: &mut FlowArtifacts) {
+    art.ir_executive = art.executive.lower(&mut art.symbols);
+}
+
 // ------------------------------------------------------- clean designs
 
 #[test]
@@ -127,6 +134,7 @@ fn dropped_receive_is_pdr001() {
         .position(|i| matches!(i, MacroInstr::Receive { .. }))
         .expect("op_dyn receives its input");
     stream.remove(idx);
+    relower(&mut art);
     let report = flow.verify(&art);
     assert!(report.has_errors());
     assert!(report.has_code(Code::DanglingRendezvous));
@@ -160,6 +168,7 @@ fn swapped_tags_are_pdr002() {
     if let MacroInstr::Send { tag, .. } = &mut stream[b] {
         *tag = tag_a;
     }
+    relower(&mut art);
     let report = flow.verify(&art);
     assert!(report.has_errors());
     assert!(report.has_code(Code::RendezvousMismatch));
@@ -185,6 +194,7 @@ fn duplicated_tag_is_pdr003() {
     if let MacroInstr::Receive { tag, .. } = &mut stream[recvs[1]] {
         *tag = first_tag;
     }
+    relower(&mut art);
     let report = flow.verify(&art);
     assert!(report.has_errors());
     assert!(report.has_code(Code::DuplicateTag));
@@ -204,6 +214,7 @@ fn crossed_rendezvous_order_is_pdr004_with_witness_trace() {
         .collect();
     assert!(recvs.len() >= 2, "op_dyn receives data and selector");
     stream.swap(recvs[0], recvs[1]);
+    relower(&mut art);
     let report = flow.verify(&art);
     assert!(report.has_errors());
     assert!(report.has_code(Code::Deadlock));
@@ -228,6 +239,7 @@ fn removed_configure_is_pdr005() {
         .position(|i| matches!(i, MacroInstr::Configure { .. }))
         .expect("op_dyn configures its module");
     stream.remove(idx);
+    relower(&mut art);
     let report = flow.verify(&art);
     assert!(report.has_errors());
     assert!(report.has_code(Code::UnconfiguredCompute));
@@ -244,6 +256,7 @@ fn perturbed_worst_case_is_pdr006() {
     if let MacroInstr::Configure { worst_case, .. } = &mut stream[idx] {
         *worst_case += TimePs::from_ms(1);
     }
+    relower(&mut art);
     let report = flow.verify(&art);
     assert!(report.has_code(Code::WcetMismatch));
     // A stale worst-case is a warning: it only gates under --deny-warnings.
@@ -359,6 +372,7 @@ fn unknown_configured_module_is_pdr012() {
     if let MacroInstr::Configure { module, .. } = &mut stream[idx] {
         *module = "ghost_module".to_string();
     }
+    relower(&mut art);
     let report = flow.verify(&art);
     assert!(report.has_code(Code::UnknownModule));
 }
@@ -400,6 +414,7 @@ fn rendered_mutation_report_names_code_and_location() {
         .position(|i| matches!(i, MacroInstr::Receive { .. }))
         .expect("op_dyn receives its input");
     stream.remove(idx);
+    relower(&mut art);
     let report = flow.verify(&art);
     let text = render::to_text(&report);
     assert!(text.contains("PDR001"), "{text}");

@@ -31,7 +31,7 @@ proptest! {
         words.push(tail | 1);
         let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_be_bytes()).collect();
         let packed = compress(&bytes);
-        prop_assert_eq!(decompress(&packed).unwrap(), bytes.clone());
+        prop_assert_eq!(decompress(&packed).unwrap(), bytes);
         if zeros > 16 {
             prop_assert!(packed.len() < bytes.len());
         }

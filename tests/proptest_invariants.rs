@@ -48,7 +48,7 @@ proptest! {
         let pos = lo + (pos_seed as usize) % (hi - lo);
         let bit = 1u8 << (pos_seed % 8);
         bytes[pos] ^= bit;
-        prop_assert!(Bitstream::decode(&bytes, &device, bs.kind.clone(), fingerprint).is_err());
+        prop_assert!(Bitstream::decode(&bytes, &device, bs.kind, fingerprint).is_err());
     }
 
     /// Transfer time is monotone in byte count for every port profile.
