@@ -27,4 +27,7 @@ cargo bench -p pdr-bench --no-run -q
 echo "== bench_ir_sim (test mode: report parity + speedup floor)"
 cargo bench -p pdr-bench --bench bench_ir_sim -- --test --out BENCH_ir_sim.json
 
+echo "== bench_adequation (test mode: result parity + speedup floor + zero-alloc probes)"
+cargo bench -p pdr-bench --bench bench_adequation -- --test --out BENCH_adequation.json
+
 echo "CI OK"

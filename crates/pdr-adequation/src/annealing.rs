@@ -15,6 +15,7 @@
 
 use crate::error::AdequationError;
 use crate::heuristic::AdequationOptions;
+use crate::index::AdequationIndex;
 use crate::mapping::Mapping;
 use crate::schedule::{ItemKind, Schedule, ScheduledItem};
 use pdr_fabric::bitstream::SplitMix64;
@@ -55,18 +56,39 @@ impl Default for AnnealOptions {
 /// Schedule `algo` under a *fixed* mapping: operations in topological
 /// order, each starting when its operator is free and its transfers have
 /// arrived. Returns the schedule; it validates by construction.
+///
+/// Builds a one-shot [`AdequationIndex`]; the annealing loop shares a
+/// single index across all moves via the internal variant instead.
 pub fn schedule_with_mapping(
     algo: &AlgorithmGraph,
     arch: &ArchGraph,
     chars: &Characterization,
     mapping: &Mapping,
 ) -> Result<(Schedule, TimePs), AdequationError> {
-    let order = algo.topo_order()?;
+    let index = AdequationIndex::build(algo, arch, chars)?;
     let mut schedule = Schedule::new();
-    let mut finish: HashMap<OpId, TimePs> = HashMap::with_capacity(algo.len());
-    let mut operator_free: HashMap<OperatorId, TimePs> = HashMap::new();
-    let mut medium_free: HashMap<MediumId, TimePs> = HashMap::new();
-    for &id in &order {
+    let makespan = run_fixed_mapping(algo, arch, chars, &index, mapping, Some(&mut schedule))?;
+    Ok((schedule, makespan))
+}
+
+/// The fixed-mapping list walk over the index. With `record` the full
+/// schedule is materialized; without, only the makespan is tracked — the
+/// annealing objective needs nothing else, and every item's end is folded
+/// into the running maximum exactly where the item would have been pushed,
+/// so both modes return the same makespan.
+fn run_fixed_mapping(
+    algo: &AlgorithmGraph,
+    arch: &ArchGraph,
+    chars: &Characterization,
+    index: &AdequationIndex,
+    mapping: &Mapping,
+    mut record: Option<&mut Schedule>,
+) -> Result<TimePs, AdequationError> {
+    let mut makespan = TimePs::ZERO;
+    let mut finish = vec![TimePs::ZERO; algo.len()];
+    let mut operator_free = vec![TimePs::ZERO; arch.operator_count()];
+    let mut medium_free = vec![TimePs::ZERO; arch.medium_count()];
+    for &id in index.topo() {
         let op = algo.op(id);
         let opr = mapping
             .operator_of(id)
@@ -74,71 +96,86 @@ pub fn schedule_with_mapping(
                 operation: op.name.clone(),
                 reason: "not assigned".into(),
             })?;
-        let opr_name = &arch.operator(opr).name;
-        // WCET across the vertex's functions.
-        let mut dur = TimePs::ZERO;
-        let mut wcet_fn = String::new();
-        for f in op.kind.functions() {
-            let d = chars
-                .duration(f, opr_name)
-                .ok_or_else(|| AdequationError::Unmappable {
-                    operation: op.name.clone(),
-                    reason: format!("`{f}` infeasible on `{opr_name}`"),
-                })?;
-            if d >= dur {
-                dur = d;
-                wcet_fn = f.clone();
-            }
-        }
+        // WCET across the vertex's functions — last function attaining the
+        // max, like the pre-index `d >= dur` loop kept.
+        let entry = index
+            .wcet(id, opr)
+            .ok_or_else(|| infeasible_on(op, &arch.operator(opr).name, chars))?;
+        let dur = entry.dur;
         let mut data_ready = TimePs::ZERO;
         for e in algo.in_edges(id) {
             let src = mapping.operator_of(e.from).expect("topological order");
-            let route = arch.route(src, opr)?;
-            let mut t = finish[&e.from];
+            let route = index.route(src, opr).ok_or_else(|| {
+                AdequationError::Graph(GraphError::NoRoute {
+                    from: arch.operator(src).name.clone(),
+                    to: arch.operator(opr).name.clone(),
+                })
+            })?;
+            let mut t = finish[e.from.0];
             for &m in &route.media {
-                let free = medium_free.get(&m).copied().unwrap_or(TimePs::ZERO);
-                let start = t.max(free);
+                let start = t.max(medium_free[m.0]);
                 let end = start + arch.medium(m).transfer_time(e.bits);
-                schedule.push_medium_item(
-                    m,
+                if let Some(schedule) = record.as_deref_mut() {
+                    schedule.push_medium_item(
+                        m,
+                        ScheduledItem {
+                            kind: ItemKind::Transfer {
+                                from: e.from,
+                                to: e.to,
+                                bits: e.bits,
+                                iteration: 0,
+                            },
+                            start,
+                            end,
+                        },
+                    );
+                }
+                makespan = makespan.max(end);
+                medium_free[m.0] = end;
+                t = end;
+            }
+            data_ready = data_ready.max(t);
+        }
+        let start = data_ready.max(operator_free[opr.0]);
+        let end = start + dur;
+        if !dur.is_zero() {
+            if let Some(schedule) = record.as_deref_mut() {
+                schedule.push_operator_item(
+                    opr,
                     ScheduledItem {
-                        kind: ItemKind::Transfer {
-                            from: e.from,
-                            to: e.to,
-                            bits: e.bits,
+                        kind: ItemKind::Compute {
+                            op: id,
+                            function: index.fn_name(algo, id, entry.last_fn()),
                             iteration: 0,
                         },
                         start,
                         end,
                     },
                 );
-                medium_free.insert(m, end);
-                t = end;
             }
-            data_ready = data_ready.max(t);
+            makespan = makespan.max(end);
+            operator_free[opr.0] = end;
         }
-        let free = operator_free.get(&opr).copied().unwrap_or(TimePs::ZERO);
-        let start = data_ready.max(free);
-        let end = start + dur;
-        if !dur.is_zero() {
-            schedule.push_operator_item(
-                opr,
-                ScheduledItem {
-                    kind: ItemKind::Compute {
-                        op: id,
-                        function: wcet_fn,
-                        iteration: 0,
-                    },
-                    start,
-                    end,
-                },
-            );
-            operator_free.insert(opr, end);
-        }
-        finish.insert(id, end);
+        finish[id.0] = end;
     }
-    let makespan = schedule.makespan();
-    Ok((schedule, makespan))
+    Ok(makespan)
+}
+
+/// Reconstruct the pre-index infeasibility error: name the first function
+/// whose characterization entry is missing (the matrix only records *that*
+/// the pair is infeasible). Error path only — never hot.
+fn infeasible_on(op: &Operation, opr_name: &str, chars: &Characterization) -> AdequationError {
+    let f = op
+        .kind
+        .functions()
+        .iter()
+        .find(|f| chars.duration(f, opr_name).is_none())
+        .cloned()
+        .unwrap_or_default();
+    AdequationError::Unmappable {
+        operation: op.name.clone(),
+        reason: format!("`{f}` infeasible on `{opr_name}`"),
+    }
 }
 
 /// Objective: makespan plus the expected reconfiguration penalty of
@@ -147,23 +184,17 @@ fn objective(
     algo: &AlgorithmGraph,
     arch: &ArchGraph,
     chars: &Characterization,
+    index: &AdequationIndex,
     mapping: &Mapping,
     options: &AdequationOptions,
 ) -> Result<TimePs, AdequationError> {
-    let (_, makespan) = schedule_with_mapping(algo, arch, chars, mapping)?;
+    let makespan = run_fixed_mapping(algo, arch, chars, index, mapping, None)?;
     let mut total = makespan;
     if options.reconfig_aware {
         for cond in algo.conditioned_ops() {
             let opr = mapping.operator_of(cond).expect("complete mapping");
-            if arch.operator(opr).kind.is_dynamic() {
-                let worst = algo
-                    .op(cond)
-                    .kind
-                    .functions()
-                    .iter()
-                    .filter_map(|f| chars.reconfig_time(f, &arch.operator(opr).name).ok())
-                    .max()
-                    .unwrap_or(TimePs::ZERO);
+            if index.is_dynamic(opr) {
+                let worst = index.reconfig_worst(cond, opr);
                 total += TimePs::from_ps(
                     (worst.as_ps() as f64 * options.switch_probability).round() as u64,
                 );
@@ -237,6 +268,9 @@ pub fn anneal(
     algo.validate()?;
     constraints.validate()?;
     let sets = feasible_sets(algo, arch, chars, constraints, &options.base)?;
+    // One index shared across every move: the per-evaluation cost is pure
+    // table arithmetic.
+    let index = AdequationIndex::build(algo, arch, chars)?;
     let mut rng = SplitMix64::new(options.seed);
 
     // Initial mapping: first feasible operator each.
@@ -244,7 +278,7 @@ pub fn anneal(
     for (i, (id, _)) in algo.ops().enumerate() {
         current.assign(id, sets[i][0]);
     }
-    let mut current_cost = objective(algo, arch, chars, &current, &options.base)?;
+    let mut current_cost = objective(algo, arch, chars, &index, &current, &options.base)?;
     let mut best = current.clone();
     let mut best_cost = current_cost;
     let mut accepted = 0u32;
@@ -253,7 +287,8 @@ pub fn anneal(
     let movable: Vec<usize> = (0..algo.len()).filter(|&i| sets[i].len() > 1).collect();
     if movable.is_empty() {
         current.validate(algo, arch, chars, constraints)?;
-        let (schedule, makespan) = schedule_with_mapping(algo, arch, chars, &current)?;
+        let mut schedule = Schedule::new();
+        let makespan = run_fixed_mapping(algo, arch, chars, &index, &current, Some(&mut schedule))?;
         return Ok((current, schedule, makespan, 0));
     }
 
@@ -268,7 +303,7 @@ pub fn anneal(
             continue;
         }
         current.assign(id, candidate);
-        let cost = objective(algo, arch, chars, &current, &options.base)?;
+        let cost = objective(algo, arch, chars, &index, &current, &options.base)?;
         let delta = cost.as_ps() as f64 - current_cost.as_ps() as f64;
         let accept = if delta <= 0.0 {
             true
@@ -292,7 +327,8 @@ pub fn anneal(
     }
 
     best.validate(algo, arch, chars, constraints)?;
-    let (schedule, makespan) = schedule_with_mapping(algo, arch, chars, &best)?;
+    let mut schedule = Schedule::new();
+    let makespan = run_fixed_mapping(algo, arch, chars, &index, &best, Some(&mut schedule))?;
     Ok((best, schedule, makespan, accepted))
 }
 

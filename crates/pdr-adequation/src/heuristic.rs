@@ -23,14 +23,24 @@
 //! alternatives (WCET labeling), so single-iteration makespans are safe
 //! bounds. Sources and sinks model interfaces: they are mapped (possibly
 //! pinned) but consume no operator time.
+//!
+//! The implementation runs on the [`AdequationIndex`] precomputation
+//! layer: a dense op×operator WCET matrix, an all-pairs route table, the
+//! graph's CSR adjacency, and a binary-heap ready queue keyed on (bottom
+//! level, id) — roughly O((V+E)·P + V log V) index arithmetic where the
+//! seed spent O(V²·P·F) on string hashing and per-pair BFS. The pre-index
+//! path survives in [`crate::reference`]; `tests/adequation_equivalence.rs`
+//! proves both return byte-identical results.
 
 use crate::error::AdequationError;
+use crate::index::AdequationIndex;
 use crate::mapping::Mapping;
 use crate::schedule::{ItemKind, Schedule, ScheduledItem};
 use pdr_fabric::TimePs;
 use pdr_graph::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 /// Tunables of the adequation heuristic.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -87,30 +97,16 @@ pub struct AdequationResult {
     pub finish_times: HashMap<OpId, TimePs>,
 }
 
-/// Worst-case duration of an operation on a given operator (max over the
-/// functions the vertex may execute), or `None` if any function is
-/// infeasible there. Sources/sinks cost zero everywhere.
-fn wcet_on(op: &Operation, operator: &str, chars: &Characterization) -> Option<(TimePs, String)> {
-    let funcs = op.kind.functions();
-    if funcs.is_empty() {
-        return Some((TimePs::ZERO, String::new()));
-    }
-    let mut best: Option<(TimePs, String)> = None;
-    for f in funcs {
-        let d = chars.duration(f, operator)?;
-        if best.as_ref().map(|(t, _)| d > *t).unwrap_or(true) {
-            best = Some((d, f.clone()));
-        }
-    }
-    best
-}
-
 /// Feasible operators of an operation, honoring constraints-file pins.
+/// Pins and region constraints bypass the WCET feasibility check, exactly
+/// like the pre-index path did (an infeasible constrained region is caught
+/// later as "no routable operator").
 fn feasible_operators(
     op: &Operation,
+    id: OpId,
     arch: &ArchGraph,
-    chars: &Characterization,
     constraints: &ConstraintsFile,
+    index: &AdequationIndex,
     pinned: Option<OperatorId>,
 ) -> Vec<OperatorId> {
     if let Some(p) = pinned {
@@ -122,43 +118,17 @@ fn feasible_operators(
         .functions()
         .iter()
         .find_map(|f| constraints.module(f).map(|mc| mc.region.as_str()));
-    arch.operators()
-        .filter(|(_, o)| {
-            if let Some(region) = constrained_region {
-                return o.name == region;
-            }
-            wcet_on(op, &o.name, chars).is_some()
-        })
-        .map(|(id, _)| id)
-        .collect()
-}
-
-/// Critical-path bottom levels (operation → longest downstream path length,
-/// using each operation's best-case duration and ignoring communications).
-fn bottom_levels(
-    algo: &AlgorithmGraph,
-    arch: &ArchGraph,
-    chars: &Characterization,
-) -> Result<HashMap<OpId, TimePs>, AdequationError> {
-    let order = algo.topo_order()?;
-    let mut bl: HashMap<OpId, TimePs> = HashMap::with_capacity(algo.len());
-    let best_duration = |id: OpId| -> TimePs {
-        let op = algo.op(id);
-        arch.operators()
-            .filter_map(|(_, o)| wcet_on(op, &o.name, chars).map(|(t, _)| t))
-            .min()
-            .unwrap_or(TimePs::ZERO)
-    };
-    for &id in order.iter().rev() {
-        let succ_max = algo
-            .successors(id)
-            .into_iter()
-            .map(|s| bl.get(&s).copied().unwrap_or(TimePs::ZERO))
-            .max()
-            .unwrap_or(TimePs::ZERO);
-        bl.insert(id, best_duration(id) + succ_max);
+    if let Some(region) = constrained_region {
+        return arch
+            .operators()
+            .filter(|(_, o)| o.name == region)
+            .map(|(opr, _)| opr)
+            .collect();
     }
-    Ok(bl)
+    arch.operators()
+        .map(|(opr, _)| opr)
+        .filter(|&opr| index.wcet(id, opr).is_some())
+        .collect()
 }
 
 /// Run the adequation: map and schedule one iteration of `algo` onto `arch`.
@@ -184,35 +154,44 @@ pub fn adequate(
         pinned.insert(op, opr);
     }
 
-    let bl = bottom_levels(algo, arch, chars)?;
+    let index = AdequationIndex::build(algo, arch, chars)?;
+    let n = algo.len();
     let mut mapping = Mapping::new();
     let mut schedule = Schedule::new();
-    let mut finish: HashMap<OpId, TimePs> = HashMap::with_capacity(algo.len());
-    let mut operator_free: HashMap<OperatorId, TimePs> = HashMap::new();
-    let mut medium_free: HashMap<MediumId, TimePs> = HashMap::new();
+    let mut finish = vec![TimePs::ZERO; n];
+    let mut operator_free = vec![TimePs::ZERO; arch.operator_count()];
+    let mut medium_free = vec![TimePs::ZERO; arch.medium_count()];
 
-    // Ready list driven by remaining predecessor counts.
-    let mut remaining: HashMap<OpId, usize> = algo
-        .ops()
-        .map(|(id, _)| (id, algo.predecessors(id).len()))
+    // Ready queue keyed on (bottom level, lowest id): a heap pop selects
+    // exactly the operation the seed's full ready-list scan picked —
+    // highest bottom level, ties broken towards the lowest id — because
+    // each operation enters the heap exactly once, when its remaining
+    // predecessor count reaches zero.
+    let mut remaining: Vec<usize> = (0..n).map(|i| algo.in_degree(OpId(i))).collect();
+    let mut ready: BinaryHeap<(TimePs, Reverse<usize>)> = (0..n)
+        .filter(|&i| remaining[i] == 0)
+        .map(|i| (index.bottom_level(OpId(i)), Reverse(i)))
         .collect();
     let mut scheduled = 0usize;
-    while scheduled < algo.len() {
-        // Highest bottom level among ready ops; ties by lowest id.
-        let next = algo
-            .ops()
-            .map(|(id, _)| id)
-            .filter(|id| !finish.contains_key(id) && remaining[id] == 0)
-            .max_by(|a, b| bl[a].cmp(&bl[b]).then(b.cmp(a)))
-            .ok_or_else(|| {
-                AdequationError::InvalidSchedule(
+    while scheduled < n {
+        let next = match ready.pop() {
+            Some((_, Reverse(i))) => OpId(i),
+            None => {
+                return Err(AdequationError::InvalidSchedule(
                     "no ready operation although schedule incomplete (cycle?)".into(),
-                )
-            })?;
+                ))
+            }
+        };
         let op = algo.op(next);
 
-        let candidates =
-            feasible_operators(op, arch, chars, constraints, pinned.get(&next).copied());
+        let candidates = feasible_operators(
+            op,
+            next,
+            arch,
+            constraints,
+            &index,
+            pinned.get(&next).copied(),
+        );
         if candidates.is_empty() {
             return Err(AdequationError::Unmappable {
                 operation: op.name.clone(),
@@ -221,54 +200,44 @@ pub fn adequate(
         }
 
         // Pick the operator minimizing finish-time estimate.
-        let mut best: Option<(TimePs, TimePs, OperatorId, TimePs, String)> = None;
+        let mut best: Option<(TimePs, TimePs, OperatorId, TimePs, Option<usize>)> = None;
         for cand in candidates {
-            let Some((dur, wcet_fn)) = wcet_on(op, &arch.operator(cand).name, chars) else {
+            let Some(entry) = index.wcet(next, cand) else {
                 continue;
             };
+            let dur = entry.dur;
             // Earliest start: operator free + data arrivals (simulated, not
             // committed).
-            let mut est = operator_free.get(&cand).copied().unwrap_or(TimePs::ZERO);
+            let mut est = operator_free[cand.0];
             let mut routable = true;
             for e in algo.in_edges(next) {
                 let src_opr = mapping
                     .operator_of(e.from)
                     .expect("predecessors scheduled first");
-                let t0 = finish[&e.from];
-                let arrival = match arch.route(src_opr, cand) {
-                    Ok(route) => {
+                let t0 = finish[e.from.0];
+                match index.route(src_opr, cand) {
+                    Some(route) => {
                         // Estimate without reserving: each hop waits for the
                         // medium then transfers.
                         let mut t = t0;
                         for &m in &route.media {
-                            let free = medium_free.get(&m).copied().unwrap_or(TimePs::ZERO);
-                            t = t.max(free) + arch.medium(m).transfer_time(e.bits);
+                            t = t.max(medium_free[m.0]) + arch.medium(m).transfer_time(e.bits);
                         }
-                        t
+                        est = est.max(t);
                     }
-                    Err(_) => {
+                    None => {
                         routable = false;
                         break;
                     }
-                };
-                est = est.max(arrival);
+                }
             }
             if !routable {
                 continue;
             }
             // Expected reconfiguration penalty (selection pressure only).
             let mut eft = est + dur;
-            if options.reconfig_aware
-                && op.kind.is_conditioned()
-                && arch.operator(cand).kind.is_dynamic()
-            {
-                let worst_fn = op
-                    .kind
-                    .functions()
-                    .iter()
-                    .filter_map(|f| chars.reconfig_time(f, &arch.operator(cand).name).ok())
-                    .max()
-                    .unwrap_or(TimePs::ZERO);
+            if options.reconfig_aware && index.is_conditioned(next) && index.is_dynamic(cand) {
+                let worst_fn = index.reconfig_worst(next, cand);
                 let penalty_ps =
                     (worst_fn.as_ps() as f64 * options.switch_probability).round() as u64;
                 eft += TimePs::from_ps(penalty_ps);
@@ -278,7 +247,7 @@ pub fn adequate(
                 Some((b_eft, ..)) => eft < *b_eft,
             };
             if better {
-                best = Some((eft, est, cand, dur, wcet_fn));
+                best = Some((eft, est, cand, dur, entry.first_fn()));
             }
         }
         let (_, est, chosen, dur, wcet_fn) = best.ok_or_else(|| AdequationError::Unmappable {
@@ -290,11 +259,15 @@ pub fn adequate(
         let mut data_ready = TimePs::ZERO;
         for e in algo.in_edges(next) {
             let src_opr = mapping.operator_of(e.from).expect("scheduled");
-            let route = arch.route(src_opr, chosen)?;
-            let mut t = finish[&e.from];
+            let route = index.route(src_opr, chosen).ok_or_else(|| {
+                AdequationError::Graph(GraphError::NoRoute {
+                    from: arch.operator(src_opr).name.clone(),
+                    to: arch.operator(chosen).name.clone(),
+                })
+            })?;
+            let mut t = finish[e.from.0];
             for &m in &route.media {
-                let free = medium_free.get(&m).copied().unwrap_or(TimePs::ZERO);
-                let start = t.max(free);
+                let start = t.max(medium_free[m.0]);
                 let end = start + arch.medium(m).transfer_time(e.bits);
                 schedule.push_medium_item(
                     m,
@@ -309,13 +282,12 @@ pub fn adequate(
                         end,
                     },
                 );
-                medium_free.insert(m, end);
+                medium_free[m.0] = end;
                 t = end;
             }
             data_ready = data_ready.max(t);
         }
-        let opr_free = operator_free.get(&chosen).copied().unwrap_or(TimePs::ZERO);
-        let start = est.max(data_ready).max(opr_free);
+        let start = est.max(data_ready).max(operator_free[chosen.0]);
         let end = start + dur;
         if !dur.is_zero() {
             schedule.push_operator_item(
@@ -323,19 +295,23 @@ pub fn adequate(
                 ScheduledItem {
                     kind: ItemKind::Compute {
                         op: next,
-                        function: wcet_fn,
+                        function: index.fn_name(algo, next, wcet_fn),
                         iteration: 0,
                     },
                     start,
                     end,
                 },
             );
-            operator_free.insert(chosen, end);
+            operator_free[chosen.0] = end;
         }
         mapping.assign(next, chosen);
-        finish.insert(next, end);
-        for s in algo.successors(next) {
-            *remaining.get_mut(&s).expect("known op") -= 1;
+        finish[next.0] = end;
+        for e in algo.out_edges(next) {
+            let s = e.to.0;
+            remaining[s] -= 1;
+            if remaining[s] == 0 {
+                ready.push((index.bottom_level(e.to), Reverse(s)));
+            }
         }
         scheduled += 1;
     }
@@ -347,7 +323,7 @@ pub fn adequate(
         mapping,
         schedule,
         makespan,
-        finish_times: finish,
+        finish_times: (0..n).map(|i| (OpId(i), finish[i])).collect(),
     })
 }
 

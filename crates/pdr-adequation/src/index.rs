@@ -1,0 +1,404 @@
+//! `AdequationIndex` — the precomputation layer behind the fast scheduler.
+//!
+//! The adequation inner loops probe four things over and over: the WCET of
+//! an operation on a candidate operator (a max over function symbols, each
+//! a string-keyed characterization lookup), the media route between two
+//! operators (a BFS in the seed), the graph neighbourhoods, and the
+//! critical-path bottom levels. All four are functions of the *inputs*
+//! only — not of scheduling state — so one pass can compute them into
+//! dense, index-addressed tables:
+//!
+//! * a **WCET matrix** (`n_ops × n_operators`): per cell the worst-case
+//!   duration plus which function symbol attains it, under both tie-break
+//!   conventions the crate uses (see [`WcetEntry`]);
+//! * an **all-pairs route table** (`n_operators × n_operators`): one full
+//!   BFS per operator via [`ArchGraph::routes_from`], yielding routes
+//!   identical to the pairwise [`ArchGraph::route`] queries;
+//! * the **topological order** and per-operation **bottom levels** (the
+//!   list scheduler's priority function);
+//! * the worst **reconfiguration time** per (conditioned op, operator),
+//!   feeding the expected-penalty term of the reconfiguration-aware cost
+//!   model.
+//!
+//! The index is built once per `adequate()` call and once per annealing
+//! *run* (shared across all moves). Everything it returns is what the
+//! pre-index code computed on the fly — `tests/adequation_equivalence.rs`
+//! and `pdr-bench`'s `adequation_perf` study hold the two paths to
+//! byte-identical results.
+
+use crate::error::AdequationError;
+use pdr_fabric::TimePs;
+use pdr_graph::prelude::*;
+
+/// Sentinel function index for operations with no function symbols
+/// (sources and sinks): they cost zero everywhere and schedule items never
+/// name a function for them.
+const NO_FN: u32 = u32::MAX;
+
+/// One cell of the WCET matrix: the worst-case duration of an operation on
+/// an operator, and which of the operation's functions attains it.
+///
+/// Two tie-break conventions coexist in the crate and both are preserved:
+/// the greedy heuristic's `wcet_on` kept the *first* function reaching the
+/// max (strict `>` update), while the annealing scheduler kept the *last*
+/// (`>=` update from zero). A cell stores both so either caller reproduces
+/// its seed behaviour exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WcetEntry {
+    /// Worst-case duration across the operation's functions.
+    pub dur: TimePs,
+    /// Index (into `op.kind.functions()`) of the first function attaining
+    /// `dur`; `NO_FN` for sources/sinks.
+    first_fn: u32,
+    /// Index of the last function attaining `dur`; `NO_FN` for
+    /// sources/sinks.
+    last_fn: u32,
+}
+
+impl WcetEntry {
+    /// Function index under the greedy heuristic's first-max convention.
+    pub fn first_fn(&self) -> Option<usize> {
+        (self.first_fn != NO_FN).then_some(self.first_fn as usize)
+    }
+
+    /// Function index under the annealing scheduler's last-max convention.
+    pub fn last_fn(&self) -> Option<usize> {
+        (self.last_fn != NO_FN).then_some(self.last_fn as usize)
+    }
+}
+
+/// Precomputed tables shared by the indexed schedulers. Borrowing nothing:
+/// build once, use against the same `(algo, arch, chars)` triple.
+#[derive(Debug, Clone)]
+pub struct AdequationIndex {
+    n_oprs: usize,
+    /// `n_ops × n_oprs`, row-major by operation: WCET or infeasibility.
+    wcet: Vec<Option<WcetEntry>>,
+    /// `n_oprs × n_oprs`, row-major by source: cached routes (`None` when
+    /// unreachable).
+    routes: Vec<Option<Route>>,
+    /// Topological order of the operations.
+    topo: Vec<OpId>,
+    /// Critical-path bottom level per operation (indexed by `OpId`).
+    bottom_levels: Vec<TimePs>,
+    /// `n_ops × n_oprs`: worst reconfiguration time across the operation's
+    /// functions (filled for conditioned operations only; zero elsewhere).
+    reconfig_worst: Vec<TimePs>,
+    /// Per operator: is it runtime-reconfigurable?
+    dynamic: Vec<bool>,
+    /// Per operation: is it conditioned?
+    conditioned: Vec<bool>,
+}
+
+impl AdequationIndex {
+    /// Build every table. Fails only on a cyclic algorithm graph (the
+    /// topological sort propagates the same [`GraphError::Cycle`] the
+    /// pre-index path produced).
+    pub fn build(
+        algo: &AlgorithmGraph,
+        arch: &ArchGraph,
+        chars: &Characterization,
+    ) -> Result<Self, AdequationError> {
+        let n_ops = algo.len();
+        let n_oprs = arch.operator_count();
+
+        // WCET matrix. One pass over (op, operator, function) — the last
+        // time these string lookups happen.
+        let mut wcet = Vec::with_capacity(n_ops * n_oprs);
+        for (_, op) in algo.ops() {
+            let funcs = op.kind.functions();
+            for (_, o) in arch.operators() {
+                wcet.push(Self::wcet_cell(funcs, &o.name, chars));
+            }
+        }
+
+        // All-pairs route table: one full BFS per operator.
+        let mut routes = Vec::with_capacity(n_oprs * n_oprs);
+        for (from, _) in arch.operators() {
+            routes.extend(arch.routes_from(from));
+        }
+
+        let topo = algo.topo_order()?;
+
+        // Bottom levels over the matrix: best-case duration plus the max
+        // successor level, walked in reverse topological order.
+        let mut bottom_levels = vec![TimePs::ZERO; n_ops];
+        for &id in topo.iter().rev() {
+            let best = wcet[id.0 * n_oprs..(id.0 + 1) * n_oprs]
+                .iter()
+                .filter_map(|c| c.as_ref().map(|e| e.dur))
+                .min()
+                .unwrap_or(TimePs::ZERO);
+            let succ_max = algo
+                .out_edges(id)
+                .map(|e| bottom_levels[e.to.0])
+                .max()
+                .unwrap_or(TimePs::ZERO);
+            bottom_levels[id.0] = best + succ_max;
+        }
+
+        let dynamic: Vec<bool> = arch.operators().map(|(_, o)| o.kind.is_dynamic()).collect();
+        let conditioned: Vec<bool> = algo.ops().map(|(_, o)| o.kind.is_conditioned()).collect();
+
+        // Worst reconfiguration time per (conditioned op, operator).
+        let mut reconfig_worst = vec![TimePs::ZERO; n_ops * n_oprs];
+        for (id, op) in algo.ops() {
+            if !op.kind.is_conditioned() {
+                continue;
+            }
+            for (opr, o) in arch.operators() {
+                reconfig_worst[id.0 * n_oprs + opr.0] = op
+                    .kind
+                    .functions()
+                    .iter()
+                    .filter_map(|f| chars.reconfig_time(f, &o.name).ok())
+                    .max()
+                    .unwrap_or(TimePs::ZERO);
+            }
+        }
+
+        Ok(AdequationIndex {
+            n_oprs,
+            wcet,
+            routes,
+            topo,
+            bottom_levels,
+            reconfig_worst,
+            dynamic,
+            conditioned,
+        })
+    }
+
+    /// One WCET cell: max duration over `funcs` on `operator`, tracking
+    /// first- and last-max function indices; `None` when any function is
+    /// infeasible there (matching the seed's `wcet_on` semantics).
+    fn wcet_cell(funcs: &[String], operator: &str, chars: &Characterization) -> Option<WcetEntry> {
+        if funcs.is_empty() {
+            return Some(WcetEntry {
+                dur: TimePs::ZERO,
+                first_fn: NO_FN,
+                last_fn: NO_FN,
+            });
+        }
+        let mut entry: Option<WcetEntry> = None;
+        for (i, f) in funcs.iter().enumerate() {
+            let d = chars.duration(f, operator)?;
+            match &mut entry {
+                None => {
+                    entry = Some(WcetEntry {
+                        dur: d,
+                        first_fn: i as u32,
+                        last_fn: i as u32,
+                    });
+                }
+                Some(e) if d > e.dur => {
+                    e.dur = d;
+                    e.first_fn = i as u32;
+                    e.last_fn = i as u32;
+                }
+                Some(e) if d == e.dur => e.last_fn = i as u32,
+                Some(_) => {}
+            }
+        }
+        entry
+    }
+
+    /// Operator count the matrix was built for.
+    pub fn operator_count(&self) -> usize {
+        self.n_oprs
+    }
+
+    /// WCET cell of (operation, operator); `None` means infeasible.
+    #[inline]
+    pub fn wcet(&self, op: OpId, opr: OperatorId) -> Option<&WcetEntry> {
+        self.wcet[op.0 * self.n_oprs + opr.0].as_ref()
+    }
+
+    /// Cached route between two operators (`None` when unreachable).
+    #[inline]
+    pub fn route(&self, from: OperatorId, to: OperatorId) -> Option<&Route> {
+        self.routes[from.0 * self.n_oprs + to.0].as_ref()
+    }
+
+    /// The topological order computed at build time.
+    pub fn topo(&self) -> &[OpId] {
+        &self.topo
+    }
+
+    /// Critical-path bottom level of an operation.
+    #[inline]
+    pub fn bottom_level(&self, op: OpId) -> TimePs {
+        self.bottom_levels[op.0]
+    }
+
+    /// Worst reconfiguration time across the functions of a conditioned
+    /// operation on an operator (zero for unconditioned operations).
+    #[inline]
+    pub fn reconfig_worst(&self, op: OpId, opr: OperatorId) -> TimePs {
+        self.reconfig_worst[op.0 * self.n_oprs + opr.0]
+    }
+
+    /// Is the operator runtime-reconfigurable?
+    #[inline]
+    pub fn is_dynamic(&self, opr: OperatorId) -> bool {
+        self.dynamic[opr.0]
+    }
+
+    /// Is the operation conditioned?
+    #[inline]
+    pub fn is_conditioned(&self, op: OpId) -> bool {
+        self.conditioned[op.0]
+    }
+
+    /// Resolve a stored function index back to its symbol, cloning for
+    /// schedule items (`String::new()` for the source/sink sentinel, as
+    /// the seed produced).
+    pub fn fn_name(&self, algo: &AlgorithmGraph, op: OpId, fn_idx: Option<usize>) -> String {
+        match fn_idx {
+            Some(i) => algo.op(op).kind.functions()[i].clone(),
+            None => String::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdr_graph::paper;
+
+    fn paper_index() -> (AlgorithmGraph, ArchGraph, Characterization, AdequationIndex) {
+        let algo = paper::mccdma_algorithm();
+        let arch = paper::sundance_architecture();
+        let chars = paper::mccdma_characterization();
+        let index = AdequationIndex::build(&algo, &arch, &chars).unwrap();
+        (algo, arch, chars, index)
+    }
+
+    #[test]
+    fn matrix_agrees_with_direct_probes() {
+        let (algo, arch, chars, index) = paper_index();
+        for (id, op) in algo.ops() {
+            for (opr, o) in arch.operators() {
+                let direct: Option<TimePs> = if op.kind.functions().is_empty() {
+                    Some(TimePs::ZERO)
+                } else {
+                    op.kind
+                        .functions()
+                        .iter()
+                        .map(|f| chars.duration(f, &o.name))
+                        .collect::<Option<Vec<_>>>()
+                        .map(|ds| ds.into_iter().max().unwrap())
+                };
+                assert_eq!(index.wcet(id, opr).map(|e| e.dur), direct);
+            }
+        }
+    }
+
+    #[test]
+    fn route_table_agrees_with_pairwise_bfs() {
+        let (_, arch, _, index) = paper_index();
+        for (a, _) in arch.operators() {
+            for (b, _) in arch.operators() {
+                assert_eq!(index.route(a, b), arch.route(a, b).ok().as_ref());
+            }
+        }
+    }
+
+    #[test]
+    fn tie_breaks_track_first_and_last_max() {
+        // Two alternatives with equal durations on one operator: first-max
+        // must pick index 0, last-max index 1.
+        let mut algo = AlgorithmGraph::new("t");
+        let s = algo.add_op("s", OpKind::Source).unwrap();
+        let c = algo
+            .add_op(
+                "c",
+                OpKind::Conditioned {
+                    alternatives: vec!["f0".into(), "f1".into()],
+                },
+            )
+            .unwrap();
+        let k = algo.add_op("k", OpKind::Sink).unwrap();
+        algo.connect(s, c, 8).unwrap();
+        algo.connect(c, k, 8).unwrap();
+        let mut arch = ArchGraph::new("t");
+        let cpu = arch.add_operator("cpu", OperatorKind::Processor).unwrap();
+        let mut chars = Characterization::new();
+        chars.set_duration("f0", "cpu", TimePs::from_us(5));
+        chars.set_duration("f1", "cpu", TimePs::from_us(5));
+        let index = AdequationIndex::build(&algo, &arch, &chars).unwrap();
+        let e = index.wcet(c, cpu).unwrap();
+        assert_eq!(e.first_fn(), Some(0));
+        assert_eq!(e.last_fn(), Some(1));
+        assert_eq!(index.fn_name(&algo, c, e.first_fn()), "f0");
+        assert_eq!(index.fn_name(&algo, c, e.last_fn()), "f1");
+        // Sources carry the sentinel.
+        let se = index.wcet(s, cpu).unwrap();
+        assert_eq!(se.first_fn(), None);
+        assert_eq!(index.fn_name(&algo, s, se.first_fn()), "");
+    }
+
+    #[test]
+    fn bottom_levels_match_reference_recursion() {
+        let (algo, arch, chars, index) = paper_index();
+        // Recompute with the pre-index recursion and compare.
+        let order = algo.topo_order().unwrap();
+        let mut bl = std::collections::HashMap::new();
+        for &id in order.iter().rev() {
+            let op = algo.op(id);
+            let best = arch
+                .operators()
+                .filter_map(|(_, o)| {
+                    if op.kind.functions().is_empty() {
+                        Some(TimePs::ZERO)
+                    } else {
+                        op.kind
+                            .functions()
+                            .iter()
+                            .map(|f| chars.duration(f, &o.name))
+                            .collect::<Option<Vec<_>>>()
+                            .map(|ds| ds.into_iter().max().unwrap())
+                    }
+                })
+                .min()
+                .unwrap_or(TimePs::ZERO);
+            let succ_max = algo
+                .successors(id)
+                .into_iter()
+                .map(|s| bl[&s])
+                .max()
+                .unwrap_or(TimePs::ZERO);
+            bl.insert(id, best + succ_max);
+        }
+        for (id, _) in algo.ops() {
+            assert_eq!(index.bottom_level(id), bl[&id], "{}", algo.op(id).name);
+        }
+    }
+
+    #[test]
+    fn conditioned_reconfig_worst_is_filled() {
+        let (algo, arch, _, index) = paper_index();
+        let modu = algo.by_name("modulation").unwrap();
+        let dynop = arch.operator_by_name("op_dyn").unwrap();
+        assert!(index.is_conditioned(modu));
+        assert!(index.is_dynamic(dynop));
+        assert!(index.reconfig_worst(modu, dynop) > TimePs::ZERO);
+        let ifft = algo.by_name("ifft64").unwrap();
+        assert_eq!(index.reconfig_worst(ifft, dynop), TimePs::ZERO);
+    }
+
+    #[test]
+    fn cycle_propagates_build_error() {
+        let mut algo = AlgorithmGraph::new("t");
+        let a = algo.add_compute("a").unwrap();
+        let b = algo.add_compute("b").unwrap();
+        algo.connect(a, b, 8).unwrap();
+        algo.connect(b, a, 8).unwrap();
+        let arch = ArchGraph::new("t");
+        let chars = Characterization::new();
+        assert!(matches!(
+            AdequationIndex::build(&algo, &arch, &chars),
+            Err(AdequationError::Graph(GraphError::Cycle { .. }))
+        ));
+    }
+}

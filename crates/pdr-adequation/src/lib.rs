@@ -35,7 +35,9 @@ pub mod bounds;
 pub mod error;
 pub mod executive;
 pub mod heuristic;
+pub mod index;
 pub mod mapping;
+pub mod reference;
 pub mod schedule;
 pub mod trace;
 
@@ -44,7 +46,9 @@ pub use bounds::{critical_path_bound, lower_bound, quality_ratio, work_bound};
 pub use error::AdequationError;
 pub use executive::{Executive, MacroInstr};
 pub use heuristic::{adequate, AdequationOptions, AdequationResult};
+pub use index::{AdequationIndex, WcetEntry};
 pub use mapping::Mapping;
+pub use reference::adequate_reference;
 pub use schedule::{ItemKind, Schedule, ScheduledItem};
 pub use trace::{schedule_trace, ReconfigSplit, TraceOptions, TraceResult, TraceStats};
 

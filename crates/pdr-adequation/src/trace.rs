@@ -242,6 +242,12 @@ pub fn schedule_trace(
     }
 
     let order = algo.topo_order()?;
+    // All-pairs route table, computed once instead of one BFS per edge per
+    // iteration (routes_from yields routes identical to pairwise queries).
+    let routes: Vec<Vec<Option<Route>>> = arch
+        .operators()
+        .map(|(from, _)| arch.routes_from(from))
+        .collect();
     let mut schedule = Schedule::new();
     let mut operator_free: HashMap<OperatorId, TimePs> = HashMap::new();
     let mut medium_free: HashMap<MediumId, TimePs> = HashMap::new();
@@ -308,7 +314,12 @@ pub fn schedule_trace(
             let selector_source = selectors.entries.get(&id).map(|e| e.source);
             for e in algo.in_edges(id) {
                 let src_opr = mapping.operator_of(e.from).expect("validated");
-                let route = arch.route(src_opr, opr)?;
+                let route = routes[src_opr.0][opr.0].as_ref().ok_or_else(|| {
+                    AdequationError::Graph(GraphError::NoRoute {
+                        from: arch.operator(src_opr).name.clone(),
+                        to: arch.operator(opr).name.clone(),
+                    })
+                })?;
                 let mut t = finish[&(it, e.from)];
                 for &m in &route.media {
                     let free = medium_free.get(&m).copied().unwrap_or(TimePs::ZERO);

@@ -1,46 +1,180 @@
-//! Criterion bench behind the adequation study: heuristic cost over graph
-//! sizes (the automation cost of Fig. 3's first arrow).
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pdr_adequation::{adequate, AdequationOptions};
-use pdr_bench::adequation_study::synthetic_graph;
-use pdr_graph::{paper, ConstraintsFile};
-use std::hint::black_box;
+//! Criterion bench behind the indexed-adequation tentpole: reference
+//! (pre-index) vs indexed scheduling of the gallery flows.
+//!
+//! Flags (after `--`):
+//!
+//! * `--test` — quick mode for CI: fewer repetitions, asserts exact
+//!   result parity on every flow, the >= 5x speedup floor on the
+//!   gallery's largest flow (`synthetic_large`), and that the hot
+//!   per-probe `Characterization::duration` lookup performs zero heap
+//!   allocations;
+//! * `--out <path>` — persist the comparison as a
+//!   `BENCH_adequation.json` artifact through the `pdr-sweep` JSON
+//!   writer.
 
-fn bench_adequation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("adequation");
-    let arch = paper::sundance_architecture();
-    // The paper case study itself.
-    let algo = paper::mccdma_algorithm();
-    let chars = paper::mccdma_characterization();
-    let cons = paper::mccdma_constraints();
-    let opts = AdequationOptions::default()
-        .pin("interface_in", "dsp")
-        .pin("select", "dsp")
-        .pin("interface_out", "fpga_static");
-    g.bench_function("paper_case_study", |b| {
-        b.iter(|| black_box(adequate(&algo, &arch, &chars, &cons, &opts).expect("maps")))
-    });
-    // Synthetic scaling.
-    for (layers, width) in [(4usize, 4usize), (8, 8), (12, 12)] {
-        let (graph, gchars) = synthetic_graph(layers, width);
-        let n = graph.len();
-        g.bench_with_input(BenchmarkId::new("synthetic_ops", n), &n, |b, _| {
-            b.iter(|| {
-                black_box(
-                    adequate(
-                        &graph,
-                        &arch,
-                        &gchars,
-                        &ConstraintsFile::new(),
-                        &AdequationOptions::default(),
-                    )
-                    .expect("maps"),
-                )
-            })
-        });
+use criterion::Criterion;
+use pdr_adequation::{adequate, adequate_reference};
+use pdr_bench::adequation_perf::{self, LARGEST};
+use pdr_core::gallery;
+use pdr_sweep::artifact::Artifact;
+use serde::json::Value;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Allocation counter wrapping the system allocator, so the bench can
+/// assert that the hot duration-lookup path stays allocation-free.
+struct CountingAlloc;
+
+/// Heap allocations observed since process start.
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
     }
-    g.finish();
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
 }
 
-criterion_group!(benches, bench_adequation);
-criterion_main!(benches);
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Assert that `Characterization::duration` allocates nothing per probe:
+/// the satellite fix replaced the `format!`-keyed map with a two-level
+/// map probed by borrowed `&str`s. Probes cover every (function,
+/// operator) pair of the paper flow, repeated enough to catch even a
+/// single stray allocation.
+fn assert_duration_probes_are_allocation_free() {
+    let g = gallery::by_name("paper").expect("paper flow in gallery");
+    let chars = g.flow.characterization();
+    let probes: Vec<(String, String)> = g
+        .flow
+        .algorithm()
+        .ops()
+        .flat_map(|(_, op)| op.kind.functions().to_vec())
+        .flat_map(|f| {
+            g.flow
+                .architecture()
+                .operators()
+                .map(move |(_, opr)| (f.clone(), opr.name.clone()))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    assert!(!probes.is_empty());
+    // Reconfiguration probes only where a cost is defined: the error arm
+    // of `reconfig_time` renders a diagnostic and is allowed to allocate.
+    let reconfig_probes: Vec<&(String, String)> = probes
+        .iter()
+        .filter(|(f, opr)| chars.reconfig_time(f, opr).is_ok())
+        .collect();
+    assert!(!reconfig_probes.is_empty());
+
+    let mut acc = 0u64;
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..1_000 {
+        for (f, opr) in &probes {
+            if let Some(d) = chars.duration(f, opr) {
+                acc = acc.wrapping_add(d.as_ps());
+            }
+        }
+        for (f, opr) in &reconfig_probes {
+            if let Ok(r) = chars.reconfig_time(f, opr) {
+                acc = acc.wrapping_add(r.as_ps());
+            }
+        }
+    }
+    let delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    black_box(acc);
+    assert_eq!(
+        delta,
+        0,
+        "duration/reconfig_time probes allocated {delta} times over \
+         {} probe pairs x 1000 reps (must be allocation-free)",
+        probes.len()
+    );
+    println!(
+        "ok: {} duration probe pairs x 1000 reps, 0 heap allocations",
+        probes.len()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let test_mode = args.iter().any(|a| a == "--test");
+    let out = args
+        .windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| w[1].clone());
+
+    assert_duration_probes_are_allocation_free();
+
+    let reps = if test_mode { 3 } else { 5 };
+    let cmp = adequation_perf::run(reps).expect("gallery flows schedule");
+    print!("{}", cmp.render());
+    assert!(
+        cmp.all_match(),
+        "reference and indexed schedulers disagree on a gallery flow"
+    );
+
+    let largest = cmp.case(LARGEST).expect("largest gallery flow present");
+    if test_mode {
+        assert!(
+            largest.speedup() >= 5.0,
+            "indexed scheduler is only {:.2}x faster than the reference \
+             path on {LARGEST} (floor: 5x)",
+            largest.speedup()
+        );
+        println!(
+            "ok: {LARGEST} indexed speedup {:.2}x (floor 5x)",
+            largest.speedup()
+        );
+    }
+
+    if let Some(path) = &out {
+        let mut artifact = Artifact::new("adequation_perf")
+            .with_field(
+                "mode",
+                Value::String(if test_mode { "test" } else { "full" }.into()),
+            )
+            .with_field("reps", Value::UInt(reps as u64));
+        artifact.push_section("comparison", cmp.to_json());
+        artifact.write(path).expect("artifact written");
+        println!("wrote {path}");
+    }
+
+    if !test_mode {
+        // Criterion timing display on the largest flow: indexed vs
+        // reference scheduling, the numbers behind the speedup column.
+        let g = gallery::by_name(LARGEST).expect("gallery flow");
+        let (algo, arch, chars) = (
+            g.flow.algorithm(),
+            g.flow.architecture(),
+            g.flow.characterization(),
+        );
+        let (cons, opts) = (g.flow.constraints(), g.flow.adequation_options());
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("adequation");
+        group.sample_size(10);
+        group.bench_function(format!("indexed/{LARGEST}"), |b| {
+            b.iter(|| black_box(adequate(algo, arch, chars, cons, opts).expect("maps")))
+        });
+        group.bench_function(format!("reference/{LARGEST}"), |b| {
+            b.iter(|| black_box(adequate_reference(algo, arch, chars, cons, opts).expect("maps")))
+        });
+        group.finish();
+    }
+}

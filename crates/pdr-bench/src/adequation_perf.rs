@@ -1,0 +1,185 @@
+//! Reference vs indexed adequation: the scheduler speedup study.
+//!
+//! The §3 heuristic used to recompute everything it touched — string-keyed
+//! WCET probes (two freshly allocated `String`s per lookup), an O(V·E)
+//! topological sort, a full ready-list rescan per step and one BFS per
+//! scheduled transfer. The `AdequationIndex` tentpole precomputes all of
+//! it once: a dense op×operator WCET matrix, an all-pairs route table (one
+//! BFS per operator), CSR adjacency and bottom levels, with a binary-heap
+//! ready queue on top.
+//!
+//! This study runs **both** implementations — the pre-index path is kept
+//! in-tree as [`pdr_adequation::reference::adequate_reference`] — over
+//! every gallery flow and reports wall times plus exact result parity:
+//! the indexed scheduler must return a byte-identical
+//! [`pdr_adequation::AdequationResult`] on every flow, and be at least 5×
+//! faster on the 512-op `synthetic_large` flow (asserted by
+//! `benches/bench_adequation.rs` in `--test` mode, which gates ci.sh).
+
+use pdr_adequation::{adequate, adequate_reference};
+use pdr_core::{gallery, FlowError};
+use serde::json::Value;
+use std::time::Instant;
+
+/// The flow the speedup floor is asserted on — the gallery's largest.
+pub const LARGEST: &str = "synthetic_large";
+
+/// One gallery flow, scheduled by both implementations.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// Gallery flow name.
+    pub name: String,
+    /// Operations in the algorithm graph.
+    pub operations: usize,
+    /// Edges in the algorithm graph.
+    pub edges: usize,
+    /// Best-of-reps wall time of the reference (pre-index) path, ns.
+    pub reference_ns: u64,
+    /// Best-of-reps wall time of the indexed path, ns.
+    pub indexed_ns: u64,
+    /// Did both paths return identical `AdequationResult`s (mapping,
+    /// schedule, makespan, finish times)?
+    pub results_match: bool,
+    /// The (shared) makespan, picoseconds.
+    pub makespan_ps: u64,
+}
+
+impl CaseResult {
+    /// Reference time over indexed time (> 1 means the index wins).
+    pub fn speedup(&self) -> f64 {
+        if self.indexed_ns == 0 {
+            return f64::INFINITY;
+        }
+        self.reference_ns as f64 / self.indexed_ns as f64
+    }
+
+    /// JSON form for the artifact.
+    pub fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("flow", Value::String(self.name.clone())),
+            ("operations", Value::UInt(self.operations as u64)),
+            ("edges", Value::UInt(self.edges as u64)),
+            ("reference_ns", Value::UInt(self.reference_ns)),
+            ("indexed_ns", Value::UInt(self.indexed_ns)),
+            ("speedup", Value::Float(self.speedup())),
+            ("results_match", Value::Bool(self.results_match)),
+            ("makespan_ps", Value::UInt(self.makespan_ps)),
+        ])
+    }
+}
+
+/// The whole comparison.
+#[derive(Debug, Clone, Default)]
+pub struct AdequationComparison {
+    /// One entry per gallery flow, in gallery order.
+    pub cases: Vec<CaseResult>,
+}
+
+impl AdequationComparison {
+    /// Did every flow produce identical results on both paths?
+    pub fn all_match(&self) -> bool {
+        self.cases.iter().all(|c| c.results_match)
+    }
+
+    /// The named case, if present.
+    pub fn case(&self, name: &str) -> Option<&CaseResult> {
+        self.cases.iter().find(|c| c.name == name)
+    }
+
+    /// JSON form for the artifact.
+    pub fn to_json(&self) -> Value {
+        Value::obj(vec![(
+            "cases",
+            Value::Array(self.cases.iter().map(CaseResult::to_json).collect()),
+        )])
+    }
+
+    /// Text table, one line per flow.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "flow                      ops   edges      ref_ms  indexed_ms  speedup  match\n",
+        );
+        for c in &self.cases {
+            out.push_str(&format!(
+                "{:<24} {:>5} {:>7} {:>11.3} {:>11.3} {:>7.2}x {:>6}\n",
+                c.name,
+                c.operations,
+                c.edges,
+                c.reference_ns as f64 / 1e6,
+                c.indexed_ns as f64 / 1e6,
+                c.speedup(),
+                if c.results_match { "yes" } else { "NO" },
+            ));
+        }
+        out
+    }
+}
+
+/// Run the comparison over every gallery flow: `reps` timed repetitions
+/// per implementation (best time kept), one extra untimed run per path
+/// for the parity check.
+pub fn run(reps: usize) -> Result<AdequationComparison, FlowError> {
+    let reps = reps.max(1);
+    let mut cases = Vec::new();
+    for g in gallery::all() {
+        let algo = g.flow.algorithm();
+        let arch = g.flow.architecture();
+        let chars = g.flow.characterization();
+        let cons = g.flow.constraints();
+        let opts = g.flow.adequation_options();
+
+        let reference = adequate_reference(algo, arch, chars, cons, opts)?;
+        let indexed = adequate(algo, arch, chars, cons, opts)?;
+        let results_match = reference == indexed;
+
+        let mut reference_ns = u64::MAX;
+        let mut indexed_ns = u64::MAX;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            adequate_reference(algo, arch, chars, cons, opts)?;
+            reference_ns = reference_ns.min(t0.elapsed().as_nanos() as u64);
+
+            let t0 = Instant::now();
+            adequate(algo, arch, chars, cons, opts)?;
+            indexed_ns = indexed_ns.min(t0.elapsed().as_nanos() as u64);
+        }
+
+        cases.push(CaseResult {
+            name: g.name.to_string(),
+            operations: algo.len(),
+            edges: algo.edges().len(),
+            reference_ns,
+            indexed_ns,
+            results_match,
+            makespan_ps: indexed.makespan.as_ps(),
+        });
+    }
+    Ok(AdequationComparison { cases })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_covers_the_gallery_and_results_agree() {
+        let cmp = run(1).expect("gallery flows schedule");
+        assert_eq!(cmp.cases.len(), gallery::names().len());
+        assert!(cmp.all_match(), "{}", cmp.render());
+        let largest = cmp.case(LARGEST).expect("largest flow present");
+        assert!(largest.operations > 500, "{}", largest.operations);
+        for c in &cmp.cases {
+            assert!(c.makespan_ps > 0, "{} has empty makespan", c.name);
+        }
+    }
+
+    #[test]
+    fn render_lists_every_flow() {
+        let cmp = run(1).expect("gallery flows schedule");
+        let text = cmp.render();
+        for name in gallery::names() {
+            assert!(text.contains(name), "{name} missing from\n{text}");
+        }
+    }
+}

@@ -244,6 +244,15 @@ fn main() {
     let cs = pdr_bench::compression::run(96).expect("compression");
     println!("{}", cs.render());
 
+    println!("--- X-IDX: indexed adequation -----------------------------------");
+    let perf = pdr_bench::adequation_perf::run(2).expect("adequation perf");
+    print!("{}", perf.render());
+    assert!(
+        perf.all_match(),
+        "reference and indexed schedulers disagree on a gallery flow"
+    );
+    artifact.push_section("adequation_perf", perf.to_json());
+
     artifact.write(&cli.out).expect("write artifact");
     println!("\nartifact: {} ({} studies)", cli.out, artifact.len());
 

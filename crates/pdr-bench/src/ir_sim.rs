@@ -144,6 +144,9 @@ pub fn workload(flow_name: &str, iterations: u32) -> SimConfig {
         "two_regions" | "two_regions_xc2v4000" => SimConfig::iterations(iterations)
             .with_selection("d1", seq("fir_narrow", "fir_wide"))
             .with_selection("d2", seq("dec_viterbi", "dec_turbo")),
+        "synthetic_large" => SimConfig::iterations(iterations)
+            .with_selection("d1", seq("eq_short", "eq_long"))
+            .with_selection("d2", seq("pc_fast", "pc_dense")),
         _ => SimConfig::iterations(iterations),
     }
 }

@@ -15,10 +15,12 @@
 //! | [`fig4`] | Figure 4 + §6 — the reconfigurable MC-CDMA transmitter |
 //! | [`prefetch`] | abstract/§1 — prefetching vs reconfiguration stall |
 //! | [`adequation_study`] | §3/§7 — reconfiguration-aware adequation |
+//! | [`adequation_perf`] | infrastructure — reference vs indexed scheduler speedup |
 //! | [`area_latency`] | §6 — region size ↔ reconfiguration time |
 //! | [`compression`] | extension — compressed bitstream storage |
 //! | [`ir_sim`] | infrastructure — string vs interned interpreter speedup |
 
+pub mod adequation_perf;
 pub mod adequation_study;
 pub mod area_latency;
 pub mod compression;

@@ -114,6 +114,16 @@ impl DesignFlow {
         &self.device
     }
 
+    /// The §4 constraints file.
+    pub fn constraints(&self) -> &ConstraintsFile {
+        &self.constraints
+    }
+
+    /// The adequation options (pins, reconfiguration awareness).
+    pub fn adequation_options(&self) -> &AdequationOptions {
+        &self.adequation_options
+    }
+
     /// Run the complete pipeline.
     pub fn run(&self) -> Result<FlowArtifacts, FlowError> {
         // 1. Modelisation is validated inside adequation; run it.

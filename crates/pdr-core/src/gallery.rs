@@ -63,6 +63,11 @@ pub fn all() -> Vec<GalleryFlow> {
             description: "the two-region SDR receiver on the larger XC2V4000",
             flow: sdr_flow(Device::by_name("XC2V4000").expect("catalog device")),
         },
+        GalleryFlow {
+            name: "synthetic_large",
+            description: "512-op layered DAG over 8 operators with 2 dynamic regions (XC2V4000)",
+            flow: synthetic_large_flow(),
+        },
     ]
 }
 
@@ -242,6 +247,196 @@ pub fn sdr_flow(device: Device) -> DesignFlow {
     )
 }
 
+/// Number of compute layers in the synthetic large algorithm.
+const SYN_LAYERS: usize = 64;
+
+/// Compute operations per layer (also the fan-in bound per operation).
+const SYN_WIDTH: usize = 8;
+
+/// The large synthetic algorithm: a 64×8 layered DAG of 512 compute
+/// operations (each reading up to three operations of the previous
+/// layer) feeding two conditioned operations — an equalizer on region
+/// `d1` and a postcoder on region `d2`. Non-toy input for benches,
+/// lints and sweeps; the structure is deterministic so every run and
+/// every session sees the same graph.
+pub fn synthetic_large_algorithm() -> AlgorithmGraph {
+    let mut g = AlgorithmGraph::new("synthetic_large");
+    let src = g.add_op("stream_in", OpKind::Source).expect("fresh graph");
+    let mode_sel = g
+        .add_op("mode_select", OpKind::Source)
+        .expect("fresh graph");
+    let rate_sel = g
+        .add_op("rate_select", OpKind::Source)
+        .expect("fresh graph");
+    let mut prev: Vec<OpId> = Vec::new();
+    for layer in 0..SYN_LAYERS {
+        let mut row = Vec::with_capacity(SYN_WIDTH);
+        for slot in 0..SYN_WIDTH {
+            let idx = layer * SYN_WIDTH + slot;
+            let op = g
+                .add_compute(&format!("c{layer:02}_{slot}"))
+                .expect("fresh graph");
+            let bits = 256 + (idx as u64 % 5) * 128;
+            if layer == 0 {
+                g.connect(src, op, bits).expect("valid edge");
+            } else {
+                // Up to three distinct predecessors in the previous layer,
+                // chosen by a fixed stride pattern so the graph is
+                // reproducible and no layer is embarrassingly parallel.
+                let mut preds = vec![slot, (slot + 1) % SYN_WIDTH, (slot + layer) % SYN_WIDTH];
+                preds.sort_unstable();
+                preds.dedup();
+                for p in preds {
+                    g.connect(prev[p], op, bits).expect("valid edge");
+                }
+            }
+            row.push(op);
+        }
+        prev = row;
+    }
+    let equalizer = g
+        .add_op(
+            "equalizer",
+            OpKind::Conditioned {
+                alternatives: vec!["eq_short".into(), "eq_long".into()],
+            },
+        )
+        .expect("fresh graph");
+    let postcoder = g
+        .add_op(
+            "postcoder",
+            OpKind::Conditioned {
+                alternatives: vec!["pc_fast".into(), "pc_dense".into()],
+            },
+        )
+        .expect("fresh graph");
+    let sink = g.add_op("stream_out", OpKind::Sink).expect("fresh graph");
+    for &op in &prev {
+        g.connect(op, equalizer, 1024).expect("valid edge");
+    }
+    g.connect(mode_sel, equalizer, 2).expect("valid edge");
+    g.connect(equalizer, postcoder, 2048).expect("valid edge");
+    g.connect(rate_sel, postcoder, 2).expect("valid edge");
+    g.connect(postcoder, sink, 512).expect("valid edge");
+    g
+}
+
+/// The 8-operator synthetic platform: five processors and one static
+/// FPGA on the host bus, two dynamic regions behind the FPGA's internal
+/// link.
+pub fn synthetic_large_architecture() -> ArchGraph {
+    let mut a = ArchGraph::new("synthetic_large_platform");
+    let bus = a
+        .add_medium(
+            "host_bus",
+            MediumKind::Bus,
+            800_000_000,
+            TimePs::from_ns(300),
+        )
+        .expect("fresh graph");
+    for i in 0..5 {
+        let cpu = a
+            .add_operator(format!("cpu{i}"), OperatorKind::Processor)
+            .expect("fresh graph");
+        a.link(cpu, bus).expect("valid link");
+    }
+    let f1 = a
+        .add_operator("f1", OperatorKind::FpgaStatic)
+        .expect("fresh graph");
+    let d1 = a
+        .add_operator("d1", OperatorKind::FpgaDynamic { host: "f1".into() })
+        .expect("fresh graph");
+    let d2 = a
+        .add_operator("d2", OperatorKind::FpgaDynamic { host: "f1".into() })
+        .expect("fresh graph");
+    let il = a
+        .add_medium(
+            "il",
+            MediumKind::InternalLink,
+            1_600_000_000,
+            TimePs::from_ns(20),
+        )
+        .expect("fresh graph");
+    a.link(f1, bus).expect("valid link");
+    a.link(f1, il).expect("valid link");
+    a.link(d1, il).expect("valid link");
+    a.link(d2, il).expect("valid link");
+    a
+}
+
+/// Characterization of the synthetic functions: every layered compute is
+/// feasible on the five processors with deterministic, varied WCETs (the
+/// static FPGA only hosts the regions and the communication fabric, so
+/// its entity stays within the device); the conditioned alternatives
+/// live on their regions.
+pub fn synthetic_large_characterization() -> Characterization {
+    let mut c = Characterization::new();
+    let us = TimePs::from_us;
+    for layer in 0..SYN_LAYERS {
+        for slot in 0..SYN_WIDTH {
+            let idx = (layer * SYN_WIDTH + slot) as u64;
+            let f = format!("c{layer:02}_{slot}");
+            for k in 0..5u64 {
+                c.set_duration(&f, &format!("cpu{k}"), us(6 + (idx * 7 + k * 5) % 23));
+            }
+        }
+    }
+    for (f, wcet_us, region) in [
+        ("eq_short", 6u64, "d1"),
+        ("eq_long", 9, "d1"),
+        ("pc_fast", 11, "d2"),
+        ("pc_dense", 17, "d2"),
+    ] {
+        c.set_duration(f, region, us(wcet_us));
+        c.set_duration(f, "cpu0", us(wcet_us * 20));
+    }
+    c.set_resources("eq_short", Resources::logic(240, 420, 380));
+    c.set_resources("eq_long", Resources::logic(460, 800, 700));
+    c.set_resources("pc_fast", Resources::logic(380, 680, 560));
+    c.set_resources("pc_dense", Resources::logic(820, 1_500, 1_260));
+    c.set_reconfig_default("d1", TimePs::from_ms(3));
+    c.set_reconfig_default("d2", TimePs::from_ms(6));
+    c
+}
+
+/// Constraints of the synthetic design: one share group per region, the
+/// initially selected module of each region preloaded at start.
+pub fn synthetic_large_constraints() -> ConstraintsFile {
+    let mut f = ConstraintsFile::new();
+    for (module, region, preload) in [
+        ("eq_short", "d1", true),
+        ("eq_long", "d1", false),
+        ("pc_fast", "d2", true),
+        ("pc_dense", "d2", false),
+    ] {
+        let mut mc = ModuleConstraints::new(module, region);
+        if preload {
+            mc.load = LoadPolicy::AtStart;
+        }
+        mc.share_group = Some(region.to_string());
+        f.add(mc).expect("unique module names");
+    }
+    f
+}
+
+/// The complete large synthetic flow on the XC2V4000.
+pub fn synthetic_large_flow() -> DesignFlow {
+    DesignFlow::new(
+        synthetic_large_algorithm(),
+        synthetic_large_architecture(),
+        synthetic_large_characterization(),
+        Device::by_name("XC2V4000").expect("catalog device"),
+    )
+    .with_constraints(synthetic_large_constraints())
+    .with_adequation_options(
+        AdequationOptions::default()
+            .pin("stream_in", "cpu0")
+            .pin("mode_select", "cpu0")
+            .pin("rate_select", "cpu1")
+            .pin("stream_out", "cpu0"),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,7 +444,7 @@ mod tests {
     #[test]
     fn names_are_unique_and_resolvable() {
         let names = names();
-        assert_eq!(names.len(), 5);
+        assert_eq!(names.len(), 6);
         let mut sorted = names.clone();
         sorted.sort_unstable();
         sorted.dedup();
@@ -268,6 +463,21 @@ mod tests {
             });
             assert!(!art.executive.is_empty(), "{}", g.name);
         }
+    }
+
+    #[test]
+    fn synthetic_large_flow_has_advertised_shape() {
+        let g = by_name("synthetic_large").unwrap();
+        let algo = g.flow.algorithm();
+        let computes = algo
+            .ops()
+            .filter(|(_, op)| matches!(op.kind, OpKind::Compute { .. }))
+            .count();
+        assert_eq!(computes, SYN_LAYERS * SYN_WIDTH);
+        assert_eq!(g.flow.architecture().operators().count(), 8);
+        let art = g.flow.run().unwrap();
+        assert_eq!(art.design.floorplan.floorplan.regions().len(), 2);
+        assert_eq!(art.design.modules.len(), 4);
     }
 
     #[test]

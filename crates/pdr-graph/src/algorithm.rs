@@ -101,6 +101,14 @@ pub struct AlgorithmGraph {
     /// Interner holding every operation and function-symbol name,
     /// populated at construction for allocation-free lowering.
     symbols: SymbolTable,
+    /// CSR-style adjacency: per operation, the indices into `edges` of its
+    /// incoming edges, in insertion order. Maintained incrementally by
+    /// [`AlgorithmGraph::connect`] so neighbourhood queries are O(degree)
+    /// instead of O(E) filter scans.
+    in_adj: Vec<Vec<u32>>,
+    /// Per operation, the indices into `edges` of its outgoing edges, in
+    /// insertion order (see `in_adj`).
+    out_adj: Vec<Vec<u32>>,
 }
 
 impl AlgorithmGraph {
@@ -112,6 +120,8 @@ impl AlgorithmGraph {
             edges: Vec::new(),
             by_name: HashMap::new(),
             symbols: SymbolTable::new(),
+            in_adj: Vec::new(),
+            out_adj: Vec::new(),
         }
     }
 
@@ -141,6 +151,8 @@ impl AlgorithmGraph {
             self.symbols.intern(f);
         }
         self.ops.push(Operation { name, kind });
+        self.in_adj.push(Vec::new());
+        self.out_adj.push(Vec::new());
         Ok(id)
     }
 
@@ -185,7 +197,10 @@ impl AlgorithmGraph {
                 self.op(from).name
             )));
         }
+        let idx = self.edges.len() as u32;
         self.edges.push(DataEdge { from, to, bits });
+        self.out_adj[from.0].push(idx);
+        self.in_adj[to.0].push(idx);
         Ok(())
     }
 
@@ -229,14 +244,24 @@ impl AlgorithmGraph {
         &self.edges
     }
 
-    /// Edges into `id`.
+    /// Edges into `id`, in insertion order. O(in-degree).
     pub fn in_edges(&self, id: OpId) -> impl Iterator<Item = &DataEdge> {
-        self.edges.iter().filter(move |e| e.to == id)
+        self.in_adj[id.0].iter().map(|&i| &self.edges[i as usize])
     }
 
-    /// Edges out of `id`.
+    /// Edges out of `id`, in insertion order. O(out-degree).
     pub fn out_edges(&self, id: OpId) -> impl Iterator<Item = &DataEdge> {
-        self.edges.iter().filter(move |e| e.from == id)
+        self.out_adj[id.0].iter().map(|&i| &self.edges[i as usize])
+    }
+
+    /// In-degree of `id` without touching the edge list.
+    pub fn in_degree(&self, id: OpId) -> usize {
+        self.in_adj[id.0].len()
+    }
+
+    /// Out-degree of `id` without touching the edge list.
+    pub fn out_degree(&self, id: OpId) -> usize {
+        self.out_adj[id.0].len()
     }
 
     /// Direct predecessors of `id`.
@@ -303,23 +328,21 @@ impl AlgorithmGraph {
     }
 
     /// A topological order of the operations, or the cycle error.
-    /// Deterministic: ties broken by insertion order.
+    /// Deterministic: ties broken by insertion order. O(V + E) via the
+    /// incremental adjacency (the seed rescanned the whole edge list once
+    /// per popped vertex).
     pub fn topo_order(&self) -> Result<Vec<OpId>, GraphError> {
         let n = self.ops.len();
-        let mut indegree = vec![0usize; n];
-        for e in &self.edges {
-            indegree[e.to.0] += 1;
-        }
+        let mut indegree: Vec<usize> = self.in_adj.iter().map(Vec::len).collect();
         let mut queue: VecDeque<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(i) = queue.pop_front() {
             order.push(OpId(i));
-            for e in &self.edges {
-                if e.from.0 == i {
-                    indegree[e.to.0] -= 1;
-                    if indegree[e.to.0] == 0 {
-                        queue.push_back(e.to.0);
-                    }
+            for &ei in &self.out_adj[i] {
+                let t = self.edges[ei as usize].to.0;
+                indegree[t] -= 1;
+                if indegree[t] == 0 {
+                    queue.push_back(t);
                 }
             }
         }

@@ -378,6 +378,57 @@ impl ArchGraph {
         Ok(Route { media })
     }
 
+    /// Routes from one operator to *every* operator, indexed by destination
+    /// id (`None` when unreachable; entry `from` is the empty local route).
+    ///
+    /// One full BFS instead of one per destination. The search visits
+    /// neighbours in the same sorted order as [`ArchGraph::route`] and the
+    /// predecessor of each operator is fixed at first discovery, so every
+    /// returned route is *identical* to what the pairwise query yields —
+    /// the early exit in `route` never changes which `prev` entries exist
+    /// along the shortest path to a given destination.
+    pub fn routes_from(&self, from: OperatorId) -> Vec<Option<Route>> {
+        let mut prev: HashMap<OperatorId, (OperatorId, MediumId)> = HashMap::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(from);
+        while let Some(cur) = queue.pop_front() {
+            let mut neighbors: Vec<(MediumId, OperatorId)> = Vec::new();
+            for &m in &self.op_links[cur.0] {
+                for &o in &self.med_links[m.0] {
+                    if o != cur {
+                        neighbors.push((m, o));
+                    }
+                }
+            }
+            neighbors.sort();
+            for (m, o) in neighbors {
+                if o != from && !prev.contains_key(&o) {
+                    prev.insert(o, (cur, m));
+                    queue.push_back(o);
+                }
+            }
+        }
+        (0..self.operators.len())
+            .map(|i| {
+                let to = OperatorId(i);
+                if to == from {
+                    return Some(Route { media: Vec::new() });
+                }
+                prev.contains_key(&to).then(|| {
+                    let mut media = Vec::new();
+                    let mut cur = to;
+                    while cur != from {
+                        let (p, m) = prev[&cur];
+                        media.push(m);
+                        cur = p;
+                    }
+                    media.reverse();
+                    Route { media }
+                })
+            })
+            .collect()
+    }
+
     /// Validate connectivity: every operator can reach every other.
     pub fn validate(&self) -> Result<(), GraphError> {
         for (a, _) in self.operators() {
@@ -546,6 +597,28 @@ mod tests {
         assert_eq!(a.operator_sym(d1).resolve(a.symbols()), "d1");
         let shb = a.medium_by_name("shb").unwrap();
         assert_eq!(a.medium_sym(shb).resolve(a.symbols()), "shb");
+    }
+
+    #[test]
+    fn routes_from_matches_pairwise_route() {
+        let (a, ..) = fig1_like();
+        for (from, _) in a.operators() {
+            let table = a.routes_from(from);
+            assert_eq!(table.len(), a.operator_count());
+            for (to, _) in a.operators() {
+                assert_eq!(table[to.0].as_ref(), a.route(from, to).ok().as_ref());
+            }
+        }
+    }
+
+    #[test]
+    fn routes_from_marks_unreachable_operators() {
+        let mut a = ArchGraph::new("t");
+        let p = a.add_operator("p", OperatorKind::Processor).unwrap();
+        let q = a.add_operator("q", OperatorKind::Processor).unwrap();
+        let table = a.routes_from(p);
+        assert!(table[p.0].as_ref().unwrap().is_local());
+        assert!(table[q.0].is_none());
     }
 
     #[test]

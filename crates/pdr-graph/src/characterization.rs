@@ -26,12 +26,18 @@ use std::collections::HashMap;
 ///
 /// Operator *names* (not ids) are used as keys so one characterization can
 /// be reused across architecture variants that share operator names.
+///
+/// The two-dimensional tables are two-level maps (`function → operator →
+/// value`) rather than composite-key maps so the hot lookups —
+/// [`Characterization::duration`] is probed once per (operation, operator,
+/// function) candidate inside the adequation inner loop — take borrowed
+/// `&str` keys and never allocate.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Characterization {
-    durations: HashMap<(String, String), TimePs>,
+    durations: HashMap<String, HashMap<String, TimePs>>,
     resources: HashMap<String, Resources>,
     reconfig_default: HashMap<String, TimePs>,
-    reconfig_override: HashMap<(String, String), TimePs>,
+    reconfig_override: HashMap<String, HashMap<String, TimePs>>,
 }
 
 impl Characterization {
@@ -43,16 +49,17 @@ impl Characterization {
     /// Declare that `function` runs on operator `operator` in `wcet`.
     pub fn set_duration(&mut self, function: &str, operator: &str, wcet: TimePs) -> &mut Self {
         self.durations
-            .insert((function.to_string(), operator.to_string()), wcet);
+            .entry(function.to_string())
+            .or_default()
+            .insert(operator.to_string(), wcet);
         self
     }
 
     /// Execution time of `function` on the operator named `operator`, if
-    /// the pair is feasible.
+    /// the pair is feasible. Allocation-free: this is the adequation inner
+    /// loop's feasibility-and-cost probe.
     pub fn duration(&self, function: &str, operator: &str) -> Option<TimePs> {
-        self.durations
-            .get(&(function.to_string(), operator.to_string()))
-            .copied()
+        self.durations.get(function)?.get(operator).copied()
     }
 
     /// Like [`Characterization::duration`] but resolving the operator via an
@@ -72,19 +79,20 @@ impl Characterization {
     }
 
     /// Can `function` execute on the named operator at all?
+    /// Allocation-free, like [`Characterization::duration`].
     pub fn feasible(&self, function: &str, operator: &str) -> bool {
         self.durations
-            .contains_key(&(function.to_string(), operator.to_string()))
+            .get(function)
+            .is_some_and(|ops| ops.contains_key(operator))
     }
 
     /// Operators (by name) on which `function` is feasible.
     pub fn feasible_operators<'a>(&'a self, function: &str) -> Vec<&'a str> {
         let mut v: Vec<&str> = self
             .durations
-            .keys()
-            .filter(|(f, _)| f == function)
-            .map(|(_, o)| o.as_str())
-            .collect();
+            .get(function)
+            .map(|ops| ops.keys().map(String::as_str).collect())
+            .unwrap_or_default();
         v.sort_unstable();
         v
     }
@@ -118,18 +126,21 @@ impl Characterization {
         t: TimePs,
     ) -> &mut Self {
         self.reconfig_override
-            .insert((function.to_string(), operator.to_string()), t);
+            .entry(function.to_string())
+            .or_default()
+            .insert(operator.to_string(), t);
         self
     }
 
     /// Reconfiguration time to load `function` onto the named operator:
     /// the override if present, else the operator default, else an error
     /// (scheduling a reconfiguration with unknown cost is a methodology
-    /// violation, not a silent zero).
+    /// violation, not a silent zero). Allocation-free on both levels.
     pub fn reconfig_time(&self, function: &str, operator: &str) -> Result<TimePs, GraphError> {
         if let Some(&t) = self
             .reconfig_override
-            .get(&(function.to_string(), operator.to_string()))
+            .get(function)
+            .and_then(|ops| ops.get(operator))
         {
             return Ok(t);
         }
@@ -142,7 +153,7 @@ impl Characterization {
 
     /// Number of duration entries (diagnostics).
     pub fn duration_entries(&self) -> usize {
-        self.durations.len()
+        self.durations.values().map(HashMap::len).sum()
     }
 }
 

@@ -1,0 +1,177 @@
+//! Indexed vs reference adequation: exact-equivalence suite.
+//!
+//! The `AdequationIndex` tentpole rewrote the §3 scheduler on top of
+//! precomputed tables (dense WCET matrix, all-pairs routes, CSR
+//! adjacency, heap-based ready queue). These tests prove the rewrite is
+//! an *optimization*, not a behaviour change: on every gallery flow and
+//! on random layered DAGs, `adequate` must return an
+//! [`pdr_adequation::AdequationResult`] identical — mapping, schedule,
+//! makespan and finish times — to the retained pre-index path
+//! [`pdr_adequation::reference::adequate_reference`].
+
+use proptest::prelude::*;
+
+use pdr_adequation::{adequate, adequate_reference, AdequationOptions};
+use pdr_core::gallery;
+use pdr_fabric::TimePs;
+use pdr_graph::prelude::*;
+
+/// Every gallery flow — both §6 case-study variants, the two-region
+/// designs and the 512-op synthetic — schedules identically on both
+/// paths.
+#[test]
+fn gallery_flows_schedule_identically() {
+    for g in gallery::all() {
+        let reference = adequate_reference(
+            g.flow.algorithm(),
+            g.flow.architecture(),
+            g.flow.characterization(),
+            g.flow.constraints(),
+            g.flow.adequation_options(),
+        )
+        .unwrap_or_else(|e| panic!("reference fails on `{}`: {e}", g.name));
+        let indexed = adequate(
+            g.flow.algorithm(),
+            g.flow.architecture(),
+            g.flow.characterization(),
+            g.flow.constraints(),
+            g.flow.adequation_options(),
+        )
+        .unwrap_or_else(|e| panic!("indexed fails on `{}`: {e}", g.name));
+        assert_eq!(reference.mapping, indexed.mapping, "{}", g.name);
+        assert_eq!(reference.schedule, indexed.schedule, "{}", g.name);
+        assert_eq!(reference.makespan, indexed.makespan, "{}", g.name);
+        assert_eq!(reference.finish_times, indexed.finish_times, "{}", g.name);
+        assert_eq!(reference, indexed, "{}", g.name);
+    }
+}
+
+/// Regression pin of the §6 case-study adequation: the dynamic
+/// modulation lands on the reconfigurable region, the pinned interfaces
+/// stay put, and the makespan is reproduced exactly by both paths.
+#[test]
+fn paper_case_study_mapping_is_pinned() {
+    let g = gallery::by_name("paper").expect("paper flow");
+    let algo = g.flow.algorithm();
+    let arch = g.flow.architecture();
+    let indexed = adequate(
+        algo,
+        arch,
+        g.flow.characterization(),
+        g.flow.constraints(),
+        g.flow.adequation_options(),
+    )
+    .expect("paper flow schedules");
+    let placed = |op: &str| {
+        let id = algo.by_name(op).expect("op exists");
+        let opr = indexed.mapping.operator_of(id).expect("mapped");
+        arch.operator(opr).name.clone()
+    };
+    assert_eq!(placed("modulation"), "op_dyn");
+    assert_eq!(placed("interface_in"), "dsp");
+    assert_eq!(placed("interface_out"), "fpga_static");
+    assert!(indexed.makespan > TimePs::ZERO);
+
+    let reference = adequate_reference(
+        algo,
+        arch,
+        g.flow.characterization(),
+        g.flow.constraints(),
+        g.flow.adequation_options(),
+    )
+    .expect("reference schedules");
+    assert_eq!(reference.makespan, indexed.makespan);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random layered DAGs on the paper platform: both paths agree on
+    /// the complete result, including every tie-break (ready-list order,
+    /// equal-EFT operator choice, equal-WCET function choice).
+    #[test]
+    fn random_layered_graphs_schedule_identically(
+        layers in 1usize..6,
+        width in 1usize..6,
+        wcets in prop::collection::vec(1u64..50, 25),
+        edge_mask in prop::collection::vec(any::<bool>(), 64),
+    ) {
+        let arch = pdr_graph::paper::sundance_architecture();
+        let mut g = AlgorithmGraph::new("prop");
+        let mut chars = Characterization::new();
+        let src = g.add_op("src", OpKind::Source).unwrap();
+        let mut prev = vec![src];
+        let mut mask = edge_mask.iter().cycle();
+        let mut wcet = wcets.iter().cycle();
+        for l in 0..layers {
+            let mut layer = Vec::new();
+            for w in 0..width {
+                let name = format!("n_{l}_{w}");
+                let id = g.add_compute(&name).unwrap();
+                let us = *wcet.next().unwrap();
+                chars.set_duration(&name, "fpga_static", TimePs::from_us(us));
+                chars.set_duration(&name, "dsp", TimePs::from_us(us * 10));
+                layer.push(id);
+            }
+            for (i, &b) in layer.iter().enumerate() {
+                g.connect(prev[i % prev.len()], b, 32).unwrap();
+                for &a in &prev {
+                    if *mask.next().unwrap() && !g.predecessors(b).contains(&a) {
+                        g.connect(a, b, 32).unwrap();
+                    }
+                }
+            }
+            prev = layer;
+        }
+        let sink = g.add_op("sink", OpKind::Sink).unwrap();
+        for &a in &prev {
+            g.connect(a, sink, 32).unwrap();
+        }
+        let cons = ConstraintsFile::new();
+        let opts = AdequationOptions::default();
+        let reference = adequate_reference(&g, &arch, &chars, &cons, &opts).unwrap();
+        let indexed = adequate(&g, &arch, &chars, &cons, &opts).unwrap();
+        prop_assert_eq!(reference, indexed);
+    }
+
+    /// Ties everywhere: identical WCETs on every operation force the
+    /// scheduler through its tie-break rules on every step, where a
+    /// heap/scan divergence would show first.
+    #[test]
+    fn all_equal_wcets_still_schedule_identically(
+        layers in 1usize..5,
+        width in 1usize..5,
+        us in 1u64..20,
+    ) {
+        let arch = pdr_graph::paper::sundance_architecture();
+        let mut g = AlgorithmGraph::new("ties");
+        let mut chars = Characterization::new();
+        let src = g.add_op("src", OpKind::Source).unwrap();
+        let mut prev = vec![src];
+        for l in 0..layers {
+            let mut layer = Vec::new();
+            for w in 0..width {
+                let name = format!("t_{l}_{w}");
+                let id = g.add_compute(&name).unwrap();
+                chars.set_duration(&name, "fpga_static", TimePs::from_us(us));
+                chars.set_duration(&name, "dsp", TimePs::from_us(us));
+                layer.push(id);
+            }
+            for &b in &layer {
+                for &a in &prev {
+                    g.connect(a, b, 32).unwrap();
+                }
+            }
+            prev = layer;
+        }
+        let sink = g.add_op("sink", OpKind::Sink).unwrap();
+        for &a in &prev {
+            g.connect(a, sink, 32).unwrap();
+        }
+        let cons = ConstraintsFile::new();
+        let opts = AdequationOptions::default();
+        let reference = adequate_reference(&g, &arch, &chars, &cons, &opts).unwrap();
+        let indexed = adequate(&g, &arch, &chars, &cons, &opts).unwrap();
+        prop_assert_eq!(reference, indexed);
+    }
+}
