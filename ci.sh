@@ -30,4 +30,7 @@ cargo bench -p pdr-bench --bench bench_ir_sim -- --test --out BENCH_ir_sim.json
 echo "== bench_adequation (test mode: result parity + speedup floor + zero-alloc probes)"
 cargo bench -p pdr-bench --bench bench_adequation -- --test --out BENCH_adequation.json
 
+echo "== bench_server (test mode: N-client determinism + cache speedup floor)"
+cargo bench -p pdr-bench --bench bench_server -- --test --out BENCH_server.json
+
 echo "CI OK"

@@ -141,6 +141,30 @@ pub fn adequate(
 ) -> Result<AdequationResult, AdequationError> {
     algo.validate()?;
     constraints.validate()?;
+    let index = AdequationIndex::build(algo, arch, chars)?;
+    adequate_with_index(algo, arch, chars, constraints, options, &index)
+}
+
+/// Run the adequation against a caller-supplied [`AdequationIndex`].
+///
+/// The index is a pure function of `(algo, arch, chars)`, so services
+/// scheduling many requests over the same models (`pdr-server`) build it
+/// once and share it: the precomputation — dense WCET matrix, all-pairs
+/// routes, bottom levels — dominates small-flow adequation time. Passing
+/// an index built from *different* models is a logic error; results
+/// would be inconsistent with the graphs being scheduled.
+///
+/// [`adequate`] is exactly this function with a freshly built index.
+pub fn adequate_with_index(
+    algo: &AlgorithmGraph,
+    arch: &ArchGraph,
+    chars: &Characterization,
+    constraints: &ConstraintsFile,
+    options: &AdequationOptions,
+    index: &AdequationIndex,
+) -> Result<AdequationResult, AdequationError> {
+    algo.validate()?;
+    constraints.validate()?;
 
     // Resolve pins.
     let mut pinned: HashMap<OpId, OperatorId> = HashMap::new();
@@ -154,7 +178,6 @@ pub fn adequate(
         pinned.insert(op, opr);
     }
 
-    let index = AdequationIndex::build(algo, arch, chars)?;
     let n = algo.len();
     let mut mapping = Mapping::new();
     let mut schedule = Schedule::new();
@@ -189,7 +212,7 @@ pub fn adequate(
             next,
             arch,
             constraints,
-            &index,
+            index,
             pinned.get(&next).copied(),
         );
         if candidates.is_empty() {

@@ -45,7 +45,7 @@ pub use annealing::{anneal, schedule_with_mapping, AnnealOptions};
 pub use bounds::{critical_path_bound, lower_bound, quality_ratio, work_bound};
 pub use error::AdequationError;
 pub use executive::{Executive, MacroInstr};
-pub use heuristic::{adequate, AdequationOptions, AdequationResult};
+pub use heuristic::{adequate, adequate_with_index, AdequationOptions, AdequationResult};
 pub use index::{AdequationIndex, WcetEntry};
 pub use mapping::Mapping;
 pub use reference::adequate_reference;
@@ -58,7 +58,9 @@ pub mod prelude {
     pub use crate::bounds::{critical_path_bound, lower_bound, quality_ratio, work_bound};
     pub use crate::error::AdequationError;
     pub use crate::executive::{Executive, MacroInstr};
-    pub use crate::heuristic::{adequate, AdequationOptions, AdequationResult};
+    pub use crate::heuristic::{
+        adequate, adequate_with_index, AdequationOptions, AdequationResult,
+    };
     pub use crate::mapping::Mapping;
     pub use crate::schedule::{ItemKind, Schedule, ScheduledItem};
     pub use crate::trace::{schedule_trace, ReconfigSplit, TraceOptions, TraceResult, TraceStats};

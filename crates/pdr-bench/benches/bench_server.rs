@@ -1,0 +1,123 @@
+//! Load bench behind the `pdr-server` tentpole: N concurrent clients
+//! driving the gallery workload through the in-process transport, cold
+//! path (no cache, no single-flight) vs warm path (both on).
+//!
+//! Flags (after `--`):
+//!
+//! * `--test` — quick mode for CI: fewer clients/rounds, asserts every
+//!   request succeeds, that concurrent clients observe payloads
+//!   byte-identical to a sequential single-client run, and the >= 5x
+//!   cached-over-cold mean-latency floor;
+//! * `--clients N` — concurrent clients (default 8, test mode 4);
+//! * `--rounds N` — passes over the gallery workload per client
+//!   (default 4, test mode 2);
+//! * `--out <path>` — persist the comparison as a `BENCH_server.json`
+//!   artifact through the `pdr-sweep` JSON writer.
+
+use pdr_bench::server_study::{self, LoadResult};
+use pdr_server::ServerConfig;
+use pdr_sweep::artifact::Artifact;
+use serde::json::Value;
+
+/// Cached-over-cold mean-latency speedup: the CI floor is 5x (in
+/// practice the warm path is orders of magnitude faster — a cache hit
+/// never runs the pipeline).
+fn speedup(cold: &LoadResult, warm: &LoadResult) -> f64 {
+    let warm_mean = warm.mean_latency_us();
+    if warm_mean == 0.0 {
+        return f64::INFINITY;
+    }
+    cold.mean_latency_us() / warm_mean
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let test_mode = args.iter().any(|a| a == "--test");
+    let flag = |name: &str| args.windows(2).find(|w| w[0] == name).map(|w| w[1].clone());
+    let out = flag("--out");
+    let clients: usize = flag("--clients")
+        .map(|v| v.parse().expect("--clients takes a number"))
+        .unwrap_or(if test_mode { 4 } else { 8 });
+    let rounds: usize = flag("--rounds")
+        .map(|v| v.parse().expect("--rounds takes a number"))
+        .unwrap_or(if test_mode { 2 } else { 4 });
+
+    println!(
+        "server load: {} requests/client ({} flows x 3 kinds x {rounds} rounds), {clients} clients",
+        server_study::workload().len() * rounds,
+        pdr_core::gallery::names().len(),
+    );
+
+    // Sequential single-client cold run: the determinism baseline.
+    let sequential = server_study::run_load(
+        ServerConfig {
+            workers: 1,
+            ..ServerConfig::cold()
+        },
+        1,
+        1,
+        false,
+        "seq",
+    );
+    println!("{}", sequential.render());
+
+    // Cold path: every request executes the full pipeline.
+    let cold = server_study::run_load(ServerConfig::cold(), clients, rounds, false, "cold");
+    println!("{}", cold.render());
+
+    // Warm path: cache + single-flight on.
+    let warm = server_study::run_load(ServerConfig::default(), clients, rounds, true, "warm");
+    println!("{}", warm.render());
+
+    // Concurrency must never change deterministic payloads: every run
+    // covers the same content keys with byte-identical payload lines.
+    for run in [&cold, &warm] {
+        assert_eq!(
+            sequential.payloads, run.payloads,
+            "{} payloads differ from the sequential baseline",
+            run.label
+        );
+    }
+    println!(
+        "ok: cold/warm payloads byte-identical to sequential over {} content keys",
+        sequential.payloads.len()
+    );
+
+    let speedup = speedup(&cold, &warm);
+    println!(
+        "cached-over-cold mean latency speedup: {speedup:.1}x \
+         (cold {:.0}us, warm {:.0}us)",
+        cold.mean_latency_us(),
+        warm.mean_latency_us()
+    );
+
+    if test_mode {
+        assert_eq!(cold.overloaded + cold.errors, 0, "cold run had failures");
+        assert_eq!(warm.overloaded + warm.errors, 0, "warm run had failures");
+        assert!(
+            warm.cache_hits + warm.coalesced > 0,
+            "warm run never reused a result"
+        );
+        assert!(
+            speedup >= 5.0,
+            "cache path is only {speedup:.2}x faster than cold (floor: 5x)"
+        );
+        println!("ok: warm speedup {speedup:.1}x (floor 5x)");
+    }
+
+    if let Some(path) = &out {
+        let mut artifact = Artifact::new("server_load")
+            .with_field(
+                "mode",
+                Value::String(if test_mode { "test" } else { "full" }.into()),
+            )
+            .with_field("clients", Value::UInt(clients as u64))
+            .with_field("rounds", Value::UInt(rounds as u64))
+            .with_field("speedup", Value::Float(speedup));
+        artifact.push_section("sequential", sequential.to_json());
+        artifact.push_section("cold", cold.to_json());
+        artifact.push_section("warm", warm.to_json());
+        artifact.write(path).expect("artifact written");
+        println!("wrote {path}");
+    }
+}

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! cargo run --release -p pdr-bench --bin all_experiments -- \
-//!     [--threads N] [--out PATH] [--inject-panic]
+//!     [--threads N] [--out PATH] [--skip STUDY]... [--inject-panic]
 //! ```
 //!
 //! * `--threads N` — worker count for the sweep engine (default: all
@@ -13,23 +13,48 @@
 //!   printed per-study digests prove it.
 //! * `--out PATH` — artifact destination (default
 //!   `BENCH_all_experiments.json` in the working directory).
+//! * `--skip STUDY` — skip one study by name (repeatable; `--skip list`
+//!   prints the names). Skips are recorded in the artifact.
 //! * `--inject-panic` — append a deliberately panicking scenario to the
-//!   BER sweep to demonstrate fault isolation: the sweep completes, the
-//!   panic is captured in the artifact.
+//!   BER sweep to demonstrate sweep-level fault isolation: the sweep
+//!   completes, the panic is captured in the artifact.
+//!
+//! Studies are fault-isolated from *each other* too: a study that
+//! errors or panics is recorded in the artifact's `failures` section and
+//! the suite keeps going. The exit code is non-zero when any study
+//! failed, so automation still notices.
 
 use pdr_sweep::artifact::{outcome_digest, Artifact};
 use pdr_sweep::{Scenario, SweepEngine, SweepReport};
 use serde::json::Value;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Every study name, in suite order (`--skip` validates against this).
+const STUDY_NAMES: [&str; 10] = [
+    "table1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "prefetch",
+    "adequation",
+    "area_latency",
+    "compression",
+    "adequation_perf",
+    "server",
+];
 
 struct Cli {
     threads: Option<usize>,
     out: String,
+    skip: Vec<String>,
     inject_panic: bool,
 }
 
 fn usage_error(message: &str) -> ! {
     eprintln!("{message}");
-    eprintln!("usage: all_experiments [--threads N] [--out PATH] [--inject-panic]");
+    eprintln!(
+        "usage: all_experiments [--threads N] [--out PATH] [--skip STUDY]... [--inject-panic]"
+    );
     std::process::exit(2);
 }
 
@@ -37,6 +62,7 @@ fn parse_cli() -> Cli {
     let mut cli = Cli {
         threads: None,
         out: "BENCH_all_experiments.json".to_string(),
+        skip: Vec::new(),
         inject_panic: false,
     };
     let mut args = std::env::args().skip(1);
@@ -56,9 +82,29 @@ fn parse_cli() -> Cli {
                     .next()
                     .unwrap_or_else(|| usage_error("--out needs a path"));
             }
+            "--skip" => {
+                let name = args
+                    .next()
+                    .unwrap_or_else(|| usage_error("--skip needs a study name"));
+                if name == "list" {
+                    println!("studies: {}", STUDY_NAMES.join(", "));
+                    std::process::exit(0);
+                }
+                if !STUDY_NAMES.contains(&name.as_str()) {
+                    usage_error(&format!(
+                        "unknown study `{name}` (studies: {})",
+                        STUDY_NAMES.join(", ")
+                    ));
+                }
+                cli.skip.push(name);
+            }
             "--inject-panic" => cli.inject_panic = true,
             "--help" | "-h" => {
-                println!("usage: all_experiments [--threads N] [--out PATH] [--inject-panic]");
+                println!(
+                    "usage: all_experiments [--threads N] [--out PATH] \
+                     [--skip STUDY]... [--inject-panic]"
+                );
+                println!("studies: {}", STUDY_NAMES.join(", "));
                 std::process::exit(0);
             }
             other => {
@@ -89,24 +135,9 @@ fn record<T>(
     artifact.push_section(name, report.to_json_with(outcome));
 }
 
-fn main() {
-    let cli = parse_cli();
-    let engine = match cli.threads {
-        Some(n) => SweepEngine::new().with_threads(n),
-        None => SweepEngine::new(),
-    };
-
-    println!("================================================================");
-    println!(" pdr — full experiment suite (Berthelot et al., IPDPS 2006)");
-    println!(" sweep engine: {} worker thread(s)", engine.threads());
-    println!("================================================================\n");
-
-    let mut artifact = Artifact::new("all_experiments")
-        .with_field("threads", Value::UInt(engine.threads() as u64))
-        .with_field("inject_panic", Value::Bool(cli.inject_panic));
-
+fn study_table1(_: &mut Artifact, _: &SweepEngine, _: &Cli) -> Result<(), String> {
     println!("--- T1: Table 1 -------------------------------------------------");
-    let table = pdr_bench::table1::run().expect("table1");
+    let table = pdr_bench::table1::run().map_err(|e| e.to_string())?;
     println!("{}", table.render());
     println!("Amortization (fixed-all vs dynamic-shared slices):");
     for (n, fix, dy) in pdr_bench::table1::amortization(8) {
@@ -115,16 +146,25 @@ fn main() {
             if dy < fix { "  <- dynamic wins" } else { "" }
         );
     }
+    Ok(())
+}
 
+fn study_fig2(_: &mut Artifact, _: &SweepEngine, _: &Cli) -> Result<(), String> {
     println!("\n--- F2: Figure 2 ------------------------------------------------");
     println!("{}", pdr_bench::fig2::run().render());
+    Ok(())
+}
 
+fn study_fig3(_: &mut Artifact, _: &SweepEngine, _: &Cli) -> Result<(), String> {
     println!("--- F3: Figure 3 ------------------------------------------------");
-    let f3 = pdr_bench::fig3::run().expect("fig3");
+    let f3 = pdr_bench::fig3::run().map_err(|e| e.to_string())?;
     println!("{}", f3.render());
+    Ok(())
+}
 
+fn study_fig4(artifact: &mut Artifact, engine: &SweepEngine, cli: &Cli) -> Result<(), String> {
     println!("--- F4: Figure 4 / §6 -------------------------------------------");
-    let sys = pdr_bench::fig4::run_system(192).expect("fig4 system");
+    let sys = pdr_bench::fig4::run_system(192).map_err(|e| e.to_string())?;
     println!("{}", sys.render());
 
     let mut ber_scenarios = pdr_bench::fig4::ber_scenarios(&[-14.0, -10.0, -6.0, -2.0, 2.0], 6);
@@ -142,15 +182,19 @@ fn main() {
         .render()
     );
     record(
-        &mut artifact,
+        artifact,
         "fig4_ber",
         &ber,
         &pdr_bench::fig4::BerPoint::to_json,
         &pdr_bench::fig4::BerPoint::to_json,
     );
+    Ok(())
+}
 
+fn study_prefetch(artifact: &mut Artifact, engine: &SweepEngine, _: &Cli) -> Result<(), String> {
     println!("\n--- E-PF: prefetching study -------------------------------------");
-    let pf = pdr_bench::prefetch::run_sweep(&[4, 16, 64, 256], 8, &engine).expect("prefetch");
+    let pf =
+        pdr_bench::prefetch::run_sweep(&[4, 16, 64, 256], 8, engine).map_err(|e| e.to_string())?;
     println!(
         "{}",
         pdr_bench::prefetch::PrefetchStudy {
@@ -159,16 +203,19 @@ fn main() {
         .render()
     );
     record(
-        &mut artifact,
+        artifact,
         "prefetch",
         &pf,
         &pdr_bench::prefetch::PrefetchPoint::to_json,
         &pdr_bench::prefetch::PrefetchPoint::to_json,
     );
+    Ok(())
+}
 
+fn study_adequation(artifact: &mut Artifact, engine: &SweepEngine, _: &Cli) -> Result<(), String> {
     println!("--- E-AD: adequation study --------------------------------------");
-    let ablation = pdr_bench::adequation_study::ablation_sweep(&[0.01, 0.1, 0.5, 0.9], &engine);
-    let scaling = pdr_bench::adequation_study::scaling_sweep(&[(2, 2), (4, 4), (8, 8)], &engine);
+    let ablation = pdr_bench::adequation_study::ablation_sweep(&[0.01, 0.1, 0.5, 0.9], engine);
+    let scaling = pdr_bench::adequation_study::scaling_sweep(&[(2, 2), (4, 4), (8, 8)], engine);
     println!(
         "{}",
         pdr_bench::adequation_study::render(
@@ -177,7 +224,7 @@ fn main() {
         )
     );
     let strategies =
-        pdr_bench::adequation_study::strategies_sweep(&[(3, 3), (5, 5)], 1_500, &engine);
+        pdr_bench::adequation_study::strategies_sweep(&[(3, 3), (5, 5)], 1_500, engine);
     println!(
         "{}",
         pdr_bench::adequation_study::render_strategies(
@@ -185,7 +232,7 @@ fn main() {
         )
     );
     record(
-        &mut artifact,
+        artifact,
         "adequation_ablation",
         &ablation,
         &pdr_bench::adequation_study::AblationPoint::to_json,
@@ -194,7 +241,7 @@ fn main() {
     // Scaling/strategy outcomes carry their own wall-clock measurements:
     // digest only the schedule-independent fields.
     record(
-        &mut artifact,
+        artifact,
         "adequation_scaling",
         &scaling,
         &pdr_bench::adequation_study::ScalingPoint::to_json,
@@ -206,7 +253,7 @@ fn main() {
         },
     );
     record(
-        &mut artifact,
+        artifact,
         "adequation_strategies",
         &strategies,
         &pdr_bench::adequation_study::StrategyPoint::to_json,
@@ -218,12 +265,19 @@ fn main() {
             ])
         },
     );
+    Ok(())
+}
 
+fn study_area_latency(
+    artifact: &mut Artifact,
+    engine: &SweepEngine,
+    _: &Cli,
+) -> Result<(), String> {
     println!("\n--- E-AR: area vs latency ---------------------------------------");
     let ar = pdr_bench::area_latency::run_sweep(
         &["XC2V500", "XC2V2000", "XC2V6000"],
         &[2, 4, 8, 16],
-        &engine,
+        engine,
     );
     println!(
         "{}",
@@ -233,30 +287,150 @@ fn main() {
         .render()
     );
     record(
-        &mut artifact,
+        artifact,
         "area_latency",
         &ar,
         &pdr_bench::area_latency::AreaLatencyPoint::to_json,
         &pdr_bench::area_latency::AreaLatencyPoint::to_json,
     );
+    Ok(())
+}
 
+fn study_compression(_: &mut Artifact, _: &SweepEngine, _: &Cli) -> Result<(), String> {
     println!("--- X-CMP: compression study ------------------------------------");
-    let cs = pdr_bench::compression::run(96).expect("compression");
+    let cs = pdr_bench::compression::run(96).map_err(|e| e.to_string())?;
     println!("{}", cs.render());
+    Ok(())
+}
 
+fn study_adequation_perf(artifact: &mut Artifact, _: &SweepEngine, _: &Cli) -> Result<(), String> {
     println!("--- X-IDX: indexed adequation -----------------------------------");
-    let perf = pdr_bench::adequation_perf::run(2).expect("adequation perf");
+    let perf = pdr_bench::adequation_perf::run(2).map_err(|e| e.to_string())?;
     print!("{}", perf.render());
-    assert!(
-        perf.all_match(),
-        "reference and indexed schedulers disagree on a gallery flow"
-    );
+    if !perf.all_match() {
+        return Err("reference and indexed schedulers disagree on a gallery flow".into());
+    }
     artifact.push_section("adequation_perf", perf.to_json());
+    Ok(())
+}
+
+fn study_server(artifact: &mut Artifact, _: &SweepEngine, _: &Cli) -> Result<(), String> {
+    println!("--- X-SRV: serving layer ----------------------------------------");
+    use pdr_server::ServerConfig;
+    let cold = pdr_bench::server_study::run_load(ServerConfig::cold(), 4, 1, false, "cold");
+    println!("{}", cold.render());
+    let warm = pdr_bench::server_study::run_load(ServerConfig::default(), 4, 2, true, "warm");
+    println!("{}", warm.render());
+    if cold.payloads != warm.payloads {
+        return Err("cold and warm server runs disagree on deterministic payloads".into());
+    }
+    let speedup = if warm.mean_latency_us() > 0.0 {
+        cold.mean_latency_us() / warm.mean_latency_us()
+    } else {
+        f64::INFINITY
+    };
+    println!("  cached-over-cold mean latency speedup: {speedup:.1}x");
+    let mut section = Value::obj(vec![("speedup", Value::Float(speedup))]);
+    section.push_field("cold", cold.to_json());
+    section.push_field("warm", warm.to_json());
+    artifact.push_section("server_load", section);
+    Ok(())
+}
+
+type StudyFn = fn(&mut Artifact, &SweepEngine, &Cli) -> Result<(), String>;
+
+fn main() {
+    let cli = parse_cli();
+    let engine = match cli.threads {
+        Some(n) => SweepEngine::new().with_threads(n),
+        None => SweepEngine::new(),
+    };
+
+    println!("================================================================");
+    println!(" pdr — full experiment suite (Berthelot et al., IPDPS 2006)");
+    println!(" sweep engine: {} worker thread(s)", engine.threads());
+    println!("================================================================\n");
+
+    let mut artifact = Artifact::new("all_experiments")
+        .with_field("threads", Value::UInt(engine.threads() as u64))
+        .with_field("inject_panic", Value::Bool(cli.inject_panic))
+        .with_field(
+            "skipped",
+            Value::Array(cli.skip.iter().map(|s| Value::String(s.clone())).collect()),
+        );
+
+    let studies: [(&str, StudyFn); 10] = [
+        ("table1", study_table1),
+        ("fig2", study_fig2),
+        ("fig3", study_fig3),
+        ("fig4", study_fig4),
+        ("prefetch", study_prefetch),
+        ("adequation", study_adequation),
+        ("area_latency", study_area_latency),
+        ("compression", study_compression),
+        ("adequation_perf", study_adequation_perf),
+        ("server", study_server),
+    ];
+    debug_assert_eq!(studies.len(), STUDY_NAMES.len());
+
+    let mut failures: Vec<(String, String)> = Vec::new();
+    for (name, run) in studies {
+        if cli.skip.iter().any(|s| s == name) {
+            println!("--- [skipped] {name} ---");
+            continue;
+        }
+        // Study-level fault isolation: an Err or a panic is recorded and
+        // the suite moves on (mirroring the sweep engine's per-point
+        // isolation, one level up).
+        let outcome = catch_unwind(AssertUnwindSafe(|| run(&mut artifact, &engine, &cli)));
+        let error = match outcome {
+            Ok(Ok(())) => continue,
+            Ok(Err(message)) => message,
+            Err(panic) => panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .map(|what| format!("panicked: {what}"))
+                .unwrap_or_else(|| "panicked: opaque payload".into()),
+        };
+        println!("  [FAILED] {name}: {error}");
+        failures.push((name.to_string(), error));
+    }
+
+    artifact.push_section(
+        "failures",
+        Value::Array(
+            failures
+                .iter()
+                .map(|(name, error)| {
+                    Value::obj(vec![
+                        ("study", Value::String(name.clone())),
+                        ("error", Value::String(error.clone())),
+                    ])
+                })
+                .collect(),
+        ),
+    );
 
     artifact.write(&cli.out).expect("write artifact");
     println!("\nartifact: {} ({} studies)", cli.out, artifact.len());
 
     println!("================================================================");
-    println!(" suite complete");
+    if failures.is_empty() {
+        println!(" suite complete");
+    } else {
+        println!(
+            " suite complete with {} FAILED study(ies): {}",
+            failures.len(),
+            failures
+                .iter()
+                .map(|(n, _)| n.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
     println!("================================================================");
+    if !failures.is_empty() {
+        std::process::exit(1);
+    }
 }

@@ -19,6 +19,7 @@
 //! | [`area_latency`] | §6 — region size ↔ reconfiguration time |
 //! | [`compression`] | extension — compressed bitstream storage |
 //! | [`ir_sim`] | infrastructure — string vs interned interpreter speedup |
+//! | [`server_study`] | infrastructure — multi-tenant serving layer load test |
 
 pub mod adequation_perf;
 pub mod adequation_study;
@@ -29,4 +30,5 @@ pub mod fig3;
 pub mod fig4;
 pub mod ir_sim;
 pub mod prefetch;
+pub mod server_study;
 pub mod table1;

@@ -2,11 +2,14 @@
 
 use crate::error::FlowError;
 use pdr_adequation::executive::generate_executive;
-use pdr_adequation::{adequate, AdequationOptions, AdequationResult, Executive};
+use pdr_adequation::{
+    adequate_with_index, AdequationIndex, AdequationOptions, AdequationResult, Executive,
+};
 use pdr_codegen::{generate_design, ucf, vhdl, CostModel, GeneratedDesign};
 use pdr_fabric::Device;
 use pdr_graph::prelude::*;
 use pdr_ir::{IrExecutive, SymbolTable};
+use pdr_sweep::digest::Fnv64;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -42,6 +45,20 @@ impl FlowArtifacts {
     /// metric for the flow benchmark).
     pub fn vhdl_bytes(&self) -> usize {
         self.vhdl.values().map(String::len).sum()
+    }
+
+    /// Canonical content digest of the compiled result: FNV-1a over the
+    /// interned executive (rendered through the symbol table, so it is
+    /// byte-identical to the string executive's render) followed by the
+    /// §4 constraints text. The hasher is [`pdr_sweep::digest::Fnv64`] —
+    /// the same implementation behind the sweep engine's outcome digests
+    /// and `pdr-server`'s content-addressed cache, so the layers can
+    /// never drift apart on what a digest means.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.eat_str(&self.ir_executive.render(&self.symbols));
+        h.eat_str(&self.constraints_text);
+        h.finish()
     }
 }
 
@@ -124,15 +141,97 @@ impl DesignFlow {
         &self.adequation_options
     }
 
+    /// Absorb the [`AdequationIndex`] inputs — algorithm, architecture,
+    /// characterization — into `h`, element by element in id order
+    /// (characterization tables in sorted order; their backing maps are
+    /// unordered).
+    fn eat_index_inputs(&self, h: &mut Fnv64) {
+        h.eat_str(&self.algo.name);
+        for (_, op) in self.algo.ops() {
+            h.eat_str(&format!("{op:?}"));
+        }
+        for e in self.algo.edges() {
+            h.eat_str(&format!("{e:?}"));
+        }
+        h.eat_str(&self.arch.name);
+        for (id, o) in self.arch.operators() {
+            h.eat_str(&format!("{o:?}"));
+            for m in self.arch.media_of(id) {
+                h.eat_u64(m.0 as u64);
+            }
+        }
+        for (_, m) in self.arch.media() {
+            h.eat_str(&format!("{m:?}"));
+        }
+        for (f, o, t) in self.chars.sorted_durations() {
+            h.eat_str(f);
+            h.eat_str(o);
+            h.eat_u64(t.as_ps());
+        }
+        for (f, r) in self.chars.sorted_resources() {
+            h.eat_str(f);
+            h.eat_str(&format!("{r:?}"));
+        }
+        for (o, f, t) in self.chars.sorted_reconfig() {
+            h.eat_str(o);
+            h.eat_str(f);
+            h.eat_u64(t.as_ps());
+        }
+    }
+
+    /// Canonical digest of the [`AdequationIndex`] inputs. Two flows with
+    /// equal `index_digest` produce identical indexes, so a service can
+    /// build the index once and schedule both against it (the index is a
+    /// pure function of algorithm + architecture + characterization;
+    /// constraints, device and options don't enter it).
+    pub fn index_digest(&self) -> u64 {
+        let mut h = Fnv64::new();
+        self.eat_index_inputs(&mut h);
+        h.finish()
+    }
+
+    /// Canonical digest of the *complete* model content: everything that
+    /// determines this flow's artifacts — the index inputs plus device,
+    /// constraints file, adequation options and cost model. This is the
+    /// content address `pdr-server` keys its result cache on: equal
+    /// digests ⇒ byte-identical [`FlowArtifacts`].
+    pub fn model_digest(&self) -> u64 {
+        let mut h = Fnv64::new();
+        self.eat_index_inputs(&mut h);
+        h.eat_str(&self.device.name);
+        h.eat_str(&self.constraints.to_string());
+        h.eat_str(&format!("{:?}", self.adequation_options));
+        h.eat_str(&format!("{:?}", self.cost_model));
+        h.finish()
+    }
+
+    /// Build the scheduler's precomputation index for this flow's models.
+    /// Expensive relative to scheduling a small flow — share it across
+    /// [`DesignFlow::run_with_index`] calls whenever
+    /// [`DesignFlow::index_digest`] matches.
+    pub fn build_index(&self) -> Result<AdequationIndex, FlowError> {
+        Ok(AdequationIndex::build(&self.algo, &self.arch, &self.chars)?)
+    }
+
     /// Run the complete pipeline.
     pub fn run(&self) -> Result<FlowArtifacts, FlowError> {
+        let index = self.build_index()?;
+        self.run_with_index(&index)
+    }
+
+    /// Run the complete pipeline against a caller-supplied (typically
+    /// shared) [`AdequationIndex`] — it must come from models with this
+    /// flow's [`DesignFlow::index_digest`]. Artifacts are byte-identical
+    /// to [`DesignFlow::run`].
+    pub fn run_with_index(&self, index: &AdequationIndex) -> Result<FlowArtifacts, FlowError> {
         // 1. Modelisation is validated inside adequation; run it.
-        let adequation = adequate(
+        let adequation = adequate_with_index(
             &self.algo,
             &self.arch,
             &self.chars,
             &self.constraints,
             &self.adequation_options,
+            index,
         )?;
         // 2. Macro-code generation.
         let executive = generate_executive(
@@ -291,6 +390,59 @@ mod tests {
         let a = paper_flow().run().unwrap();
         let b = paper_flow().run().unwrap();
         assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn run_with_shared_index_is_byte_identical() {
+        let flow = paper_flow();
+        let index = flow.build_index().unwrap();
+        let fresh = flow.run().unwrap();
+        let shared = flow.run_with_index(&index).unwrap();
+        let again = flow.run_with_index(&index).unwrap();
+        assert_eq!(fresh, shared);
+        assert_eq!(shared, again);
+        assert_eq!(fresh.digest(), shared.digest());
+    }
+
+    #[test]
+    fn model_digest_is_stable_and_content_sensitive() {
+        let flow = paper_flow();
+        assert_eq!(flow.model_digest(), paper_flow().model_digest());
+        assert_eq!(flow.index_digest(), paper_flow().index_digest());
+        // Dropping the constraints file changes the model digest but not
+        // the index digest (constraints don't enter the index).
+        let unconstrained = paper_flow().with_constraints(ConstraintsFile::new());
+        assert_ne!(flow.model_digest(), unconstrained.model_digest());
+        assert_eq!(flow.index_digest(), unconstrained.index_digest());
+        // A different pin set changes the model digest too.
+        let repinned = paper_flow()
+            .with_adequation_options(AdequationOptions::default().pin("interface_in", "dsp"));
+        assert_ne!(flow.model_digest(), repinned.model_digest());
+    }
+
+    #[test]
+    fn artifact_digest_tracks_content() {
+        let a = paper_flow().run().unwrap();
+        let mut b = a.clone();
+        assert_eq!(a.digest(), b.digest());
+        b.constraints_text.push('x');
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn same_models_on_two_devices_share_an_index() {
+        let g3 = crate::gallery::by_name("two_regions").unwrap().flow;
+        let g4 = crate::gallery::by_name("two_regions_xc2v4000")
+            .unwrap()
+            .flow;
+        // Same algorithm/architecture/characterization, different device:
+        // the scheduler index is shareable, the full model address is not.
+        assert_eq!(g3.index_digest(), g4.index_digest());
+        assert_ne!(g3.model_digest(), g4.model_digest());
+        let shared = g3.build_index().unwrap();
+        let a = g4.run_with_index(&shared).unwrap();
+        assert_eq!(a, g4.run().unwrap());
     }
 
     #[test]

@@ -155,6 +155,50 @@ impl Characterization {
     pub fn duration_entries(&self) -> usize {
         self.durations.values().map(HashMap::len).sum()
     }
+
+    /// Every duration entry as `(function, operator, wcet)`, sorted by
+    /// `(function, operator)`. The backing maps are unordered; this is
+    /// the canonical order for digesting or diffing characterizations
+    /// (`DesignFlow::model_digest` walks it).
+    pub fn sorted_durations(&self) -> Vec<(&str, &str, TimePs)> {
+        let mut out: Vec<(&str, &str, TimePs)> = self
+            .durations
+            .iter()
+            .flat_map(|(f, ops)| ops.iter().map(move |(o, &t)| (f.as_str(), o.as_str(), t)))
+            .collect();
+        out.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        out
+    }
+
+    /// Every resource entry as `(function, footprint)`, sorted by
+    /// function — canonical order, like [`Characterization::sorted_durations`].
+    pub fn sorted_resources(&self) -> Vec<(&str, Resources)> {
+        let mut out: Vec<(&str, Resources)> = self
+            .resources
+            .iter()
+            .map(|(f, &r)| (f.as_str(), r))
+            .collect();
+        out.sort_unstable_by_key(|e| e.0);
+        out
+    }
+
+    /// Every reconfiguration-time entry as `(operator, function, time)`
+    /// — defaults first with an empty function name, then overrides —
+    /// sorted canonically.
+    pub fn sorted_reconfig(&self) -> Vec<(&str, &str, TimePs)> {
+        let mut out: Vec<(&str, &str, TimePs)> = self
+            .reconfig_default
+            .iter()
+            .map(|(o, &t)| (o.as_str(), "", t))
+            .collect();
+        out.extend(
+            self.reconfig_override
+                .iter()
+                .flat_map(|(f, ops)| ops.iter().map(move |(o, &t)| (o.as_str(), f.as_str(), t))),
+        );
+        out.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        out
+    }
 }
 
 #[cfg(test)]

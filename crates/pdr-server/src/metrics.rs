@@ -1,0 +1,97 @@
+//! Server-wide counters, lock-free and cheap enough to bump on every
+//! request without touching the service's mutexes.
+
+use serde::json::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters over the server's lifetime. All loads/stores are
+/// `Relaxed`: the counters are statistics, not synchronization — request
+/// completion is ordered by the service's own locks and channels.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Work requests accepted into `submit` (stats queries excluded).
+    pub requests: AtomicU64,
+    /// Requests served straight from the result cache.
+    pub cache_hits: AtomicU64,
+    /// Requests that waited on an identical in-flight computation.
+    pub coalesced: AtomicU64,
+    /// Jobs actually executed by a worker (the cache-miss path).
+    pub executed: AtomicU64,
+    /// Requests rejected with `overloaded` (bounded-queue backpressure).
+    pub overloaded: AtomicU64,
+    /// Requests that finished with an error response.
+    pub errors: AtomicU64,
+    /// Sum of queue wait across executed jobs (µs).
+    pub total_queue_us: AtomicU64,
+    /// Sum of worker service time across executed jobs (µs).
+    pub total_service_us: AtomicU64,
+}
+
+impl ServerStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bump a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add to an accumulator.
+    pub fn add(counter: &AtomicU64, amount: u64) {
+        counter.fetch_add(amount, Ordering::Relaxed);
+    }
+
+    /// Requests that hit the fast path (cache hit or coalesced) as a
+    /// fraction of accepted requests.
+    pub fn reuse_ratio(&self) -> f64 {
+        let requests = self.requests.load(Ordering::Relaxed);
+        if requests == 0 {
+            return 0.0;
+        }
+        let reused =
+            self.cache_hits.load(Ordering::Relaxed) + self.coalesced.load(Ordering::Relaxed);
+        reused as f64 / requests as f64
+    }
+
+    /// Counter snapshot as a JSON object (the `stats` response payload;
+    /// live gauges — queue depth, cache entries — are appended by the
+    /// server, which owns those structures).
+    pub fn snapshot(&self) -> Value {
+        let get = |c: &AtomicU64| Value::UInt(c.load(Ordering::Relaxed));
+        Value::obj(vec![
+            ("requests", get(&self.requests)),
+            ("cache_hits", get(&self.cache_hits)),
+            ("coalesced", get(&self.coalesced)),
+            ("executed", get(&self.executed)),
+            ("overloaded", get(&self.overloaded)),
+            ("errors", get(&self.errors)),
+            ("total_queue_us", get(&self.total_queue_us)),
+            ("total_service_us", get(&self.total_service_us)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let stats = ServerStats::new();
+        ServerStats::bump(&stats.requests);
+        ServerStats::bump(&stats.requests);
+        ServerStats::bump(&stats.cache_hits);
+        ServerStats::add(&stats.total_service_us, 1234);
+        let snap = stats.snapshot();
+        assert_eq!(snap.get("requests").and_then(Value::as_u64), Some(2));
+        assert_eq!(snap.get("cache_hits").and_then(Value::as_u64), Some(1));
+        assert_eq!(
+            snap.get("total_service_us").and_then(Value::as_u64),
+            Some(1234)
+        );
+        assert!((stats.reuse_ratio() - 0.5).abs() < 1e-9);
+        assert_eq!(ServerStats::new().reuse_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! The TCP transport: one thread per connection, line in → line out.
+//!
+//! The listener is optional plumbing around [`crate::Server`] — the
+//! service itself is transport-agnostic ([`crate::Server::handle_line`]
+//! serves any byte stream, and the binary also runs a stdin loop).
+//! Connection reads use a short timeout so handler threads notice
+//! shutdown even when a client keeps an idle connection open.
+
+use crate::Server;
+use std::io::{self, BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// A running TCP listener bound to a local address.
+pub struct TcpHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpHandle {
+    /// The bound address (use `"127.0.0.1:0"` to let the OS pick a port,
+    /// then read it back here).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the accept loop. Connection handler
+    /// threads drain on their own once their client disconnects or their
+    /// next read times out.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TcpHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Bind `addr` and serve the compilation service over it. Returns as soon
+/// as the listener is bound; accepting runs on a background thread.
+pub fn serve(addr: &str, server: Arc<Server>) -> io::Result<TcpHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_stop = stop.clone();
+    let accept_thread = thread::spawn(move || {
+        let handlers: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
+        while !accept_stop.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let server = server.clone();
+                    let stop = accept_stop.clone();
+                    let handle = thread::spawn(move || handle_connection(stream, &server, &stop));
+                    handlers.lock().expect("handler list").push(handle);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(2));
+                }
+                Err(_) => break,
+            }
+        }
+        for handle in handlers.into_inner().expect("handler list").drain(..) {
+            let _ = handle.join();
+        }
+    });
+    Ok(TcpHandle {
+        addr: local,
+        stop,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn handle_connection(stream: TcpStream, server: &Server, stop: &AtomicBool) {
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .is_err()
+    {
+        return;
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    while !stop.load(Ordering::SeqCst) {
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // client closed
+            Ok(_) => {
+                let trimmed = line.trim();
+                if !trimmed.is_empty() {
+                    let response = server.handle_line(trimmed);
+                    if writer
+                        .write_all(response.as_bytes())
+                        .and_then(|()| writer.write_all(b"\n"))
+                        .and_then(|()| writer.flush())
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+                line.clear();
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                // Idle or mid-line timeout: whatever was read so far stays
+                // in `line`; poll the stop flag and keep accumulating.
+                continue;
+            }
+            Err(_) => break,
+        }
+    }
+}

@@ -36,36 +36,30 @@ pub fn report_json<T>(report: &SweepReport<T>, outcome: &dyn Fn(&T) -> Value) ->
 /// wall times. Two sweeps of the same scenarios agree on this digest
 /// regardless of thread count; use it to check determinism.
 pub fn outcome_digest<T>(report: &SweepReport<T>, outcome: &dyn Fn(&T) -> Value) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
-    let mut eat = |s: &str| {
-        for b in s.bytes() {
-            hash ^= u64::from(b);
-            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    };
+    let mut hash = crate::digest::Fnv64::new();
     for o in &report.outcomes {
-        eat(&o.label);
-        eat(&o.seed.to_string());
+        hash.eat_str(&o.label);
+        hash.eat_str(&o.seed.to_string());
         for (k, p) in &o.params {
-            eat(k);
-            eat(&p.to_string());
+            hash.eat_str(k);
+            hash.eat_str(&p.to_string());
         }
         match &o.status {
             ScenarioStatus::Ok(v) => {
-                eat("ok");
-                eat(&serde::json::to_string(&outcome(v)));
+                hash.eat_str("ok");
+                hash.eat_str(&serde::json::to_string(&outcome(v)));
             }
             ScenarioStatus::Error(e) => {
-                eat("error");
-                eat(&e.to_string());
+                hash.eat_str("error");
+                hash.eat_str(&e.to_string());
             }
             ScenarioStatus::Panicked(msg) => {
-                eat("panicked");
-                eat(msg);
+                hash.eat_str("panicked");
+                hash.eat_str(msg);
             }
         }
     }
-    hash
+    hash.finish()
 }
 
 /// An experiment artifact: a named collection of study sections plus

@@ -9,10 +9,12 @@
 //!   the workspace serializes and derivable via the in-tree
 //!   `serde_derive` shim (re-exported here, so
 //!   `#[derive(Serialize, Deserialize)]` works unchanged).
-//! * [`Deserialize`] — a marker trait (the workspace emits artifacts
-//!   but never parses them back).
-//! * [`json`] — the value model plus compact and pretty JSON writers,
-//!   used by `pdr-sweep`'s experiment-artifact writer.
+//! * [`Deserialize`] — a marker trait (typed deserialization is not
+//!   implemented in the offline shim; parsing goes through the
+//!   [`json::Value`] model instead).
+//! * [`json`] — the value model, compact and pretty JSON writers (used
+//!   by `pdr-sweep`'s experiment-artifact writer), and a [`json::parse`]
+//!   reader (used by `pdr-server`'s line-delimited request protocol).
 
 pub use serde_derive::{Deserialize, Serialize};
 
@@ -22,8 +24,9 @@ pub trait Serialize {
     fn to_json(&self) -> json::Value;
 }
 
-/// Marker for deserializable types (parsing is not implemented in the
-/// offline shim; the workspace only writes artifacts).
+/// Marker for deserializable types (typed parsing is not implemented in
+/// the offline shim; readers go through [`json::parse`] and the
+/// [`json::Value`] accessors instead).
 pub trait Deserialize: Sized {}
 
 pub mod json {
@@ -97,6 +100,294 @@ pub mod json {
                 Value::String(s) => Some(s),
                 _ => None,
             }
+        }
+
+        /// The value as a signed integer when losslessly possible.
+        pub fn as_i64(&self) -> Option<i64> {
+            match self {
+                Value::Int(i) => Some(*i),
+                Value::UInt(u) => i64::try_from(*u).ok(),
+                _ => None,
+            }
+        }
+
+        /// The value as a float (integers widen).
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Float(f) => Some(*f),
+                Value::Int(i) => Some(*i as f64),
+                Value::UInt(u) => Some(*u as f64),
+                _ => None,
+            }
+        }
+
+        /// The value as a bool.
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+    }
+
+    /// Failure from [`parse`]: where in the input and what went wrong.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct ParseError {
+        /// Byte offset of the offending character.
+        pub offset: usize,
+        /// Human-readable description.
+        pub message: String,
+    }
+
+    impl std::fmt::Display for ParseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(
+                f,
+                "JSON parse error at byte {}: {}",
+                self.offset, self.message
+            )
+        }
+    }
+
+    impl std::error::Error for ParseError {}
+
+    /// Parse one JSON document into a [`Value`] tree. Trailing
+    /// whitespace is allowed; trailing non-whitespace is an error.
+    /// Integral numbers parse as [`Value::UInt`]/[`Value::Int`], anything
+    /// with a fraction or exponent as [`Value::Float`] — matching how the
+    /// writer distinguishes them, so documents round-trip.
+    pub fn parse(text: &str) -> Result<Value, ParseError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after document"));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Parser<'a> {
+        fn err(&self, message: impl Into<String>) -> ParseError {
+            ParseError {
+                offset: self.pos,
+                message: message.into(),
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn eat(&mut self, b: u8) -> Result<(), ParseError> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(self.err(format!("expected `{}`", b as char)))
+            }
+        }
+
+        fn literal(&mut self, word: &str, v: Value) -> Result<Value, ParseError> {
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                Ok(v)
+            } else {
+                Err(self.err(format!("expected `{word}`")))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, ParseError> {
+            match self.peek() {
+                Some(b'n') => self.literal("null", Value::Null),
+                Some(b't') => self.literal("true", Value::Bool(true)),
+                Some(b'f') => self.literal("false", Value::Bool(false)),
+                Some(b'"') => Ok(Value::String(self.string()?)),
+                Some(b'[') => self.array(),
+                Some(b'{') => self.object(),
+                Some(b'-' | b'0'..=b'9') => self.number(),
+                Some(c) => Err(self.err(format!("unexpected character `{}`", c as char))),
+                None => Err(self.err("unexpected end of input")),
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, ParseError> {
+            self.eat(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(self.err("expected `,` or `]` in array")),
+                }
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, ParseError> {
+            self.eat(b'{')?;
+            let mut fields = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.eat(b':')?;
+                self.skip_ws();
+                let value = self.value()?;
+                fields.push((key, value));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Object(fields));
+                    }
+                    _ => return Err(self.err("expected `,` or `}` in object")),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, ParseError> {
+            self.eat(b'"')?;
+            let mut out = String::new();
+            loop {
+                let Some(c) = self.peek() else {
+                    return Err(self.err("unterminated string"));
+                };
+                self.pos += 1;
+                match c {
+                    b'"' => return Ok(out),
+                    b'\\' => {
+                        let Some(esc) = self.peek() else {
+                            return Err(self.err("unterminated escape"));
+                        };
+                        self.pos += 1;
+                        match esc {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b'r' => out.push('\r'),
+                            b't' => out.push('\t'),
+                            b'b' => out.push('\u{8}'),
+                            b'f' => out.push('\u{c}'),
+                            b'u' => {
+                                let hi = self.hex4()?;
+                                let code = if (0xD800..0xDC00).contains(&hi) {
+                                    // Surrogate pair: a low surrogate must follow.
+                                    if self.bytes[self.pos..].starts_with(b"\\u") {
+                                        self.pos += 2;
+                                        let lo = self.hex4()?;
+                                        if !(0xDC00..0xE000).contains(&lo) {
+                                            return Err(self.err("invalid low surrogate"));
+                                        }
+                                        0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                    } else {
+                                        return Err(self.err("lone high surrogate"));
+                                    }
+                                } else {
+                                    hi
+                                };
+                                match char::from_u32(code) {
+                                    Some(ch) => out.push(ch),
+                                    None => return Err(self.err("invalid unicode escape")),
+                                }
+                            }
+                            other => {
+                                return Err(
+                                    self.err(format!("invalid escape `\\{}`", other as char))
+                                )
+                            }
+                        }
+                    }
+                    // Multi-byte UTF-8: the input is a &str, so the
+                    // continuation bytes are valid — copy them through.
+                    _ => {
+                        let start = self.pos - 1;
+                        while self.peek().map(|b| b & 0xC0 == 0x80).unwrap_or(false) {
+                            self.pos += 1;
+                        }
+                        out.push_str(
+                            std::str::from_utf8(&self.bytes[start..self.pos])
+                                .expect("input is valid UTF-8"),
+                        );
+                    }
+                }
+            }
+        }
+
+        fn hex4(&mut self) -> Result<u32, ParseError> {
+            if self.pos + 4 > self.bytes.len() {
+                return Err(self.err("truncated \\u escape"));
+            }
+            let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                .map_err(|_| self.err("non-ASCII \\u escape"))?;
+            let v = u32::from_str_radix(s, 16).map_err(|_| self.err("invalid \\u escape"))?;
+            self.pos += 4;
+            Ok(v)
+        }
+
+        fn number(&mut self) -> Result<Value, ParseError> {
+            let start = self.pos;
+            if self.peek() == Some(b'-') {
+                self.pos += 1;
+            }
+            let mut fractional = false;
+            while let Some(c) = self.peek() {
+                match c {
+                    b'0'..=b'9' => self.pos += 1,
+                    b'.' | b'e' | b'E' | b'+' | b'-' => {
+                        fractional = true;
+                        self.pos += 1;
+                    }
+                    _ => break,
+                }
+            }
+            let text =
+                std::str::from_utf8(&self.bytes[start..self.pos]).expect("number slice is ASCII");
+            if !fractional {
+                if let Ok(u) = text.parse::<u64>() {
+                    return Ok(Value::UInt(u));
+                }
+                if let Ok(i) = text.parse::<i64>() {
+                    return Ok(Value::Int(i));
+                }
+            }
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| ParseError {
+                    offset: start,
+                    message: format!("invalid number `{text}`"),
+                })
         }
     }
 
@@ -401,5 +692,65 @@ mod tests {
         assert_eq!(v.get("n").and_then(Value::as_u64), Some(4));
         assert_eq!(v.get("missing"), None);
         assert_eq!(Value::String("s".into()).as_str(), Some("s"));
+        assert_eq!(Value::Int(-3).as_i64(), Some(-3));
+        assert_eq!(Value::UInt(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+    }
+
+    #[test]
+    fn parse_scalars() {
+        use super::json::parse;
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(parse("false").unwrap(), Value::Bool(false));
+        assert_eq!(parse("42").unwrap(), Value::UInt(42));
+        assert_eq!(parse("-7").unwrap(), Value::Int(-7));
+        assert_eq!(parse("1.5").unwrap(), Value::Float(1.5));
+        assert_eq!(parse("2e3").unwrap(), Value::Float(2000.0));
+        assert_eq!(
+            parse("\"a\\\"b\\n\"").unwrap(),
+            Value::String("a\"b\n".into())
+        );
+        assert_eq!(parse("\"\\u00e9\"").unwrap(), Value::String("é".into()));
+        assert_eq!(
+            parse("\"\\ud83d\\ude00\"").unwrap(),
+            Value::String("😀".into())
+        );
+        assert_eq!(parse("\"héllo\"").unwrap(), Value::String("héllo".into()));
+    }
+
+    #[test]
+    fn parse_containers_roundtrip() {
+        use super::json::parse;
+        let v = Value::obj(vec![
+            ("kind", Value::String("compile".into())),
+            ("id", Value::UInt(7)),
+            ("nested", Value::Array(vec![Value::Int(-1), Value::Null])),
+            ("f", Value::Float(0.25)),
+        ]);
+        assert_eq!(parse(&to_string(&v)).unwrap(), v);
+        assert_eq!(parse(&to_string_pretty(&v)).unwrap(), v);
+        assert_eq!(parse("[]").unwrap(), Value::Array(vec![]));
+        assert_eq!(parse("{}").unwrap(), Value::Object(vec![]));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        use super::json::parse;
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "nul",
+            "1 2",
+            "\"unterminated",
+            "{\"a\":1,}",
+        ] {
+            assert!(parse(bad).is_err(), "`{bad}` should not parse");
+        }
+        let err = parse("[1, x]").unwrap_err();
+        assert!(err.to_string().contains("byte 4"), "{err}");
     }
 }
