@@ -33,4 +33,7 @@ cargo bench -p pdr-bench --bench bench_adequation -- --test --out BENCH_adequati
 echo "== bench_server (test mode: N-client determinism + cache speedup floor)"
 cargo bench -p pdr-bench --bench bench_server -- --test --out BENCH_server.json
 
+echo "== bench_model (test mode: gallery deadlock-free < 1 s/flow + POR reduction floor + witness replay)"
+cargo bench -p pdr-bench --bench bench_model -- --test --out BENCH_model.json
+
 echo "CI OK"

@@ -30,7 +30,7 @@ use serde::json::Value;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Every study name, in suite order (`--skip` validates against this).
-const STUDY_NAMES: [&str; 10] = [
+const STUDY_NAMES: [&str; 11] = [
     "table1",
     "fig2",
     "fig3",
@@ -41,6 +41,7 @@ const STUDY_NAMES: [&str; 10] = [
     "compression",
     "adequation_perf",
     "server",
+    "model",
 ];
 
 struct Cli {
@@ -337,6 +338,69 @@ fn study_server(artifact: &mut Artifact, _: &SweepEngine, _: &Cli) -> Result<(),
     Ok(())
 }
 
+fn study_model(artifact: &mut Artifact, _: &SweepEngine, _: &Cli) -> Result<(), String> {
+    println!("--- X-MC: interleaving model checking ---------------------------");
+    use pdr_lint::model::{self, ModelInput};
+    use pdr_lint::{rendezvous, Code, ModelConfig};
+    let mut rows = Vec::new();
+    let mut largest: Option<(u64, u64)> = None;
+    for g in pdr_core::gallery::all() {
+        let art = g.flow.run().map_err(|e| e.to_string())?;
+        let rv = rendezvous::check(&art.ir_executive, &art.symbols);
+        if !rv.diagnostics.is_empty() {
+            return Err(format!(
+                "gallery flow `{}` has rendezvous defects: {:?}",
+                g.name, rv.diagnostics
+            ));
+        }
+        let input = ModelInput {
+            ir: &art.ir_executive,
+            table: &art.symbols,
+            pairs: &rv.pairs,
+            constraints: Some(g.flow.constraints()),
+        };
+        let out = model::check(&input, &ModelConfig::default());
+        if out.diagnostics.iter().any(|d| d.code == Code::Deadlock) {
+            return Err(format!("gallery flow `{}` deadlocks", g.name));
+        }
+        println!(
+            "  {:24} {:>8} states {:>10} transitions  {} diagnostic(s)",
+            g.name,
+            out.stats.states,
+            out.stats.transitions,
+            out.diagnostics.len()
+        );
+        if g.name == "synthetic_large" {
+            let full = model::check(&input, &ModelConfig::default().without_por());
+            largest = Some((out.stats.states, full.stats.states));
+        }
+        rows.push(Value::obj(vec![
+            ("flow", Value::String(g.name.to_string())),
+            ("states", Value::UInt(out.stats.states)),
+            ("transitions", Value::UInt(out.stats.transitions)),
+            ("diagnostics", Value::UInt(out.diagnostics.len() as u64)),
+        ]));
+    }
+    let mut section = Value::obj(vec![("flows", Value::Array(rows))]);
+    if let Some((with_por, without_por)) = largest {
+        let reduction = without_por as f64 / with_por.max(1) as f64;
+        println!(
+            "  POR on synthetic_large: {with_por} states vs {without_por} unreduced \
+             ({reduction:.1}x)"
+        );
+        section.push_field(
+            "por",
+            Value::obj(vec![
+                ("states_with_por", Value::UInt(with_por)),
+                ("states_without_por", Value::UInt(without_por)),
+                ("reduction", Value::Float(reduction)),
+            ]),
+        );
+    }
+    artifact.push_section("model", section);
+    Ok(())
+}
+
 type StudyFn = fn(&mut Artifact, &SweepEngine, &Cli) -> Result<(), String>;
 
 fn main() {
@@ -359,7 +423,7 @@ fn main() {
             Value::Array(cli.skip.iter().map(|s| Value::String(s.clone())).collect()),
         );
 
-    let studies: [(&str, StudyFn); 10] = [
+    let studies: [(&str, StudyFn); 11] = [
         ("table1", study_table1),
         ("fig2", study_fig2),
         ("fig3", study_fig3),
@@ -370,6 +434,7 @@ fn main() {
         ("compression", study_compression),
         ("adequation_perf", study_adequation_perf),
         ("server", study_server),
+        ("model", study_model),
     ];
     debug_assert_eq!(studies.len(), STUDY_NAMES.len());
 

@@ -5,18 +5,26 @@
 //! pdr-lint --flow paper                   # lint one flow, text report
 //! pdr-lint --all --format json            # lint every flow, JSON
 //! pdr-lint --all --deny-warnings          # CI gate: warnings also fail
+//! pdr-lint --all --code PDR004 --code PDR013   # only selected codes
+//! pdr-lint --flow paper --max-states 50000     # bounded model check
+//! pdr-lint --flow paper --no-model-check       # greedy deadlock pass only
 //! ```
 //!
 //! The offline artifact model has no deserializer, so the CLI rebuilds
 //! flows in-process from [`pdr_core::gallery`] and lints what `run()`
-//! produces — the same artifacts `DesignFlow::verify` sees.
+//! produces — the same artifacts `DesignFlow::verify` sees. The
+//! exhaustive interleaving model checker (PDR013–PDR017) is on by
+//! default, exactly as in `verify`; `--no-model-check` falls back to the
+//! greedy single-interleaving deadlock pass and `--max-states` bounds
+//! the exploration (PDR017 reports when the bound bites).
 //!
 //! Exit status: 0 when every linted flow is acceptable, 1 when any
-//! diagnostic fails the gate (errors always; warnings under
-//! `--deny-warnings`), 2 on usage errors.
+//! diagnostic (surviving the `--code` filter, if given) fails the gate
+//! (errors always; warnings under `--deny-warnings`), 2 on usage errors.
 
 use pdr_core::gallery;
 use pdr_core::lint::render;
+use pdr_core::lint::{Code, ModelConfig, Report};
 use serde::json::Value;
 use serde::Serialize;
 use std::process::ExitCode;
@@ -26,13 +34,18 @@ struct Options {
     json: bool,
     deny_warnings: bool,
     list: bool,
+    /// Show (and gate on) only these codes; empty = all.
+    codes: Vec<Code>,
+    model_check: bool,
+    max_states: Option<usize>,
 }
 
 fn usage() -> String {
     let names = gallery::names().join(", ");
     format!(
         "usage: pdr-lint [--flow NAME]... [--all] [--format text|json] \
-         [--deny-warnings] [--list]\nflows: {names}"
+         [--deny-warnings] [--code PDRnnn]... [--model-check|--no-model-check] \
+         [--max-states N] [--list]\nflows: {names}"
     )
 }
 
@@ -42,6 +55,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         json: false,
         deny_warnings: false,
         list: false,
+        codes: Vec::new(),
+        model_check: true,
+        max_states: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -59,6 +75,25 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 other => return Err(format!("bad --format {other:?} (text|json)")),
             },
             "--deny-warnings" => opts.deny_warnings = true,
+            "--code" => {
+                let code = it.next().ok_or("--code needs a PDRnnn code")?;
+                match Code::parse(code) {
+                    Some(c) => opts.codes.push(c),
+                    None => return Err(format!("unknown code `{code}` (expect PDR001..PDR017)")),
+                }
+            }
+            "--model-check" => opts.model_check = true,
+            "--no-model-check" => opts.model_check = false,
+            "--max-states" => {
+                let n = it.next().ok_or("--max-states needs a number")?;
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| format!("bad --max-states `{n}` (expect a positive integer)"))?;
+                if n == 0 {
+                    return Err("--max-states must be at least 1".into());
+                }
+                opts.max_states = Some(n);
+            }
             "--list" => opts.list = true,
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown argument `{other}`\n{}", usage())),
@@ -67,7 +102,24 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     if !opts.list && opts.flows.is_empty() {
         return Err(format!("nothing to lint\n{}", usage()));
     }
+    if opts.max_states.is_some() && !opts.model_check {
+        return Err("--max-states conflicts with --no-model-check".into());
+    }
     Ok(opts)
+}
+
+/// Keep only diagnostics whose code is in `codes` (empty = keep all).
+fn filter_codes(report: Report, codes: &[Code]) -> Report {
+    if codes.is_empty() {
+        return report;
+    }
+    Report {
+        diagnostics: report
+            .diagnostics
+            .into_iter()
+            .filter(|d| codes.contains(&d.code))
+            .collect(),
+    }
 }
 
 fn main() -> ExitCode {
@@ -87,6 +139,16 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    let model = if opts.model_check {
+        let mut config = ModelConfig::default();
+        if let Some(n) = opts.max_states {
+            config = config.with_max_states(n);
+        }
+        Some(config)
+    } else {
+        None
+    };
+
     let mut failed = false;
     let mut json_flows: Vec<(String, Value)> = Vec::new();
     for name in &opts.flows {
@@ -101,7 +163,7 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        let report = g.flow.verify(&artifacts);
+        let report = filter_codes(g.flow.verify_with(&artifacts, model), &opts.codes);
         failed |= report.fails(opts.deny_warnings);
         if opts.json {
             json_flows.push((name.clone(), report.to_json()));

@@ -279,16 +279,24 @@ pub fn synthetic_large_algorithm() -> AlgorithmGraph {
             let bits = 256 + (idx as u64 % 5) * 128;
             if layer == 0 {
                 g.connect(src, op, bits).expect("valid edge");
-            } else {
-                // Up to three distinct predecessors in the previous layer,
-                // chosen by a fixed stride pattern so the graph is
-                // reproducible and no layer is embarrassingly parallel.
+            } else if layer % 6 == 0 {
+                // Every sixth layer couples neighbouring slots (up to
+                // three distinct predecessors chosen by a fixed stride),
+                // so the graph is reproducible and never decouples into
+                // embarrassingly parallel chains.
                 let mut preds = vec![slot, (slot + 1) % SYN_WIDTH, (slot + layer) % SYN_WIDTH];
                 preds.sort_unstable();
                 preds.dedup();
                 for p in preds {
                     g.connect(prev[p], op, bits).expect("valid edge");
                 }
+            } else {
+                // The other layers are slot-local: runs of independent
+                // computation between the coupling layers, which is what
+                // gives the scheduled executive genuine cross-operator
+                // concurrency (and interleaving-level analyses a state
+                // space worth reducing).
+                g.connect(prev[slot], op, bits).expect("valid edge");
             }
             row.push(op);
         }
@@ -377,7 +385,13 @@ pub fn synthetic_large_characterization() -> Characterization {
             let idx = (layer * SYN_WIDTH + slot) as u64;
             let f = format!("c{layer:02}_{slot}");
             for k in 0..5u64 {
-                c.set_duration(&f, &format!("cpu{k}"), us(6 + (idx * 7 + k * 5) % 23));
+                // Each slot chain has a consistently cheapest processor
+                // (slot-affine term) with per-op jitter on top: chains
+                // stay put between coupling layers instead of hopping
+                // processors, the way a pipeline stage sticks to the
+                // core its kernel is tuned for.
+                let affinity = if slot as u64 % 5 == k { 0 } else { 12 };
+                c.set_duration(&f, &format!("cpu{k}"), us(6 + affinity + (idx * 7) % 5));
             }
         }
     }

@@ -65,6 +65,12 @@ pub struct ModuleConstraints {
     pub exclusive_with: Vec<String>,
     /// Optional placement pin: (CLB column start, width in CLB columns).
     pub pin: Option<(u32, u32)>,
+    /// Optional real-time constraint: every compute of this module must
+    /// complete within this many microseconds from iteration start (the
+    /// §4 "dynamic relations" bucket — a module must be operational and
+    /// done in time even under worst-case reconfiguration latency).
+    /// Checked by the lint layer's `[best, worst]`-clock analysis.
+    pub deadline_us: Option<u64>,
 }
 
 impl ModuleConstraints {
@@ -78,6 +84,7 @@ impl ModuleConstraints {
             share_group: None,
             exclusive_with: Vec::new(),
             pin: None,
+            deadline_us: None,
         }
     }
 }
@@ -255,6 +262,13 @@ impl ConstraintsFile {
                         .filter(|s| !s.is_empty())
                         .collect();
                 }
+                "deadline_us" => {
+                    cur.deadline_us =
+                        Some(value.parse().map_err(|_| GraphError::ConstraintsParse {
+                            line: lineno,
+                            reason: format!("bad deadline_us `{value}` (expected microseconds)"),
+                        })?);
+                }
                 "pin" => {
                     let mut it = value.split_whitespace();
                     let parse_u32 = |s: Option<&str>| -> Result<u32, GraphError> {
@@ -325,6 +339,9 @@ impl fmt::Display for ConstraintsFile {
             if let Some((s, w)) = m.pin {
                 writeln!(f, "pin = {s} {w}")?;
             }
+            if let Some(d) = m.deadline_us {
+                writeln!(f, "deadline_us = {d}")?;
+            }
             writeln!(f)?;
         }
         Ok(())
@@ -355,6 +372,19 @@ mod tests {
         let text = f.to_string();
         let back = ConstraintsFile::parse(&text).unwrap();
         assert_eq!(back, f);
+    }
+
+    #[test]
+    fn deadline_parses_renders_and_roundtrips() {
+        let mut f = paper_file();
+        f.modules[0].deadline_us = Some(1500);
+        let text = f.to_string();
+        assert!(text.contains("deadline_us = 1500"), "{text}");
+        assert_eq!(ConstraintsFile::parse(&text).unwrap(), f);
+        // Absent deadline renders nothing (legacy files stay byte-stable).
+        assert!(!paper_file().to_string().contains("deadline_us"));
+        let e = ConstraintsFile::parse("[module a]\nregion = r\ndeadline_us = soon").unwrap_err();
+        assert!(e.to_string().contains("deadline_us"), "{e}");
     }
 
     #[test]

@@ -98,7 +98,9 @@ pub fn check(ir: &IrExecutive, table: &SymbolTable, pairs: &[RendezvousPair]) ->
         let mut path = vec![start];
         mark.insert(start, 1);
         let cycle = loop {
-            let cur = *path.last().expect("path never empty");
+            // `path` starts non-empty and only grows; the guard keeps an
+            // adversarial executive from panicking rather than reporting.
+            let Some(&cur) = path.last() else { break None };
             let Some((next, _, _)) = waits_on(cur) else {
                 // Blocked on a rendezvous with no matched pair — that is a
                 // PDR001/PDR002 finding, not a cycle through this node.
@@ -110,8 +112,13 @@ pub fn check(ir: &IrExecutive, table: &SymbolTable, pairs: &[RendezvousPair]) ->
                     path.push(next);
                 }
                 Some(1) => {
-                    let at = path.iter().position(|&s| s == next).expect("on path");
-                    break Some(path[at..].to_vec());
+                    // Mark 1 means `next` is on the current path; fall back
+                    // to "no cycle" if that invariant ever breaks instead
+                    // of panicking mid-lint.
+                    break path
+                        .iter()
+                        .position(|&s| s == next)
+                        .map(|at| path[at..].to_vec());
                 }
                 // Already resolved (its cycle was reported, or the peer is
                 // not stuck — impossible at a fixpoint, but harmless).
@@ -137,10 +144,14 @@ pub fn check(ir: &IrExecutive, table: &SymbolTable, pairs: &[RendezvousPair]) ->
             .at(Location::instr(op_name(anchor), stuck[&anchor]));
             for (k, &stream) in cycle.iter().enumerate() {
                 let idx = stuck[&stream];
-                let (peer, peer_idx, tag) = waits_on(stream).expect("cycle edges exist");
-                let verb = match ir.program(stream)[idx] {
-                    IrInstr::Send { .. } => "send",
-                    IrInstr::Receive { .. } => "receive",
+                // Every cycle member got here through a wait-for edge; if
+                // one is missing, skip its note rather than panic.
+                let Some((peer, peer_idx, tag)) = waits_on(stream) else {
+                    continue;
+                };
+                let verb = match ir.program(stream).get(idx) {
+                    Some(IrInstr::Send { .. }) => "send",
+                    Some(IrInstr::Receive { .. }) => "receive",
                     _ => "comm",
                 };
                 let op = op_name(stream);

@@ -75,6 +75,31 @@ pub enum Code {
     /// on an operator other than its constrained region, or an operator
     /// stream naming an operator absent from the architecture.
     UnknownModule,
+    /// PDR013 — reconfiguration race: in some interleaving of the
+    /// executive, a `Configure` targeting a region is enabled while a
+    /// `Compute` of that region's resident module is enabled on another
+    /// operator — the fabric can be rewritten mid-computation. Found by
+    /// the exhaustive model checker; carries a schedule witness.
+    ReconfigRace,
+    /// PDR014 — use-after-reconfigure: data produced by a dynamic module
+    /// is handed off (sent) after some interleaving has already
+    /// overwritten the module's region — the transfer would carry results
+    /// of stale or partially-reconfigured logic. Carries a schedule
+    /// witness.
+    UseAfterReconfigure,
+    /// PDR015 — timing-interval violation: the `[best, worst]`-clock
+    /// abstract interpretation of the executive proves (error) or cannot
+    /// refute (warning) that a dynamic module's compute completes after
+    /// its §4 `deadline_us` constraint.
+    TimingViolation,
+    /// PDR016 — an executive instruction that no interleaving ever
+    /// executes (dead macro-code behind a deadlock or an unpaired
+    /// rendezvous).
+    UnreachableInstr,
+    /// PDR017 — the model checker's state budget was exhausted before the
+    /// state space was covered: results above are sound but incomplete.
+    /// Carries the bound reached.
+    StateBudgetExceeded,
 }
 
 impl Code {
@@ -93,7 +118,18 @@ impl Code {
             Code::BusMacroPlacement => "PDR010",
             Code::BitstreamSize => "PDR011",
             Code::UnknownModule => "PDR012",
+            Code::ReconfigRace => "PDR013",
+            Code::UseAfterReconfigure => "PDR014",
+            Code::TimingViolation => "PDR015",
+            Code::UnreachableInstr => "PDR016",
+            Code::StateBudgetExceeded => "PDR017",
         }
+    }
+
+    /// Parse the stable `PDRnnn` form back to a code (CLI `--code`
+    /// filters); `None` for anything that is not a defined code.
+    pub fn parse(s: &str) -> Option<Code> {
+        Code::ALL.iter().copied().find(|c| c.as_str() == s)
     }
 
     /// The severity this code is reported at.
@@ -108,13 +144,19 @@ impl Code {
             | Code::RegionGeometry
             | Code::RegionOverlap
             | Code::BusMacroPlacement
-            | Code::BitstreamSize => Severity::Error,
-            Code::WcetMismatch | Code::UnknownModule => Severity::Warning,
+            | Code::BitstreamSize
+            | Code::ReconfigRace
+            | Code::UseAfterReconfigure
+            | Code::TimingViolation => Severity::Error,
+            Code::WcetMismatch
+            | Code::UnknownModule
+            | Code::UnreachableInstr
+            | Code::StateBudgetExceeded => Severity::Warning,
         }
     }
 
     /// Every defined code, in numeric order.
-    pub const ALL: [Code; 12] = [
+    pub const ALL: [Code; 17] = [
         Code::DanglingRendezvous,
         Code::RendezvousMismatch,
         Code::DuplicateTag,
@@ -127,6 +169,11 @@ impl Code {
         Code::BusMacroPlacement,
         Code::BitstreamSize,
         Code::UnknownModule,
+        Code::ReconfigRace,
+        Code::UseAfterReconfigure,
+        Code::TimingViolation,
+        Code::UnreachableInstr,
+        Code::StateBudgetExceeded,
     ];
 }
 
@@ -328,6 +375,29 @@ impl Report {
         self.diagnostics.iter().filter(|d| d.code == code).collect()
     }
 
+    /// A deterministically ordered copy of the report: diagnostics sorted
+    /// by code, then by the operator/region/module the location names,
+    /// then by instruction index, then by message. Analysis order is
+    /// already stable for a fixed input; this ordering is additionally
+    /// stable across analysis *implementations*, which is what the JSON
+    /// consumers (CLI `--format json`, `pdr-server` verify payloads)
+    /// want to diff against.
+    pub fn sorted(&self) -> Report {
+        fn key(d: &Diagnostic) -> (&'static str, &str, usize, &str) {
+            let (name, index): (&str, usize) = match &d.location {
+                None => ("", 0),
+                Some(Location::Instr { operator, index }) => (operator, *index + 1),
+                Some(Location::Operator(o)) => (o, 0),
+                Some(Location::Region(r)) => (r, 0),
+                Some(Location::Module(m)) => (m, 0),
+            };
+            (d.code.as_str(), name, index, &d.message)
+        }
+        let mut diagnostics = self.diagnostics.clone();
+        diagnostics.sort_by(|a, b| key(a).cmp(&key(b)));
+        Report { diagnostics }
+    }
+
     /// One-line summary, e.g. `2 errors, 1 warning, 0 notes`.
     pub fn summary(&self) -> String {
         let e = self.count(Severity::Error);
@@ -354,7 +424,19 @@ mod tests {
         sorted.dedup();
         assert_eq!(sorted.len(), Code::ALL.len(), "codes must be unique");
         assert_eq!(strs[0], "PDR001");
-        assert_eq!(strs[Code::ALL.len() - 1], "PDR012");
+        assert_eq!(strs[Code::ALL.len() - 1], "PDR017");
+        for (i, s) in strs.iter().enumerate() {
+            assert_eq!(*s, format!("PDR{:03}", i + 1), "numeric order");
+        }
+    }
+
+    #[test]
+    fn code_parse_roundtrips() {
+        for c in Code::ALL {
+            assert_eq!(Code::parse(c.as_str()), Some(c));
+        }
+        assert_eq!(Code::parse("PDR999"), None);
+        assert_eq!(Code::parse("pdr001"), None);
     }
 
     #[test]
@@ -380,6 +462,28 @@ mod tests {
         assert!(r.has_code(Code::Deadlock));
         assert_eq!(r.with_code(Code::Deadlock).len(), 1);
         assert_eq!(r.summary(), "1 error, 1 warning, 0 notes");
+    }
+
+    #[test]
+    fn sorted_orders_by_code_then_operator_then_index() {
+        let mut r = Report::new();
+        r.extend(vec![
+            Diagnostic::new(Code::Deadlock, "z").at(Location::instr("dsp", 3)),
+            Diagnostic::new(Code::DanglingRendezvous, "y").at(Location::instr("dsp", 7)),
+            Diagnostic::new(Code::DanglingRendezvous, "x").at(Location::instr("dsp", 2)),
+            Diagnostic::new(Code::DanglingRendezvous, "w").at(Location::instr("cpu", 9)),
+            Diagnostic::new(Code::DanglingRendezvous, "v"),
+        ]);
+        let sorted = r.sorted();
+        let msgs: Vec<&str> = sorted
+            .diagnostics
+            .iter()
+            .map(|d| d.message.as_str())
+            .collect();
+        assert_eq!(msgs, vec!["v", "w", "x", "y", "z"]);
+        // Idempotent and content-preserving.
+        assert_eq!(sorted.sorted(), sorted);
+        assert_eq!(sorted.diagnostics.len(), r.diagnostics.len());
     }
 
     #[test]

@@ -17,6 +17,11 @@
 //! | PDR004 | [`deadlock`] | the cross-operator wait-for graph is cycle-free; cycles come with a witness trace |
 //! | PDR005–007, PDR012 | [`reconfig`] | Configure dominates Compute, worst-case times match the characterization, exclusion groups are statically safe, cross-references resolve |
 //! | PDR008–011 | [`floorplan`] | Modular Design geometry, bus-macro straddling, bitstream/frame consistency |
+//! | PDR004, PDR013–017 | [`model`] | exhaustive interleaving exploration: sound deadlock with a minimal schedule, reconfiguration races, stale hand-offs, `[best,worst]`-clock deadlines, dead instructions, explicit budget truncation |
+//!
+//! The [`model`] pass replaces the greedy PDR004 pass when a
+//! [`model::ModelConfig`] is attached (see [`IrLintInput::with_model_check`]);
+//! its schedule witnesses can be independently validated with [`replay`].
 //!
 //! ## Entry points
 //!
@@ -45,11 +50,14 @@
 pub mod deadlock;
 pub mod diag;
 pub mod floorplan;
+pub mod model;
 pub mod reconfig;
 pub mod render;
 pub mod rendezvous;
+pub mod replay;
 
 pub use diag::{Code, Diagnostic, Location, Report, Severity};
+pub use model::{ModelConfig, ModelStats};
 pub use rendezvous::RendezvousPair;
 
 use pdr_adequation::executive::Executive;
@@ -69,6 +77,9 @@ pub struct LintInput<'a> {
     pub constraints: Option<&'a ConstraintsFile>,
     /// Placed design — enables the floorplan/bitstream pass.
     pub floorplan: Option<&'a FloorplanResult>,
+    /// Model-checker configuration — replaces the greedy deadlock pass
+    /// with the exhaustive interleaving exploration (PDR013–PDR017).
+    pub model: Option<ModelConfig>,
 }
 
 impl<'a> LintInput<'a> {
@@ -80,6 +91,7 @@ impl<'a> LintInput<'a> {
             chars: None,
             constraints: None,
             floorplan: None,
+            model: None,
         }
     }
 
@@ -104,6 +116,12 @@ impl<'a> LintInput<'a> {
     /// Attach the placed design.
     pub fn with_floorplan(mut self, floorplan: &'a FloorplanResult) -> Self {
         self.floorplan = Some(floorplan);
+        self
+    }
+
+    /// Enable the exhaustive model checker with `config`.
+    pub fn with_model_check(mut self, config: ModelConfig) -> Self {
+        self.model = Some(config);
         self
     }
 }
@@ -124,6 +142,9 @@ pub struct IrLintInput<'a> {
     pub constraints: Option<&'a ConstraintsFile>,
     /// Placed design — enables the floorplan/bitstream pass.
     pub floorplan: Option<&'a FloorplanResult>,
+    /// Model-checker configuration — replaces the greedy deadlock pass
+    /// with the exhaustive interleaving exploration (PDR013–PDR017).
+    pub model: Option<ModelConfig>,
 }
 
 impl<'a> IrLintInput<'a> {
@@ -136,6 +157,7 @@ impl<'a> IrLintInput<'a> {
             chars: None,
             constraints: None,
             floorplan: None,
+            model: None,
         }
     }
 
@@ -162,6 +184,12 @@ impl<'a> IrLintInput<'a> {
         self.floorplan = Some(floorplan);
         self
     }
+
+    /// Enable the exhaustive model checker with `config`.
+    pub fn with_model_check(mut self, config: ModelConfig) -> Self {
+        self.model = Some(config);
+        self
+    }
 }
 
 /// Run every applicable analysis and aggregate the findings.
@@ -177,14 +205,18 @@ pub fn lint(input: &LintInput<'_>) -> Report {
     ir_input.chars = input.chars;
     ir_input.constraints = input.constraints;
     ir_input.floorplan = input.floorplan;
+    ir_input.model = input.model;
     lint_ir(&ir_input)
 }
 
 /// Run every applicable analysis over an already-lowered executive.
 ///
-/// The deadlock pass only runs when the rendezvous pass found no errors:
-/// with unmatched or mismatched pairs, every stuck state would just
-/// restate the PDR001/PDR002 findings.
+/// The deadlock/model pass only runs when the rendezvous pass found no
+/// errors: with unmatched or mismatched pairs, every stuck state would
+/// just restate the PDR001/PDR002 findings. With a model configuration
+/// attached the exhaustive checker replaces the greedy deadlock pass and
+/// additionally reports PDR013–PDR017 (PDR015 needs architecture and
+/// constraints).
 pub fn lint_ir(input: &IrLintInput<'_>) -> Report {
     let mut report = Report::new();
 
@@ -193,7 +225,18 @@ pub fn lint_ir(input: &IrLintInput<'_>) -> Report {
     report.extend(rv.diagnostics);
 
     if rendezvous_clean {
-        report.extend(deadlock::check(input.ir, input.table, &rv.pairs));
+        match &input.model {
+            None => report.extend(deadlock::check(input.ir, input.table, &rv.pairs)),
+            Some(config) => report.extend(model::run_for_lint(
+                input.ir,
+                input.table,
+                &rv.pairs,
+                input.arch,
+                input.chars,
+                input.constraints,
+                config,
+            )),
+        }
     }
 
     if let (Some(arch), Some(chars), Some(constraints)) =

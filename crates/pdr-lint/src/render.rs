@@ -9,11 +9,17 @@ use serde::json::{self, Value};
 use serde::Serialize;
 
 impl Serialize for Report {
+    /// JSON form. Diagnostics are emitted in [`Report::sorted`] order
+    /// (code, then operator, then instruction index, then message) so the
+    /// payload is deterministic across analysis implementations — the
+    /// greedy and model-checking deadlock passes serialize identically
+    /// ordered findings.
     fn to_json(&self) -> Value {
+        let sorted = self.sorted();
         Value::obj(vec![
             (
                 "diagnostics",
-                Value::Array(self.diagnostics.iter().map(|d| d.to_json()).collect()),
+                Value::Array(sorted.diagnostics.iter().map(|d| d.to_json()).collect()),
             ),
             ("errors", Value::UInt(self.count(Severity::Error) as u64)),
             (

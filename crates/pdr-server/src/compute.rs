@@ -149,6 +149,20 @@ pub fn execute(
                         .collect(),
                 ),
             );
+            // Full structured diagnostics (code, severity, message,
+            // location, witness-trace notes), in the deterministic
+            // sorted order — clients diff these across submissions.
+            payload.push_field(
+                "diagnostics",
+                Value::Array(
+                    report
+                        .sorted()
+                        .diagnostics
+                        .iter()
+                        .map(|d| d.to_json())
+                        .collect(),
+                ),
+            );
         }
         RequestKind::Simulate => {
             let config = sim_workload(flow, iterations);
@@ -253,6 +267,9 @@ mod tests {
         assert!(compile.get("vhdl_bytes").and_then(Value::as_u64).unwrap() > 1000);
         let (_, verify) = execute(RequestKind::Verify, &flow, "paper", 16, &index).unwrap();
         assert_eq!(verify.get("clean").and_then(Value::as_bool), Some(true));
+        // Structured diagnostics ride along (empty on a clean flow).
+        let diags = verify.get("diagnostics").and_then(Value::as_array).unwrap();
+        assert!(diags.is_empty());
         let (_, sim) = execute(RequestKind::Simulate, &flow, "paper", 16, &index).unwrap();
         assert_eq!(sim.get("iterations").and_then(Value::as_u64), Some(16));
         assert!(sim.get("reconfigs").and_then(Value::as_u64).unwrap() > 0);

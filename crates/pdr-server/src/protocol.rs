@@ -33,6 +33,13 @@
 //! {"id":4,"status":"stats","payload":{...}}
 //! ```
 //!
+//! A `verify` payload carries, beyond the summary counts, the full
+//! structured diagnostics array (`"diagnostics"`): one object per
+//! diagnostic with code, severity, message and location, sorted into the
+//! analyzer's deterministic render order — clients get the same detail as
+//! the `pdr-lint` CLI's JSON output, model-checker findings
+//! (`PDR013`–`PDR017`) included.
+//!
 //! The `payload` of an `ok` response is a pure function of the request
 //! content (flow models + op + iterations): byte-identical no matter which
 //! worker served it, whether it was a cache hit, a coalesced wait or a
