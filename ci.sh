@@ -36,4 +36,7 @@ cargo bench -p pdr-bench --bench bench_server -- --test --out BENCH_server.json
 echo "== bench_model (test mode: gallery deadlock-free < 1 s/flow + POR reduction floor + witness replay)"
 cargo bench -p pdr-bench --bench bench_model -- --test --out BENCH_model.json
 
+echo "== bench_rtr (test mode: engine/reference parity + throughput floors + zero-alloc request path)"
+cargo bench -p pdr-bench --bench bench_rtr -- --test --out BENCH_rtr.json
+
 echo "CI OK"

@@ -30,7 +30,7 @@ use serde::json::Value;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Every study name, in suite order (`--skip` validates against this).
-const STUDY_NAMES: [&str; 11] = [
+const STUDY_NAMES: [&str; 12] = [
     "table1",
     "fig2",
     "fig3",
@@ -42,6 +42,7 @@ const STUDY_NAMES: [&str; 11] = [
     "adequation_perf",
     "server",
     "model",
+    "rtr",
 ];
 
 struct Cli {
@@ -401,6 +402,43 @@ fn study_model(artifact: &mut Artifact, _: &SweepEngine, _: &Cli) -> Result<(), 
     Ok(())
 }
 
+fn study_rtr(artifact: &mut Artifact, engine: &SweepEngine, _: &Cli) -> Result<(), String> {
+    println!("--- X-RTR: indexed runtime engine -------------------------------");
+    let parity = pdr_bench::rtr_study::run_parity(32).map_err(|e| e.to_string())?;
+    if !pdr_bench::rtr_study::all_match(&parity) {
+        return Err("engine and reference managers disagree on a gallery flow".into());
+    }
+    println!(
+        "  gallery parity: {} (flow, options) cases, all identical",
+        parity.len()
+    );
+    let tp = pdr_bench::rtr_study::run_throughput(512, 512, 400_000, 2);
+    print!("{}", tp.render());
+    if !tp.parity_ok {
+        return Err("direct replay diverged from the reference manager".into());
+    }
+    let sweep = pdr_bench::rtr_study::run_sweep(engine, 4_096);
+    print!(
+        "{}",
+        pdr_bench::rtr_study::render_policies(&sweep.ok_values().cloned().collect::<Vec<_>>())
+    );
+    // Wall time is schedule-dependent; the digest hashes only the
+    // thread-invariant measurement fields.
+    record(
+        artifact,
+        "rtr_policies",
+        &sweep,
+        &pdr_bench::rtr_study::PolicyPoint::to_json,
+        &pdr_bench::rtr_study::PolicyPoint::digest_json,
+    );
+    artifact.push_section(
+        "rtr_parity",
+        Value::Array(parity.iter().map(|c| c.to_json()).collect()),
+    );
+    artifact.push_section("rtr_throughput", tp.to_json());
+    Ok(())
+}
+
 type StudyFn = fn(&mut Artifact, &SweepEngine, &Cli) -> Result<(), String>;
 
 fn main() {
@@ -423,7 +461,7 @@ fn main() {
             Value::Array(cli.skip.iter().map(|s| Value::String(s.clone())).collect()),
         );
 
-    let studies: [(&str, StudyFn); 11] = [
+    let studies: [(&str, StudyFn); 12] = [
         ("table1", study_table1),
         ("fig2", study_fig2),
         ("fig3", study_fig3),
@@ -435,6 +473,7 @@ fn main() {
         ("adequation_perf", study_adequation_perf),
         ("server", study_server),
         ("model", study_model),
+        ("rtr", study_rtr),
     ];
     debug_assert_eq!(studies.len(), STUDY_NAMES.len());
 

@@ -20,6 +20,7 @@
 //! | [`compression`] | extension — compressed bitstream storage |
 //! | [`ir_sim`] | infrastructure — string vs interned interpreter speedup |
 //! | [`server_study`] | infrastructure — multi-tenant serving layer load test |
+//! | [`rtr_study`] | infrastructure — indexed runtime engine parity, throughput and policy sweep |
 
 pub mod adequation_perf;
 pub mod adequation_study;
@@ -30,5 +31,6 @@ pub mod fig3;
 pub mod fig4;
 pub mod ir_sim;
 pub mod prefetch;
+pub mod rtr_study;
 pub mod server_study;
 pub mod table1;

@@ -12,9 +12,9 @@ use parking_lot::Mutex;
 use pdr_fabric::{Device, PortProfile};
 use pdr_graph::ArchGraph;
 use pdr_rtr::{
-    BitstreamCache, BitstreamStore, ConfigurationManager, DeviceLoader, ExclusionLedger,
-    FirstOrderMarkov, LastValue, LoaderStats, MemoryModel, Predictor, ProtocolBuilder,
-    ScheduleDriven,
+    BitstreamCache, BitstreamStore, ConfigurationManager, DeviceLoader, EvictionSpec,
+    ExclusionLedger, FirstOrderMarkov, LastValue, LoaderStats, MemoryModel, Predictor,
+    PrefetchSpec, ProtocolBuilder, RegionSpec, RtrEngine, RtrEngineBuilder, ScheduleDriven,
 };
 use pdr_sim::{IrSimSystem, SimConfig, SimReport, SimSystem};
 use std::sync::Arc;
@@ -33,6 +33,22 @@ pub enum PrefetchChoice {
     Markov,
 }
 
+/// Staging-cache eviction policy selection.
+///
+/// The reference manager always evicts LRU; the indexed engine
+/// ([`DeployedSystem::rtr_engine`] / [`DeployedSystem::simulate_rtr`])
+/// honors this choice. The offline Belady oracle needs a per-region
+/// future trace and is therefore built directly through
+/// [`RtrEngineBuilder`] (the `bench_rtr` study does this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionChoice {
+    /// Least recently used (the reference behavior).
+    #[default]
+    Lru,
+    /// Least frequently used.
+    Lfu,
+}
+
 /// Runtime plumbing choices for deployment.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RuntimeOptions {
@@ -44,6 +60,9 @@ pub struct RuntimeOptions {
     pub cache_modules: usize,
     /// Prefetching policy.
     pub prefetch: PrefetchChoice,
+    /// Staging-cache eviction policy (engine deployments only; the
+    /// reference manager is always LRU).
+    pub eviction: EvictionChoice,
     /// Store bitstreams zero-RLE-compressed in external memory (an on-chip
     /// decompressor restores them before the port; only the fetch leg
     /// shrinks).
@@ -57,6 +76,7 @@ impl Default for RuntimeOptions {
             memory: MemoryModel::paper_flash(),
             cache_modules: 1,
             prefetch: PrefetchChoice::None,
+            eviction: EvictionChoice::Lru,
             compressed_storage: false,
         }
     }
@@ -183,6 +203,79 @@ impl<'a> DeployedSystem<'a> {
         Ok(out)
     }
 
+    /// Build the indexed [`RtrEngine`] over *all* regions from the
+    /// generated bitstreams: the allocation-free equivalent of
+    /// [`DeployedSystem::managers`], with every stream validated once at
+    /// construction, exclusions imported from the constraints file, and
+    /// `load = at_start` modules preloaded.
+    pub fn rtr_engine(&self) -> Result<RtrEngine, FlowError> {
+        let constraints = pdr_graph::ConstraintsFile::parse(&self.artifacts.constraints_text)
+            .map_err(FlowError::Graph)?;
+        let mut builder = RtrEngineBuilder::new(
+            self.device.clone(),
+            self.options.port.clone(),
+            self.options.memory,
+        )
+        .compressed_storage(self.options.compressed_storage);
+        for region in self.artifacts.design.floorplan.floorplan.regions() {
+            let mut spec = RegionSpec::new(&region.name, 0);
+            let mut module_bytes = 0usize;
+            for (module, target) in &self.artifacts.design.floorplan.region_of {
+                if *target == region.name {
+                    let bs = self
+                        .artifacts
+                        .design
+                        .floorplan
+                        .bitstream_of(module)
+                        .ok_or_else(|| {
+                            FlowError::Config(format!("no bitstream generated for `{module}`"))
+                        })?
+                        .clone();
+                    module_bytes = module_bytes.max(bs.len_bytes());
+                    spec = spec.module(module.clone(), bs);
+                }
+            }
+            if spec.modules.is_empty() {
+                return Err(FlowError::Config(format!(
+                    "region `{}` has no modules",
+                    region.name
+                )));
+            }
+            spec.cache_bytes = self.options.cache_modules.max(1) * module_bytes;
+            spec.prefetch = match &self.options.prefetch {
+                PrefetchChoice::None => PrefetchSpec::None,
+                PrefetchChoice::ScheduleDriven(seq) => PrefetchSpec::Schedule(seq.clone()),
+                PrefetchChoice::LastValue => PrefetchSpec::LastValue,
+                PrefetchChoice::Markov => PrefetchSpec::Markov,
+            };
+            spec.eviction = match self.options.eviction {
+                EvictionChoice::Lru => EvictionSpec::Lru,
+                EvictionChoice::Lfu => EvictionSpec::Lfu,
+            };
+            builder = builder.region(spec);
+        }
+        for m in constraints.modules() {
+            for other in &m.exclusive_with {
+                builder = builder.exclude(&m.module, other);
+            }
+        }
+        let mut engine = builder.build().map_err(FlowError::Runtime)?;
+        for region in self.artifacts.design.floorplan.floorplan.regions() {
+            let rid = engine
+                .region_index(&region.name)
+                .expect("engine is built over these regions");
+            for mc in constraints.modules_in_region(&region.name) {
+                if mc.load == pdr_graph::LoadPolicy::AtStart {
+                    let mid = engine.module_index(&mc.module).ok_or_else(|| {
+                        FlowError::Runtime(pdr_rtr::RtrError::UnknownModule(mc.module.clone()))
+                    })?;
+                    engine.preload(rid, mid).map_err(FlowError::Runtime)?;
+                }
+            }
+        }
+        Ok(engine)
+    }
+
     /// Simulate the deployed system. Cross-region exclusions from the
     /// constraints file are enforced at run time by a shared ledger.
     pub fn simulate(&self, config: &SimConfig) -> Result<SimReport, FlowError> {
@@ -207,6 +300,34 @@ impl<'a> DeployedSystem<'a> {
         for (region, mgr) in self.managers()? {
             sys.add_manager(&region, mgr);
         }
+        sys.run(config).map_err(FlowError::Sim)
+    }
+
+    /// Simulate on the interned interpreter with the indexed
+    /// [`RtrEngine`] serving every dynamic region instead of per-region
+    /// reference managers. Produces a report identical to
+    /// [`DeployedSystem::simulate_ir`] (and therefore to
+    /// [`DeployedSystem::simulate`]) — the parity gate in `bench_rtr`
+    /// asserts exactly that — while performing zero heap allocations per
+    /// reconfiguration request.
+    pub fn simulate_rtr(&self, config: &SimConfig) -> Result<SimReport, FlowError> {
+        let engine = self.rtr_engine()?;
+        let mut sys = IrSimSystem::new(
+            self.arch,
+            &self.artifacts.ir_executive,
+            &self.artifacts.symbols,
+        );
+        let names: Vec<String> = self
+            .artifacts
+            .design
+            .floorplan
+            .floorplan
+            .regions()
+            .iter()
+            .map(|r| r.name.clone())
+            .collect();
+        let bindings: Vec<(&str, &str)> = names.iter().map(|n| (n.as_str(), n.as_str())).collect();
+        sys.attach_engine(engine, &bindings);
         sys.run(config).map_err(FlowError::Sim)
     }
 
@@ -346,6 +467,52 @@ mod tests {
         let via_string = dep.simulate(&cfg).unwrap();
         let via_ir = dep.simulate_ir(&cfg).unwrap();
         assert_eq!(via_string, via_ir);
+    }
+
+    #[test]
+    fn engine_deployment_matches_manager_deployment() {
+        let (arch, art) = build();
+        let loads: Vec<String> = (0..3)
+            .map(|i| {
+                if i % 2 == 0 {
+                    "mod_qam16".to_string()
+                } else {
+                    "mod_qpsk".to_string()
+                }
+            })
+            .collect();
+        for options in [
+            RuntimeOptions::paper_baseline(),
+            RuntimeOptions::paper_prefetch(loads),
+            RuntimeOptions {
+                cache_modules: 2,
+                prefetch: PrefetchChoice::Markov,
+                compressed_storage: true,
+                ..RuntimeOptions::default()
+            },
+        ] {
+            let dep = DeployedSystem::new(&arch, &art, Device::xc2v2000(), options);
+            let cfg = SimConfig::iterations(32)
+                .with_selection("op_dyn", switching(32))
+                .with_trace();
+            let via_ir = dep.simulate_ir(&cfg).unwrap();
+            let via_engine = dep.simulate_rtr(&cfg).unwrap();
+            assert_eq!(via_ir, via_engine);
+        }
+    }
+
+    #[test]
+    fn lfu_eviction_deployment_runs() {
+        let (arch, art) = build();
+        let opts = RuntimeOptions {
+            cache_modules: 1,
+            eviction: EvictionChoice::Lfu,
+            ..RuntimeOptions::default()
+        };
+        let dep = DeployedSystem::new(&arch, &art, Device::xc2v2000(), opts);
+        let cfg = SimConfig::iterations(16).with_selection("op_dyn", switching(16));
+        let report = dep.simulate_rtr(&cfg).unwrap();
+        assert!(report.reconfig_count() > 0);
     }
 
     #[test]

@@ -1,4 +1,11 @@
-//! The configuration manager.
+//! The configuration manager — the retained *reference* implementation.
+//!
+//! This is the original per-region, string-keyed manager, kept verbatim
+//! (also importable under its historical path `pdr_rtr::manager`) so the
+//! allocation-free [`crate::engine::RtrEngine`] can be parity-gated
+//! against it: `tests/rtr_equivalence.rs` and `benches/bench_rtr.rs`
+//! replay identical request traces through both and assert identical
+//! [`RequestTiming`] sequences and statistics.
 //!
 //! §5: the manager *"is in charge of the configuration bitstream which must
 //! be loaded on the reconfigurable part by sending configuration

@@ -135,6 +135,21 @@ impl BitstreamStore {
     }
 }
 
+/// Staging-cache hit/miss/eviction counters.
+///
+/// Returned by [`BitstreamCache::stats`] and by the per-region probes of
+/// the indexed [`crate::engine::RtrEngine`]; the named fields replace the
+/// old bare `(hits, misses, evictions)` tuple.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups that found the module resident.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+}
+
 /// A bounded LRU staging cache for fetched bitstreams.
 #[derive(Debug, Clone)]
 pub struct BitstreamCache {
@@ -217,9 +232,13 @@ impl BitstreamCache {
         Ok(())
     }
 
-    /// (hits, misses, evictions).
-    pub fn stats(&self) -> (u64, u64, u64) {
-        (self.hits, self.misses, self.evictions)
+    /// Hit/miss/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+        }
     }
 
     /// Resident module names, LRU first.
@@ -279,8 +298,8 @@ mod tests {
         assert!(c.contains("a"));
         assert!(!c.contains("b"));
         assert!(c.contains("c"));
-        let (h, m, e) = c.stats();
-        assert_eq!((h, m, e), (1, 0, 1));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (1, 0, 1));
         assert_eq!(c.resident(), ["a", "c"]);
     }
 
@@ -308,7 +327,7 @@ mod tests {
     fn lookup_counts_misses() {
         let mut c = BitstreamCache::new(10);
         assert!(!c.lookup("x"));
-        assert_eq!(c.stats().1, 1);
+        assert_eq!(c.stats().misses, 1);
     }
 
     #[test]

@@ -16,10 +16,13 @@
 //! * blocked-state bookkeeping is a small `Copy` enum rather than a
 //!   formatted `String` (the strings are produced only if the run ends
 //!   in deadlock);
-//! * `Configure` goes through the allocation-free
-//!   [`ConfigurationManager::request_at`] and reconfiguration/trace
-//!   events are recorded compactly and materialized to the string-based
-//!   [`SimReport`] once, after the run.
+//! * `Configure` goes through the allocation-free indexed
+//!   [`RtrEngine`] (attached with [`IrSimSystem::attach_engine`]) or the
+//!   reference [`ConfigurationManager::request_at`]; either way the
+//!   operator→manager binding is a dense slot array resolved when the
+//!   manager is attached, not a `BTreeMap<String, _>` probed per
+//!   request. Reconfiguration/trace events are recorded compactly and
+//!   materialized to the string-based [`SimReport`] once, after the run.
 //!
 //! The equivalence suite (`tests/ir_equivalence.rs` at the workspace
 //! root) asserts report- and trace-level equality against the string
@@ -31,9 +34,12 @@ use crate::report::{ReconfigEvent, SimReport, TraceEvent, TraceKind};
 use crate::system::SimConfig;
 use pdr_fabric::TimePs;
 use pdr_graph::{ArchGraph, Medium};
-use pdr_ir::{IrExecutive, IrInstr, MediumRef, PeerRef, SymbolTable};
-use pdr_rtr::ConfigurationManager;
+use pdr_ir::{IrExecutive, IrInstr, MediumRef, OperatorId, PeerRef, SymbolTable};
+use pdr_rtr::{ConfigurationManager, RtrEngine, NO_MODULE};
 use std::collections::{BTreeMap, HashMap};
+
+/// Sentinel for "no manager / no engine region bound to this stream".
+const NO_SLOT: u32 = u32::MAX;
 
 /// Operator progress state. `Copy`; blocked states carry the rendezvous
 /// key and are rendered to the string interpreter's exact wording only
@@ -61,6 +67,10 @@ struct IrOpRuntime<'p> {
     program: &'p [IrInstr],
     /// Per-iteration module selection for this operator, if configured.
     sel: Option<&'p [String]>,
+    /// The selection pre-resolved to engine module ids (engine-backed
+    /// operators only; unknown names carry [`NO_MODULE`] and fall back to
+    /// the by-name path for the exact reference error).
+    sel_ids: Option<Vec<u32>>,
     pc: u32,
     iteration: u32,
     status: IrStatus,
@@ -119,26 +129,94 @@ pub struct IrSimSystem<'a> {
     arch: &'a ArchGraph,
     ir: &'a IrExecutive,
     table: &'a SymbolTable,
-    managers: BTreeMap<String, ConfigurationManager>,
+    /// Reference managers in attach order; `manager_slot` binds streams to
+    /// entries here, so the hot loop never probes a map by name.
+    managers: Vec<(String, ConfigurationManager)>,
+    /// stream index → index into `managers` ([`NO_SLOT`] when unbound),
+    /// resolved once at [`IrSimSystem::add_manager`] time.
+    manager_slot: Vec<u32>,
+    /// The indexed engine serving all engine-backed streams, if attached.
+    engine: Option<RtrEngine>,
+    /// stream index → engine region id ([`NO_SLOT`] when unbound).
+    engine_slot: Vec<u32>,
+    /// (operator name, engine region id) of every binding — for the
+    /// report's `manager_stats`, keyed by operator like the managers.
+    engine_bindings: Vec<(String, u32)>,
+    /// symbol index → engine module id (for default `Configure` targets).
+    sym_to_mod: Vec<u32>,
 }
 
 impl<'a> IrSimSystem<'a> {
-    /// Build a system; attach managers with [`IrSimSystem::add_manager`].
+    /// Build a system; attach managers with [`IrSimSystem::add_manager`]
+    /// or an indexed engine with [`IrSimSystem::attach_engine`].
     /// `table` must be the table the executive was lowered through (or a
     /// superset of it, e.g. the one carried by `pdr-core`'s artifacts).
     pub fn new(arch: &'a ArchGraph, ir: &'a IrExecutive, table: &'a SymbolTable) -> Self {
+        let n = ir.operator_count();
         IrSimSystem {
             arch,
             ir,
             table,
-            managers: BTreeMap::new(),
+            managers: Vec::new(),
+            manager_slot: vec![NO_SLOT; n],
+            engine: None,
+            engine_slot: vec![NO_SLOT; n],
+            engine_bindings: Vec::new(),
+            sym_to_mod: Vec::new(),
         }
     }
 
-    /// Attach the configuration manager serving the named dynamic operator.
+    /// Attach the configuration manager serving the named dynamic
+    /// operator, replacing any previous manager for it. The operator's
+    /// stream slot is resolved here, once, not per request.
     pub fn add_manager(&mut self, operator: &str, manager: ConfigurationManager) -> &mut Self {
-        self.managers.insert(operator.to_string(), manager);
+        if let Some(pos) = self.managers.iter().position(|(n, _)| n == operator) {
+            self.managers[pos].1 = manager;
+            return self;
+        }
+        let idx = self.managers.len() as u32;
+        self.managers.push((operator.to_string(), manager));
+        if let Some(sym) = self.table.lookup(operator) {
+            if let Some(i) = self.ir.operator_index(OperatorId::new(sym)) {
+                self.manager_slot[i] = idx;
+            }
+        }
         self
+    }
+
+    /// Attach the indexed [`RtrEngine`] with its `(operator, region)`
+    /// bindings. Engine-backed operators take precedence over reference
+    /// managers attached for the same operator; bindings naming regions
+    /// the engine does not manage are ignored. All name→id resolution
+    /// (bindings, selection entries, default `Configure` modules) happens
+    /// here and at run start — never per request.
+    pub fn attach_engine(&mut self, engine: RtrEngine, bindings: &[(&str, &str)]) -> &mut Self {
+        self.sym_to_mod = vec![NO_MODULE; self.table.len()];
+        for (sym, name) in self.table.iter() {
+            if let Some(mid) = engine.module_index(name) {
+                self.sym_to_mod[sym.index()] = mid;
+            }
+        }
+        self.engine_bindings.clear();
+        self.engine_slot.iter_mut().for_each(|s| *s = NO_SLOT);
+        for (op, region) in bindings {
+            let Some(rid) = engine.region_index(region) else {
+                continue;
+            };
+            self.engine_bindings.push((op.to_string(), rid));
+            if let Some(sym) = self.table.lookup(op) {
+                if let Some(i) = self.ir.operator_index(OperatorId::new(sym)) {
+                    self.engine_slot[i] = rid;
+                }
+            }
+        }
+        self.engine = Some(engine);
+        self
+    }
+
+    /// The attached engine, if any (for post-run statistics probes).
+    pub fn engine(&self) -> Option<&RtrEngine> {
+        self.engine.as_ref()
     }
 
     /// Run the system and produce a report.
@@ -147,6 +225,11 @@ impl<'a> IrSimSystem<'a> {
         let table = self.table;
         let arch = self.arch;
         let managers = &mut self.managers;
+        let manager_slot = &self.manager_slot;
+        let engine = &mut self.engine;
+        let engine_slot = &self.engine_slot;
+        let engine_bindings = &self.engine_bindings;
+        let sym_to_mod = &self.sym_to_mod;
 
         // Validate selections (same order and messages as the string
         // interpreter: unknown operator first, then length).
@@ -168,15 +251,25 @@ impl<'a> IrSimSystem<'a> {
         let n = ir.operator_count();
         let mut op_names: Vec<&str> = Vec::with_capacity(n);
         let mut ops: Vec<IrOpRuntime<'_>> = Vec::with_capacity(n);
-        for i in 0..n {
+        for (i, slot) in engine_slot.iter().enumerate().take(n) {
             let name = ir.operator_sym(i).resolve(table);
             if arch.operator_by_name(name).is_none() {
                 return Err(SimError::UnknownName(name.to_string()));
             }
             op_names.push(name);
+            let sel = config.selections.get(name).map(Vec::as_slice);
+            let sel_ids = match (sel, engine.as_ref()) {
+                (Some(mods), Some(e)) if *slot != NO_SLOT => Some(
+                    mods.iter()
+                        .map(|m| e.module_index(m).unwrap_or(NO_MODULE))
+                        .collect(),
+                ),
+                _ => None,
+            };
             ops.push(IrOpRuntime {
                 program: ir.program(i),
-                sel: config.selections.get(name).map(Vec::as_slice),
+                sel,
+                sel_ids,
                 pc: 0,
                 iteration: 0,
                 status: if config.iterations == 0 {
@@ -281,20 +374,43 @@ impl<'a> IrSimSystem<'a> {
                             }
                             None => module.resolve(table),
                         };
-                        let (ready_at, hidden) = match managers.get_mut(op_names[i]) {
-                            Some(mgr) => {
-                                let t = mgr
-                                    .request_at(chosen, now)
-                                    .map_err(|e| SimError::Manager(e.to_string()))?;
-                                if t.already_loaded {
-                                    ops[i].pc += 1;
-                                    continue 'step;
-                                }
-                                (t.ready_at, t.fetch_hidden)
+                        let (ready_at, hidden) = if engine_slot[i] != NO_SLOT {
+                            let eng = engine.as_mut().expect("engine slot without engine");
+                            let mid = match &ops[i].sel_ids {
+                                Some(ids) => ids[iter as usize],
+                                None => sym_to_mod
+                                    .get(module.sym().index())
+                                    .copied()
+                                    .unwrap_or(NO_MODULE),
+                            };
+                            let t = if mid != NO_MODULE {
+                                eng.request(engine_slot[i], mid, now)
+                            } else {
+                                // Unknown to the engine: resolve by name so
+                                // the error (and request accounting) matches
+                                // the reference manager exactly.
+                                eng.request_in(engine_slot[i], chosen, now)
                             }
+                            .map_err(|e| SimError::Manager(e.to_string()))?;
+                            if t.already_loaded {
+                                ops[i].pc += 1;
+                                continue 'step;
+                            }
+                            (t.ready_at, t.fetch_hidden)
+                        } else if manager_slot[i] != NO_SLOT {
+                            let mgr = &mut managers[manager_slot[i] as usize].1;
+                            let t = mgr
+                                .request_at(chosen, now)
+                                .map_err(|e| SimError::Manager(e.to_string()))?;
+                            if t.already_loaded {
+                                ops[i].pc += 1;
+                                continue 'step;
+                            }
+                            (t.ready_at, t.fetch_hidden)
+                        } else {
                             // No manager: charge the characterized worst case
                             // (see the string interpreter for the rationale).
-                            None => (now + worst_case, false),
+                            (now + worst_case, false)
                         };
                         ops[i].pc += 1;
                         ops[i].busy += ready_at - now;
@@ -518,10 +634,15 @@ impl<'a> IrSimSystem<'a> {
                 }
             })
             .collect();
-        let manager_stats = managers
+        let mut manager_stats: BTreeMap<String, pdr_rtr::ManagerStats> = managers
             .iter()
             .map(|(k, m)| (k.clone(), m.stats()))
             .collect();
+        if let Some(e) = engine.as_ref() {
+            for (op, rid) in engine_bindings {
+                manager_stats.insert(op.clone(), e.stats(*rid));
+            }
+        }
         Ok(SimReport {
             makespan,
             iterations: config.iterations,
@@ -702,6 +823,74 @@ mod tests {
         let eb = ir_sys.run(&SimConfig::iterations(1)).unwrap_err();
         assert_eq!(ea.to_string(), eb.to_string());
         assert!(eb.to_string().contains("send tag 1"));
+    }
+
+    fn paper_engine() -> RtrEngine {
+        use pdr_rtr::{RegionSpec, RtrEngineBuilder};
+        let d = Device::xc2v2000();
+        let region = ReconfigRegion::new("op_dyn", 20, 4).unwrap();
+        let qpsk = Bitstream::partial_for_region(&d, &region, 1);
+        let bytes = qpsk.len_bytes();
+        let mut e = RtrEngineBuilder::new(
+            d.clone(),
+            PortProfile::icap_virtex2(),
+            MemoryModel::paper_flash(),
+        )
+        .region(
+            RegionSpec::new("op_dyn", 2 * bytes)
+                .module("mod_qpsk", qpsk)
+                .module("mod_qam16", Bitstream::partial_for_region(&d, &region, 2)),
+        )
+        .build()
+        .unwrap();
+        let qpsk_id = e.module_index("mod_qpsk").unwrap();
+        e.preload(0, qpsk_id).unwrap();
+        e
+    }
+
+    #[test]
+    fn engine_backend_matches_reference_managers() {
+        let s = paper_setup();
+        for iters in [1u32, 4, 16] {
+            let cfg = SimConfig::iterations(iters)
+                .with_selection("op_dyn", alternating(iters))
+                .with_trace();
+            let mut mgr_sys = IrSimSystem::new(&s.arch, &s.ir, &s.table);
+            mgr_sys.add_manager("op_dyn", paper_manager());
+            let mut eng_sys = IrSimSystem::new(&s.arch, &s.ir, &s.table);
+            eng_sys.attach_engine(paper_engine(), &[("op_dyn", "op_dyn")]);
+            let a = mgr_sys.run(&cfg).unwrap();
+            let b = eng_sys.run(&cfg).unwrap();
+            assert_eq!(a, b, "engine-backed report diverged at {iters} iterations");
+        }
+    }
+
+    #[test]
+    fn engine_backend_error_matches_reference() {
+        let s = paper_setup();
+        let cfg = SimConfig::iterations(1).with_selection("op_dyn", vec!["mod_ghost".to_string()]);
+        let mut mgr_sys = IrSimSystem::new(&s.arch, &s.ir, &s.table);
+        mgr_sys.add_manager("op_dyn", paper_manager());
+        let mut eng_sys = IrSimSystem::new(&s.arch, &s.ir, &s.table);
+        eng_sys.attach_engine(paper_engine(), &[("op_dyn", "op_dyn")]);
+        let a = mgr_sys.run(&cfg).unwrap_err();
+        let b = eng_sys.run(&cfg).unwrap_err();
+        assert_eq!(a.to_string(), b.to_string());
+    }
+
+    #[test]
+    fn engine_takes_precedence_over_manager() {
+        let s = paper_setup();
+        let cfg = SimConfig::iterations(8).with_selection("op_dyn", alternating(8));
+        let mut sys = IrSimSystem::new(&s.arch, &s.ir, &s.table);
+        sys.add_manager("op_dyn", paper_manager());
+        sys.attach_engine(paper_engine(), &[("op_dyn", "op_dyn")]);
+        let report = sys.run(&cfg).unwrap();
+        // The reported stats are the engine's (the idle manager saw zero
+        // requests).
+        let st = &report.manager_stats["op_dyn"];
+        assert_eq!(st.requests, 8);
+        assert_eq!(sys.engine().unwrap().stats(0).requests, 8);
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub use digest::Fnv64;
 pub use engine::{Progress, SweepEngine};
 pub use error::SweepError;
 pub use scenario::{ParamValue, Scenario, ScenarioOutcome, ScenarioStatus};
-pub use stats::SweepStats;
+pub use stats::{percentile, percentiles, Percentiles, SweepStats};
 
 use serde::json::Value;
 

@@ -58,8 +58,8 @@ impl SweepStats {
             threads,
             engine_wall,
             scenario_wall_total,
-            wall_p50: percentile(&walls, 50),
-            wall_p95: percentile(&walls, 95),
+            wall_p50: percentile(&walls, 50).unwrap_or(Duration::ZERO),
+            wall_p95: percentile(&walls, 95).unwrap_or(Duration::ZERO),
             wall_max: walls.last().copied().unwrap_or(Duration::ZERO),
         }
     }
@@ -119,13 +119,41 @@ impl SweepStats {
     }
 }
 
-/// Nearest-rank percentile over an ascending-sorted slice.
-fn percentile(sorted: &[Duration], pct: u32) -> Duration {
+/// Nearest-rank percentile over an ascending-sorted slice; `None` when
+/// the sample is empty.
+///
+/// Generic over the sample type so the same definition serves sweep wall
+/// times (`Duration`), simulated latencies (`pdr_fabric::TimePs` or raw
+/// picosecond counts) and any other ordered measurements.
+pub fn percentile<T: Copy>(sorted: &[T], pct: u32) -> Option<T> {
     if sorted.is_empty() {
-        return Duration::ZERO;
+        return None;
     }
     let rank = (pct as usize * sorted.len()).div_ceil(100);
-    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+    Some(sorted[rank.saturating_sub(1).min(sorted.len() - 1)])
+}
+
+/// The p50/p90/p99 summary of one sample (nearest-rank).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Percentiles<T> {
+    /// Median.
+    pub p50: T,
+    /// 90th percentile.
+    pub p90: T,
+    /// 99th percentile.
+    pub p99: T,
+}
+
+/// Sort `values` and take their p50/p90/p99 (nearest-rank; all zero/
+/// default on an empty sample). The `bench_rtr` hidden-latency report is
+/// built on this.
+pub fn percentiles<T: Copy + Ord + Default>(values: &mut [T]) -> Percentiles<T> {
+    values.sort_unstable();
+    Percentiles {
+        p50: percentile(values, 50).unwrap_or_default(),
+        p90: percentile(values, 90).unwrap_or_default(),
+        p99: percentile(values, 99).unwrap_or_default(),
+    }
 }
 
 #[cfg(test)]
@@ -171,6 +199,28 @@ mod tests {
         let line = stats.render();
         assert!(line.contains("20 scenarios"));
         assert!(line.contains("2 failed"));
+    }
+
+    #[test]
+    fn percentile_helper_nearest_rank() {
+        let mut v: Vec<u64> = (1..=100).rev().collect();
+        let p = percentiles(&mut v);
+        assert_eq!((p.p50, p.p90, p.p99), (50, 90, 99));
+        let mut single = [42u64];
+        let p = percentiles(&mut single);
+        assert_eq!((p.p50, p.p90, p.p99), (42, 42, 42));
+        let p = percentiles::<u64>(&mut []);
+        assert_eq!((p.p50, p.p90, p.p99), (0, 0, 0));
+        assert_eq!(percentile::<u64>(&[], 50), None);
+    }
+
+    #[test]
+    fn percentile_helper_on_time_ps() {
+        use pdr_fabric::TimePs;
+        let mut v: Vec<TimePs> = (0..10).map(|i| TimePs::from_us(10 - i)).collect();
+        let p = percentiles(&mut v);
+        assert_eq!(p.p50, TimePs::from_us(5));
+        assert_eq!(p.p99, TimePs::from_us(10));
     }
 
     #[test]
