@@ -39,4 +39,7 @@ cargo bench -p pdr-bench --bench bench_model -- --test --out BENCH_model.json
 echo "== bench_rtr (test mode: engine/reference parity + throughput floors + zero-alloc request path)"
 cargo bench -p pdr-bench --bench bench_rtr -- --test --out BENCH_rtr.json
 
+echo "== bench_fabric (test mode: Virtex-II byte-parity pins + series7 2D placement end to end)"
+cargo bench -p pdr-bench --bench bench_fabric -- --test --out BENCH_fabric.json
+
 echo "CI OK"

@@ -1,9 +1,12 @@
 //! Area ↔ latency arithmetic — §6's "8 % ↔ ≈ 4 ms" generalized.
 //!
-//! Reconfiguration time on Virtex-II is proportional to the frames of the
-//! region: this sweep regenerates that line across region widths and
-//! devices, through the real bitstream generator and the paper-calibrated
-//! port chain, and verifies the paper's operating point sits on it.
+//! Reconfiguration time is proportional to the frames of the region: this
+//! sweep regenerates that line across region widths and devices, through
+//! the real bitstream generator and the paper-calibrated port chain, and
+//! verifies the paper's operating point sits on it. The sweep runs on
+//! both device generations: full-height column windows on Virtex-II, and
+//! one-clock-region rectangles on the series7-like family (the minimal 2D
+//! reconfiguration unit, so the two lines compare like for like).
 
 use pdr_fabric::{Bitstream, Device, PortProfile, ReconfigRegion, TimePs};
 use pdr_sweep::{Scenario, SweepEngine, SweepReport};
@@ -14,6 +17,8 @@ use serde::json::Value;
 pub struct AreaLatencyPoint {
     /// Device name.
     pub device: String,
+    /// Device family (fabric generation).
+    pub family: String,
     /// Region width in CLB columns.
     pub width_cols: u32,
     /// Device area fraction of the region.
@@ -29,6 +34,7 @@ impl AreaLatencyPoint {
     pub fn to_json(&self) -> Value {
         Value::obj(vec![
             ("device", Value::String(self.device.clone())),
+            ("family", Value::String(self.family.clone())),
             ("width_cols", Value::UInt(u64::from(self.width_cols))),
             ("area_fraction", Value::Float(self.area_fraction)),
             ("bitstream_bytes", Value::UInt(self.bitstream_bytes as u64)),
@@ -48,13 +54,14 @@ impl AreaLatency {
     /// Render the sweep.
     pub fn render(&self) -> String {
         let mut out = format!(
-            "Region area vs reconfiguration time (paper chain: memory-limited ICAP)\n\n{:<10} {:>6} {:>8} {:>10} {:>12}\n",
-            "device", "cols", "area %", "KB", "reconfig"
+            "Region area vs reconfiguration time (paper chain: memory-limited ICAP)\n\n{:<10} {:<14} {:>6} {:>8} {:>10} {:>12}\n",
+            "device", "family", "cols", "area %", "KB", "reconfig"
         );
         for p in &self.points {
             out.push_str(&format!(
-                "{:<10} {:>6} {:>8.2} {:>10.1} {:>12}\n",
+                "{:<10} {:<14} {:>6} {:>8.2} {:>10.1} {:>12}\n",
                 p.device,
+                p.family,
                 p.width_cols,
                 100.0 * p.area_fraction,
                 p.bitstream_bytes as f64 / 1024.0,
@@ -101,16 +108,31 @@ pub fn run_sweep(
                         // pure logic window, avoiding embedded BRAM/GCLK
                         // columns), so the sweep isolates the width→latency
                         // relationship.
+                        let caps = device.capabilities();
                         let start = (1..device.clb_cols - w)
                             .min_by_key(|&s| device.frames_in_clb_window(s, w))
                             .expect("device wide enough");
-                        let region = ReconfigRegion::new("sweep", start, w).expect("legal width");
+                        // Virtex-II: full-height window. 2D family: one
+                        // clock region tall — the minimal rectangle.
+                        let region = if caps.supports_2d_regions() {
+                            ReconfigRegion::rect(
+                                "sweep",
+                                start,
+                                w,
+                                0,
+                                caps.clock_region_rows(device),
+                            )
+                            .expect("legal rect")
+                        } else {
+                            ReconfigRegion::new("sweep", start, w).expect("legal width")
+                        };
                         region
                             .validate_on(device)
                             .map_err(pdr_sweep::SweepError::scenario)?;
                         let bs = Bitstream::partial_for_region(device, &region, 0xA5);
                         Ok(AreaLatencyPoint {
                             device: device.name.clone(),
+                            family: caps.family_name().to_string(),
                             width_cols: w,
                             area_fraction: region.area_fraction(device),
                             bitstream_bytes: bs.len_bytes(),
@@ -208,5 +230,38 @@ mod tests {
     fn oversized_widths_are_skipped_not_fatal() {
         let s = run(&["XC2V40"], &[2, 4, 32]);
         assert!(s.points.iter().all(|p| p.width_cols < 32));
+    }
+
+    #[test]
+    fn series7_generation_sweeps_one_clock_region_rectangles() {
+        let s = run(&["XC7A15T", "XC7A100T"], &[2, 4, 8]);
+        assert_eq!(s.points.len(), 6);
+        assert!(s.points.iter().all(|p| p.family == "series7-like"));
+        // One clock region of an XC7A100T is 1/3 of the device; a 4-column
+        // rectangle covers far less area than a full-height window would.
+        let p = s
+            .points
+            .iter()
+            .find(|p| p.device == "XC7A100T" && p.width_cols == 4)
+            .unwrap();
+        assert!(p.area_fraction < 4.0 / 40.0 / 2.0, "{}", p.area_fraction);
+        // Latency still monotone in width within the generation.
+        for dev in ["XC7A15T", "XC7A100T"] {
+            let times: Vec<TimePs> = s
+                .points
+                .iter()
+                .filter(|p| p.device == dev)
+                .map(|p| p.reconfig_time)
+                .collect();
+            assert!(times.windows(2).all(|w| w[0] < w[1]), "{dev}: {times:?}");
+        }
+    }
+
+    #[test]
+    fn both_generations_share_one_sweep() {
+        let s = run(&["XC2V2000", "XC7A50T"], &[4]);
+        let families: Vec<&str> = s.points.iter().map(|p| p.family.as_str()).collect();
+        assert!(families.contains(&"Virtex-II"));
+        assert!(families.contains(&"series7-like"));
     }
 }

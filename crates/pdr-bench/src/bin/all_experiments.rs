@@ -30,7 +30,7 @@ use serde::json::Value;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Every study name, in suite order (`--skip` validates against this).
-const STUDY_NAMES: [&str; 12] = [
+const STUDY_NAMES: [&str; 13] = [
     "table1",
     "fig2",
     "fig3",
@@ -43,6 +43,7 @@ const STUDY_NAMES: [&str; 12] = [
     "server",
     "model",
     "rtr",
+    "fabric",
 ];
 
 struct Cli {
@@ -277,7 +278,7 @@ fn study_area_latency(
 ) -> Result<(), String> {
     println!("\n--- E-AR: area vs latency ---------------------------------------");
     let ar = pdr_bench::area_latency::run_sweep(
-        &["XC2V500", "XC2V2000", "XC2V6000"],
+        &["XC2V500", "XC2V2000", "XC2V6000", "XC7A50T", "XC7A100T"],
         &[2, 4, 8, 16],
         engine,
     );
@@ -439,6 +440,53 @@ fn study_rtr(artifact: &mut Artifact, engine: &SweepEngine, _: &Cli) -> Result<(
     Ok(())
 }
 
+fn study_fabric(artifact: &mut Artifact, engine: &SweepEngine, _: &Cli) -> Result<(), String> {
+    println!("--- X-FAB: fabric generations -----------------------------------");
+    let parity = pdr_bench::fabric_study::v2_parity();
+    if let Some(row) = parity.iter().find(|r| !r.ok()) {
+        return Err(format!(
+            "Virtex-II flow `{}` drifted from its pinned artifact digest \
+             (got {:016x}, pinned {:016x})",
+            row.flow, row.got, row.pinned
+        ));
+    }
+    println!(
+        "  v2 parity: {} flows byte-identical to the pre-refactor pins",
+        parity.len()
+    );
+    let s7 = pdr_bench::fabric_study::s7_end_to_end()?;
+    if !s7.clean() {
+        return Err(format!("series7 flow is not clean: {s7:?}"));
+    }
+    println!(
+        "  {} on {}: {} rectangular regions, lint clean, sim digest {:016x}",
+        s7.flow,
+        s7.device,
+        s7.regions.len(),
+        s7.sim_digest
+    );
+    let sweep = pdr_bench::fabric_study::run_sweep(engine);
+    print!(
+        "{}",
+        pdr_bench::fabric_study::render_generations(
+            &sweep.ok_values().cloned().collect::<Vec<_>>()
+        )
+    );
+    record(
+        artifact,
+        "fabric_generations",
+        &sweep,
+        &pdr_bench::fabric_study::GenerationPoint::to_json,
+        &pdr_bench::fabric_study::GenerationPoint::to_json,
+    );
+    artifact.push_section(
+        "fabric_v2_parity",
+        Value::Array(parity.iter().map(|r| r.to_json()).collect()),
+    );
+    artifact.push_section("fabric_s7_flow", s7.to_json());
+    Ok(())
+}
+
 type StudyFn = fn(&mut Artifact, &SweepEngine, &Cli) -> Result<(), String>;
 
 fn main() {
@@ -461,7 +509,7 @@ fn main() {
             Value::Array(cli.skip.iter().map(|s| Value::String(s.clone())).collect()),
         );
 
-    let studies: [(&str, StudyFn); 12] = [
+    let studies: [(&str, StudyFn); 13] = [
         ("table1", study_table1),
         ("fig2", study_fig2),
         ("fig3", study_fig3),
@@ -474,6 +522,7 @@ fn main() {
         ("server", study_server),
         ("model", study_model),
         ("rtr", study_rtr),
+        ("fabric", study_fabric),
     ];
     debug_assert_eq!(studies.len(), STUDY_NAMES.len());
 

@@ -2,7 +2,8 @@
 fn main() {
     let s = pdr_bench::area_latency::run(
         &[
-            "XC2V250", "XC2V500", "XC2V1000", "XC2V2000", "XC2V3000", "XC2V6000",
+            "XC2V250", "XC2V500", "XC2V1000", "XC2V2000", "XC2V3000", "XC2V6000", "XC7A15T",
+            "XC7A50T", "XC7A100T", "XC7K160T",
         ],
         &[2, 4, 6, 8, 12, 16, 24],
     );

@@ -141,7 +141,7 @@ pub fn workload(flow_name: &str, iterations: u32) -> SimConfig {
         "paper" => {
             SimConfig::iterations(iterations).with_selection("op_dyn", seq("mod_qpsk", "mod_qam16"))
         }
-        "two_regions" | "two_regions_xc2v4000" => SimConfig::iterations(iterations)
+        "two_regions" | "two_regions_xc2v4000" | "sdr_series7" => SimConfig::iterations(iterations)
             .with_selection("d1", seq("fir_narrow", "fir_wide"))
             .with_selection("d2", seq("dec_viterbi", "dec_turbo")),
         "synthetic_large" => SimConfig::iterations(iterations)

@@ -21,11 +21,13 @@
 //! | [`ir_sim`] | infrastructure — string vs interned interpreter speedup |
 //! | [`server_study`] | infrastructure — multi-tenant serving layer load test |
 //! | [`rtr_study`] | infrastructure — indexed runtime engine parity, throughput and policy sweep |
+//! | [`fabric_study`] | infrastructure — Virtex-II byte-parity + series7-like 2D fabric sweep |
 
 pub mod adequation_perf;
 pub mod adequation_study;
 pub mod area_latency;
 pub mod compression;
+pub mod fabric_study;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;

@@ -79,12 +79,22 @@ impl Floorplanner {
     ///
     /// `modules` carries each module's design and estimated resources;
     /// `static_resources` is the static entity total.
+    ///
+    /// On Virtex-II this is the paper's Modular Design flow: full-height
+    /// column windows sized from the slice envelope. On families that
+    /// support 2D regions it switches to [`Floorplanner::place`]'s
+    /// rectangular path: clock-region-aligned rectangles sized from the
+    /// full resource vector (slices, LUTs, FFs, BRAMs, multipliers) and
+    /// shelf-packed across clock-region bands.
     pub fn place(
         &self,
         modules: &[(DynamicModuleDesign, Resources)],
         static_resources: Resources,
         constraints: &ConstraintsFile,
     ) -> Result<FloorplanResult, CodegenError> {
+        if self.device.capabilities().supports_2d_regions() {
+            return self.place_rect(modules, static_resources, constraints);
+        }
         let mut floorplan = Floorplan::new(self.device.clone());
         let rows = self.device.clb_rows;
 
@@ -184,6 +194,169 @@ impl Floorplanner {
             }
         }
 
+        self.finalize(
+            floorplan,
+            modules,
+            static_resources,
+            region_of,
+            region_envelopes,
+        )
+    }
+
+    /// 2D placement for families with clock-region-aligned rectangular
+    /// regions (series7-like): per region, search heights of 1..n clock
+    /// regions and grow the width until the rectangle's resource vector
+    /// covers the module envelope, shelf-packing rectangles left to right
+    /// across clock-region bands.
+    fn place_rect(
+        &self,
+        modules: &[(DynamicModuleDesign, Resources)],
+        static_resources: Resources,
+        constraints: &ConstraintsFile,
+    ) -> Result<FloorplanResult, CodegenError> {
+        let caps = self.device.capabilities();
+        let cr_rows = caps.clock_region_rows(&self.device);
+        let bands = self.device.clock_regions();
+        let mut floorplan = Floorplan::new(self.device.clone());
+
+        let mut by_region: BTreeMap<String, Vec<&(DynamicModuleDesign, Resources)>> =
+            BTreeMap::new();
+        for entry in modules {
+            by_region
+                .entry(entry.0.region.clone())
+                .or_default()
+                .push(entry);
+        }
+
+        let mut region_envelopes = BTreeMap::new();
+        let mut region_of = BTreeMap::new();
+        // Shelf packing: one cursor per clock-region band, regions fill
+        // left to right; both column boundaries stay interior so bus
+        // macros can straddle them.
+        let mut shelf_col = vec![1u32; bands as usize];
+        for (region_name, entries) in &by_region {
+            let first = entries.first().ok_or_else(|| {
+                CodegenError::Internal(format!("region `{region_name}` grouped with no modules"))
+            })?;
+            let envelope = entries
+                .iter()
+                .fold(Resources::ZERO, |acc, (_, r)| acc.envelope(r));
+            let pin = entries
+                .iter()
+                .find_map(|(m, _)| constraints.module(&m.module).and_then(|c| c.pin));
+            let mut placed = None;
+            'search: for height in 1..=bands {
+                for band in 0..=(bands - height) {
+                    let start = match pin {
+                        Some((s, _)) => s,
+                        None => (band..band + height)
+                            .map(|b| shelf_col[b as usize])
+                            .max()
+                            .unwrap_or(1),
+                    };
+                    if start == 0 || (band..band + height).any(|b| shelf_col[b as usize] > start) {
+                        continue;
+                    }
+                    let mut width = pin.map_or(2, |(_, w)| w.max(2));
+                    while start + width < self.device.clb_cols {
+                        let candidate = ReconfigRegion::rect(
+                            region_name.clone(),
+                            start,
+                            width,
+                            band * cr_rows,
+                            height * cr_rows,
+                        )
+                        .map_err(CodegenError::Fabric)?;
+                        if candidate.resources(&self.device).covers(&envelope) {
+                            placed = Some((candidate, band, height));
+                            break 'search;
+                        }
+                        width += 1;
+                    }
+                }
+            }
+            let Some((region, band, height)) = placed else {
+                return Err(CodegenError::DoesNotFit {
+                    module: first.0.module.clone(),
+                    needed_slices: envelope.slices,
+                    available_slices: self.device.slices(),
+                });
+            };
+            let start = region.clb_col_start;
+            let width = region.clb_col_width;
+            let (row_start, row_count) = region.rows_on(&self.device);
+            floorplan.add_region(region).map_err(|e| match e {
+                pdr_fabric::FabricError::RegionOverlap { a, b } => {
+                    CodegenError::PinConflict(format!("regions `{a}` and `{b}` overlap"))
+                }
+                other => CodegenError::Fabric(other),
+            })?;
+            for b in band..band + height {
+                shelf_col[b as usize] = start + width + 1;
+            }
+
+            // Bus macros must sit inside the rectangle's row span: inputs
+            // on the left boundary, outputs on the right, from the top of
+            // the region downward.
+            let macros_in = entries
+                .iter()
+                .map(|(m, _)| m.bus_macros_in)
+                .max()
+                .unwrap_or(0);
+            let macros_out = entries
+                .iter()
+                .map(|(m, _)| m.bus_macros_out)
+                .max()
+                .unwrap_or(0);
+            if macros_in + macros_out > row_count {
+                return Err(CodegenError::PinConflict(format!(
+                    "region `{region_name}` needs {} bus-macro rows, its rectangle has {row_count}",
+                    macros_in + macros_out
+                )));
+            }
+            for i in 0..macros_in {
+                floorplan
+                    .add_bus_macro(BusMacro::new(
+                        row_start + i,
+                        start,
+                        BusMacroDirection::IntoRegion,
+                    ))
+                    .map_err(CodegenError::Fabric)?;
+            }
+            for i in 0..macros_out {
+                floorplan
+                    .add_bus_macro(BusMacro::new(
+                        row_start + i,
+                        start + width,
+                        BusMacroDirection::OutOfRegion,
+                    ))
+                    .map_err(CodegenError::Fabric)?;
+            }
+            region_envelopes.insert(region_name.clone(), envelope);
+            for (m, _) in entries {
+                region_of.insert(m.module.clone(), region_name.clone());
+            }
+        }
+
+        self.finalize(
+            floorplan,
+            modules,
+            static_resources,
+            region_of,
+            region_envelopes,
+        )
+    }
+
+    /// Shared tail of both placement paths: static-side fit check and
+    /// bitstream generation.
+    fn finalize(
+        &self,
+        floorplan: Floorplan,
+        modules: &[(DynamicModuleDesign, Resources)],
+        static_resources: Resources,
+        region_of: BTreeMap<String, String>,
+        region_envelopes: BTreeMap<String, Resources>,
+    ) -> Result<FloorplanResult, CodegenError> {
         // Static side must fit the remaining slices.
         if static_resources.slices > floorplan.static_slices() {
             return Err(CodegenError::DeviceFull {
@@ -387,5 +560,91 @@ mod tests {
     fn fingerprints_are_stable_and_distinct() {
         assert_eq!(fingerprint("a", "r"), fingerprint("a", "r"));
         assert_ne!(fingerprint("a", "r"), fingerprint("b", "r"));
+    }
+
+    #[test]
+    fn s7_place_uses_clock_region_rectangles() {
+        let device = Device::by_name("XC7A100T").unwrap();
+        let planner = Floorplanner::new(device.clone(), CostModel::default());
+        let modules = [module("a", "r1", 500), module("b", "r2", 500)];
+        let r = planner
+            .place(&modules, Resources::ZERO, &ConstraintsFile::new())
+            .unwrap();
+        let r1 = r.floorplan.region("r1").unwrap();
+        let r2 = r.floorplan.region("r2").unwrap();
+        // 2D placement: both rectangles are clock-region aligned, disjoint,
+        // and each covers its module envelope.
+        for region in [r1, r2] {
+            let span = region.rows.expect("rect region has a row span");
+            assert_eq!(span.clb_row_start % 50, 0);
+            assert_eq!(span.clb_row_count % 50, 0);
+            assert!(region
+                .resources(&device)
+                .covers(&r.region_envelopes[&region.name]));
+        }
+        assert!(!r1.overlaps(r2));
+        // Bus macros sit inside their region's row span.
+        for region in [r1, r2] {
+            let (row0, rows) = region.rows_on(&device);
+            for bm in r.floorplan.bus_macros_of(&region.name) {
+                assert!(bm.clb_row >= row0 && bm.clb_row < row0 + rows);
+            }
+        }
+        // Partial streams exist and are family-shaped (one FAR per
+        // clock-region row of the rectangle).
+        assert!(r.bitstream_of("a").unwrap().is_partial());
+    }
+
+    #[test]
+    fn s7_bram_demand_widens_the_rectangle() {
+        let device = Device::by_name("XC7A100T").unwrap();
+        let planner = Floorplanner::new(device.clone(), CostModel::default());
+        let light = [module("l", "r", 100)];
+        let narrow = planner
+            .place(&light, Resources::ZERO, &ConstraintsFile::new())
+            .unwrap();
+        let mut heavy = module("m", "r", 100);
+        heavy.1.brams = 25;
+        let wide = planner
+            .place(&[heavy], Resources::ZERO, &ConstraintsFile::new())
+            .unwrap();
+        let narrow_r = narrow.floorplan.region("r").unwrap();
+        let wide_r = wide.floorplan.region("r").unwrap();
+        assert!(
+            wide_r.clb_col_width > narrow_r.clb_col_width,
+            "BRAM demand must widen the window: {} vs {}",
+            wide_r.clb_col_width,
+            narrow_r.clb_col_width
+        );
+        assert!(wide_r.resources(&device).brams >= 25);
+    }
+
+    #[test]
+    fn s7_regions_stack_into_shelves() {
+        // Many small regions wrap onto the next clock-region band once a
+        // shelf runs out of columns.
+        let device = Device::by_name("XC7A50T").unwrap();
+        let planner = Floorplanner::new(device.clone(), CostModel::default());
+        let modules: Vec<_> = (0..4)
+            .map(|i| module(&format!("m{i}"), &format!("r{i}"), 800))
+            .collect();
+        let r = planner
+            .place(&modules, Resources::ZERO, &ConstraintsFile::new())
+            .unwrap();
+        let bands: std::collections::BTreeSet<u32> = r
+            .floorplan
+            .regions()
+            .iter()
+            .map(|reg| reg.rows.unwrap().clb_row_start)
+            .collect();
+        assert!(
+            bands.len() > 1,
+            "expected wrap onto a second band: {bands:?}"
+        );
+        for (a, b) in [("r0", "r1"), ("r0", "r2"), ("r1", "r3")] {
+            let ra = r.floorplan.region(a).unwrap();
+            let rb = r.floorplan.region(b).unwrap();
+            assert!(!ra.overlaps(rb), "{a} overlaps {b}");
+        }
     }
 }

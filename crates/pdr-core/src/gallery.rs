@@ -68,6 +68,11 @@ pub fn all() -> Vec<GalleryFlow> {
             description: "512-op layered DAG over 8 operators with 2 dynamic regions (XC2V4000)",
             flow: synthetic_large_flow(),
         },
+        GalleryFlow {
+            name: "sdr_series7",
+            description: "the two-region SDR receiver on a series7-like XC7A50T (2D rectangles)",
+            flow: sdr_series7_flow(),
+        },
     ]
 }
 
@@ -236,6 +241,67 @@ pub fn sdr_flow(device: Device) -> DesignFlow {
         sdr_architecture(),
         sdr_characterization(),
         device,
+    )
+    .with_constraints(sdr_constraints())
+    .with_adequation_options(
+        AdequationOptions::default()
+            .pin("adc", "cpu")
+            .pin("band_select", "cpu")
+            .pin("code_select", "cpu")
+            .pin("payload_out", "f1"),
+    )
+}
+
+/// The SDR characterization re-targeted at a series7-like part: same
+/// functions and timing, but the filter/decoder modules now declare
+/// block-RAM and DSP demand — the resource axes a 2D rectangular region
+/// must cover in addition to slices.
+pub fn sdr_series7_characterization() -> Characterization {
+    let mut c = sdr_characterization();
+    c.set_resources(
+        "fir_narrow",
+        Resources {
+            brams: 2,
+            mults: 8,
+            ..Resources::logic(220, 380, 340)
+        },
+    );
+    c.set_resources(
+        "fir_wide",
+        Resources {
+            brams: 4,
+            mults: 16,
+            ..Resources::logic(420, 760, 660)
+        },
+    );
+    c.set_resources(
+        "dec_viterbi",
+        Resources {
+            brams: 6,
+            mults: 2,
+            ..Resources::logic(350, 620, 540)
+        },
+    );
+    c.set_resources(
+        "dec_turbo",
+        Resources {
+            brams: 10,
+            mults: 4,
+            ..Resources::logic(780, 1_400, 1_180)
+        },
+    );
+    c
+}
+
+/// The two-region SDR flow on the second device generation: clock-region
+/// rectangles instead of full-height columns, heterogeneous BRAM/DSP
+/// columns inside the windows.
+pub fn sdr_series7_flow() -> DesignFlow {
+    DesignFlow::new(
+        sdr_algorithm(),
+        sdr_architecture(),
+        sdr_series7_characterization(),
+        Device::by_name("XC7A50T").expect("catalog device"),
     )
     .with_constraints(sdr_constraints())
     .with_adequation_options(
@@ -458,7 +524,7 @@ mod tests {
     #[test]
     fn names_are_unique_and_resolvable() {
         let names = names();
-        assert_eq!(names.len(), 6);
+        assert_eq!(names.len(), 7);
         let mut sorted = names.clone();
         sorted.sort_unstable();
         sorted.dedup();
@@ -500,5 +566,25 @@ mod tests {
         let art = g.flow.run().unwrap();
         assert_eq!(art.design.floorplan.floorplan.regions().len(), 2);
         assert_eq!(art.design.modules.len(), 4);
+    }
+
+    #[test]
+    fn series7_flow_places_rectangles_that_cover_bram_demand() {
+        let g = by_name("sdr_series7").unwrap();
+        let art = g.flow.run().unwrap();
+        let fp = &art.design.floorplan.floorplan;
+        assert_eq!(fp.regions().len(), 2);
+        let device = &fp.device;
+        for r in fp.regions() {
+            let span = r.rows.expect("series7 regions are rectangles");
+            assert_eq!(span.clb_row_start % 50, 0);
+            assert_eq!(span.clb_row_count % 50, 0);
+            let have = r.resources(device);
+            let need = &art.design.floorplan.region_envelopes[&r.name];
+            assert!(have.covers(need), "{}: {have:?} !>= {need:?}", r.name);
+        }
+        // dec_turbo declared 10 BRAMs; its region's window must hold them.
+        let d2 = fp.region("d2").unwrap();
+        assert!(d2.resources(device).brams >= 10);
     }
 }

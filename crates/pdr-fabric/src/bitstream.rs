@@ -148,20 +148,29 @@ impl Bitstream {
 
     /// Build a partial bitstream reconfiguring `region` with a design
     /// identified by `module_fingerprint`.
+    ///
+    /// Virtex-II regions are addressed by a single FAR + FDRI pair (one
+    /// full-height configuration row); series7-like regions emit one
+    /// FAR/FDRI pair per clock-region row of the rectangle, sharing a
+    /// single payload stream and one trailing CRC.
     pub fn partial_for_region(
         device: &Device,
         region: &ReconfigRegion,
         module_fingerprint: u64,
     ) -> Bitstream {
         let frames = region.frames(device);
-        let packets = Self::packetize(
-            device,
-            BlockType::Clb,
-            region.clb_col_start as u16,
-            frames,
-            module_fingerprint,
-            false,
-        );
+        let packets = if device.capabilities().supports_2d_regions() {
+            Self::packetize_rows(device, region, module_fingerprint)
+        } else {
+            Self::packetize(
+                device,
+                BlockType::Clb,
+                region.clb_col_start as u16,
+                frames,
+                module_fingerprint,
+                false,
+            )
+        };
         Bitstream {
             device: device.name.clone(),
             kind: BitstreamKind::Partial {
@@ -171,6 +180,59 @@ impl Bitstream {
             packets,
             frames,
         }
+    }
+
+    /// Packetize a 2D region: one FAR + FDRI pair per clock-region row it
+    /// spans, a single sparse payload stream across the rows, one CRC over
+    /// all frame data.
+    fn packetize_rows(device: &Device, region: &ReconfigRegion, fingerprint: u64) -> Vec<Packet> {
+        let caps = device.capabilities();
+        let cr_rows = caps.clock_region_rows(device);
+        let (row_start, row_count) = region.rows_on(device);
+        let first_region_row = row_start / cr_rows;
+        let region_rows = (row_count / cr_rows).max(1);
+        let frames_per_row = caps.window_frames(
+            device,
+            region.clb_col_start,
+            region.clb_col_width,
+            row_start,
+            cr_rows,
+        );
+        let wpf = device.words_per_frame() as usize;
+        let mut rng = SplitMix64::new(fingerprint);
+        let mut crc = Crc32::new();
+        let mut packets = Vec::with_capacity(6 + 2 * region_rows as usize);
+        packets.push(Packet::Sync);
+        packets.push(Packet::Cmd(Command::Rcrc));
+        packets.push(Packet::Cmd(Command::Wcfg));
+        for r in 0..region_rows {
+            packets.push(Packet::Far(FrameAddress::with_row(
+                (first_region_row + r) as u16,
+                BlockType::Clb,
+                region.clb_col_start as u16,
+                0,
+            )));
+            let mut data = Vec::with_capacity(frames_per_row as usize * wpf);
+            for _ in 0..frames_per_row {
+                for _ in 0..wpf {
+                    // Same sparse synthetic payload as the Virtex-II path.
+                    let r = rng.next_u64();
+                    if r % 10 < 7 {
+                        data.push(0);
+                    } else {
+                        data.push((r >> 32) as u32);
+                    }
+                }
+            }
+            for w in &data {
+                crc.update_word(*w);
+            }
+            packets.push(Packet::Fdri(data));
+        }
+        packets.push(Packet::Cmd(Command::Lfrm));
+        packets.push(Packet::Crc(crc.finish()));
+        packets.push(Packet::Cmd(Command::Desync));
+        packets
     }
 
     fn packetize(
@@ -577,6 +639,29 @@ mod tests {
             bs.check_device(&other),
             Err(FabricError::DeviceMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn s7_rect_stream_has_one_far_per_clock_region_row() {
+        let d = Device::by_name("XC7A100T").unwrap();
+        let r = ReconfigRegion::rect("r", 10, 6, 50, 100).unwrap();
+        let bs = Bitstream::partial_for_region(&d, &r, 42);
+        let fars: Vec<FrameAddress> = bs
+            .packets()
+            .iter()
+            .filter_map(|p| match p {
+                Packet::Far(a) => Some(*a),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(fars.len(), 2, "one FAR per clock-region row spanned");
+        assert_eq!(fars[0].row, 1);
+        assert_eq!(fars[1].row, 2);
+        assert_eq!(bs.frames(), r.frames(&d));
+        // Round-trips through encode/decode, exercising CRC accumulation
+        // across multiple FDRI packets.
+        let back = Bitstream::decode(&bs.encode(), &d, bs.kind.clone(), 42).unwrap();
+        assert_eq!(back, bs);
     }
 
     #[test]

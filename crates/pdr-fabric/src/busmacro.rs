@@ -78,8 +78,14 @@ impl BusMacro {
                 ),
             });
         }
+        // The macro must sit on a region's vertical boundary AND within
+        // that region's row span (full-height regions span every row, so
+        // the row condition is vacuous on Virtex-II plans).
         let straddles = regions.iter().any(|r| {
-            self.boundary_clb_col == r.clb_col_start || self.boundary_clb_col == r.clb_col_end()
+            let on_boundary = self.boundary_clb_col == r.clb_col_start
+                || self.boundary_clb_col == r.clb_col_end();
+            let (row0, row1) = r.rows.map_or((0, u32::MAX), |s| (s.clb_row_start, s.end()));
+            on_boundary && self.clb_row >= row0 && self.clb_row < row1
         });
         if !straddles {
             return Err(FabricError::InvalidBusMacro {
@@ -157,6 +163,21 @@ mod tests {
         assert!(a.collides_with(&b));
         assert!(!a.collides_with(&c));
         assert!(!a.collides_with(&d));
+    }
+
+    #[test]
+    fn rect_region_rows_bound_the_straddle() {
+        // On a 2D region the macro must sit inside the region's row span,
+        // not merely on its column boundary.
+        let device = Device::by_name("XC7A100T").unwrap();
+        let regions = vec![ReconfigRegion::rect("r", 10, 6, 50, 50).unwrap()];
+        assert!(BusMacro::new(60, 10, BusMacroDirection::IntoRegion)
+            .validate(&device, &regions)
+            .is_ok());
+        let e = BusMacro::new(10, 10, BusMacroDirection::IntoRegion)
+            .validate(&device, &regions)
+            .unwrap_err();
+        assert!(e.to_string().contains("does not straddle"));
     }
 
     #[test]

@@ -12,8 +12,9 @@
 //! completion of the substrate).
 
 use crate::bitstream::{Bitstream, Packet};
-use crate::device::Device;
+use crate::device::{ColumnKind, Device};
 use crate::error::FabricError;
+use crate::frame::FrameAddress;
 use crate::region::ReconfigRegion;
 
 /// The configuration memory of one device instance.
@@ -55,10 +56,22 @@ impl ConfigMemory {
         self.frames_written
     }
 
+    /// Linearize a frame address into an index of the frame store.
+    ///
+    /// The major address is interpreted as the starting CLB column scaled
+    /// by the family's per-column CLB frame stride (22 on Virtex-II, 36 on
+    /// series7-like); on series7-like the clock-region row additionally
+    /// selects a row-sized segment. This matches how
+    /// [`Bitstream::partial_for_region`] addresses regions.
+    fn linear_frame(&self, addr: &FrameAddress) -> usize {
+        let clb_stride = self.device.capabilities().column_frames(ColumnKind::Clb) as usize;
+        let per_row = self.frames.len() / self.device.clock_regions() as usize;
+        addr.row as usize * per_row + addr.major as usize * clb_stride + addr.minor as usize
+    }
+
     /// Apply a bitstream: plays SYNC/FAR/FDRI packets into the frame
-    /// store. The FAR's major address is interpreted as the starting frame
-    /// index scaled by the CLB column stride (22 frames per column), which
-    /// matches how [`Bitstream::partial_for_region`] addresses regions.
+    /// store, FAR setting the address and FDRI streaming frames with
+    /// auto-increment.
     pub fn apply(&mut self, bs: &Bitstream) -> Result<(), FabricError> {
         bs.check_device(&self.device)?;
         let mut cursor: Option<usize> = None;
@@ -73,8 +86,7 @@ impl ConfigMemory {
                             reason: "FAR before sync word".into(),
                         });
                     }
-                    // Major address = starting CLB column; 22 frames each.
-                    let frame = addr.major as usize * 22 + addr.minor as usize;
+                    let frame = self.linear_frame(addr);
                     if frame >= self.frames.len() {
                         return Err(FabricError::MalformedBitstream {
                             reason: format!(
@@ -126,19 +138,49 @@ impl ConfigMemory {
     }
 
     /// Read back the frames a region occupies (address-ordered words).
+    ///
+    /// On Virtex-II this is the region's CLB-column window of the single
+    /// configuration row; on series7-like it walks each clock-region row
+    /// of the rectangle, reading the full per-row window (including
+    /// embedded columns) that [`ConfigMemory::apply`] wrote.
     pub fn readback(&self, region: &ReconfigRegion) -> Result<Vec<u32>, FabricError> {
         region.validate_on(&self.device)?;
-        let start = region.clb_col_start as usize * 22;
-        let nframes = region.clb_col_width as usize * 22;
-        if start + nframes > self.frames.len() {
+        let caps = self.device.capabilities();
+        let (row_windows, nframes) = if caps.supports_2d_regions() {
+            let cr_rows = caps.clock_region_rows(&self.device);
+            let per_row = self.frames.len() / self.device.clock_regions() as usize;
+            let (row_start, row_count) = region.rows_on(&self.device);
+            let nframes = caps.window_frames(
+                &self.device,
+                region.clb_col_start,
+                region.clb_col_width,
+                row_start,
+                cr_rows,
+            ) as usize;
+            let clb_stride = caps.column_frames(ColumnKind::Clb) as usize;
+            let windows: Vec<usize> = (row_start / cr_rows..(row_start + row_count) / cr_rows)
+                .map(|r| r as usize * per_row + region.clb_col_start as usize * clb_stride)
+                .collect();
+            (windows, nframes)
+        } else {
+            let start = region.clb_col_start as usize * 22;
+            let nframes = region.clb_col_width as usize * 22;
+            (vec![start], nframes)
+        };
+        if row_windows
+            .iter()
+            .any(|&start| start + nframes > self.frames.len())
+        {
             return Err(FabricError::InvalidRegion {
                 name: region.name.clone(),
                 reason: "readback window exceeds configuration memory".into(),
             });
         }
-        let mut out = Vec::with_capacity(nframes * self.words_per_frame);
-        for f in &self.frames[start..start + nframes] {
-            out.extend_from_slice(f);
+        let mut out = Vec::with_capacity(row_windows.len() * nframes * self.words_per_frame);
+        for start in row_windows {
+            for f in &self.frames[start..start + nframes] {
+                out.extend_from_slice(f);
+            }
         }
         Ok(out)
     }

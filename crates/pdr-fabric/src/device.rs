@@ -13,7 +13,8 @@
 //! vendor numbers — close enough that every latency/area *ratio* the paper
 //! reports is preserved (see `EXPERIMENTS.md` for the calibration note).
 
-use crate::frame::{frame_words, FrameCounts};
+use crate::family::FabricCapabilities;
+use crate::frame::FrameCounts;
 use serde::{Deserialize, Serialize};
 
 /// Slices per CLB in Virtex-II.
@@ -42,11 +43,15 @@ pub enum ColumnKind {
     BramInterconnect,
     /// Block-RAM content column.
     Bram,
+    /// DSP-slice column (series7-like family only; Virtex-II multipliers
+    /// share the BRAM columns).
+    Dsp,
 }
 
 impl ColumnKind {
     /// Configuration frames occupied by one column of this kind
-    /// (Virtex-II documented values).
+    /// (Virtex-II documented values; the series7-like counts live in
+    /// [`crate::family::Series7Fabric`]).
     pub const fn frames(self) -> u32 {
         match self {
             ColumnKind::Gclk => 4,
@@ -55,16 +60,21 @@ impl ColumnKind {
             ColumnKind::Clb => 22,
             ColumnKind::BramInterconnect => 22,
             ColumnKind::Bram => 64,
+            // Virtex-II has no standalone DSP columns.
+            ColumnKind::Dsp => 0,
         }
     }
 }
 
-/// Device family marker. Only Virtex-II is cataloged, but the geometry code
-/// is parametric so a Virtex-II Pro-style family could be added.
+/// Device family marker. Geometry and DRC rules are dispatched through
+/// [`DeviceFamily::capabilities`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum DeviceFamily {
-    /// Xilinx Virtex-II (XC2Vxxxx).
+    /// Xilinx Virtex-II (XC2Vxxxx): full-height column regions.
     VirtexII,
+    /// Series7-like 2D fabric (XC7xxxx): clock-region rows, rectangular
+    /// regions, heterogeneous CLB/BRAM/DSP columns.
+    Series7,
 }
 
 /// A concrete FPGA device: geometry plus derived configuration layout.
@@ -80,6 +90,9 @@ pub struct Device {
     pub clb_cols: u32,
     /// Number of BRAM columns.
     pub bram_cols: u32,
+    /// Number of DSP columns (always 0 on Virtex-II, whose multipliers
+    /// share the BRAM columns).
+    pub dsp_cols: u32,
 }
 
 impl Device {
@@ -95,22 +108,68 @@ impl Device {
             clb_rows,
             clb_cols,
             bram_cols,
+            dsp_cols: 0,
         }
     }
 
-    /// Look up a catalog device by (case-insensitive) part name.
+    /// Construct a custom series7-like device.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero or the height is not a whole number
+    /// of clock regions.
+    pub fn custom_s7(
+        name: impl Into<String>,
+        clb_rows: u32,
+        clb_cols: u32,
+        bram_cols: u32,
+        dsp_cols: u32,
+    ) -> Self {
+        assert!(clb_rows > 0 && clb_cols > 0, "device must be non-empty");
+        assert!(
+            clb_rows.is_multiple_of(crate::family::S7_CLOCK_REGION_ROWS),
+            "series7-like device height must be a whole number of {}-row clock regions",
+            crate::family::S7_CLOCK_REGION_ROWS
+        );
+        Device {
+            name: name.into(),
+            family: DeviceFamily::Series7,
+            clb_rows,
+            clb_cols,
+            bram_cols,
+            dsp_cols,
+        }
+    }
+
+    /// The capability set of this device's family.
+    pub fn capabilities(&self) -> &'static dyn FabricCapabilities {
+        self.family.capabilities()
+    }
+
+    /// Look up a catalog device by (case-insensitive) part name, across
+    /// both family catalogs.
     pub fn by_name(name: &str) -> Result<Device, crate::FabricError> {
         let upper = name.to_ascii_uppercase();
-        CATALOG
+        if let Some(&(n, r, c, b)) = CATALOG.iter().find(|(n, ..)| *n == upper) {
+            return Ok(Device::custom(n, r, c, b));
+        }
+        S7_CATALOG
             .iter()
             .find(|(n, ..)| *n == upper)
-            .map(|&(n, r, c, b)| Device::custom(n, r, c, b))
+            .map(|&(n, r, c, b, d)| Device::custom_s7(n, r, c, b, d))
             .ok_or_else(|| crate::FabricError::UnknownDevice(name.to_string()))
     }
 
-    /// All catalog part names, smallest to largest.
+    /// All Virtex-II catalog part names, smallest to largest.
     pub fn catalog_names() -> Vec<&'static str> {
         CATALOG.iter().map(|(n, ..)| *n).collect()
+    }
+
+    /// Catalog part names of one family, smallest to largest.
+    pub fn catalog_names_in(family: DeviceFamily) -> Vec<&'static str> {
+        match family {
+            DeviceFamily::VirtexII => CATALOG.iter().map(|(n, ..)| *n).collect(),
+            DeviceFamily::Series7 => S7_CATALOG.iter().map(|(n, ..)| *n).collect(),
+        }
     }
 
     /// The device of the paper's Sundance prototyping board.
@@ -118,13 +177,24 @@ impl Device {
         Device::by_name("XC2V2000").expect("XC2V2000 is in the catalog")
     }
 
-    /// The smallest catalog device with at least the given resources —
-    /// the device-selection step of a real project. `None` when even the
-    /// largest part is too small.
+    /// The smallest Virtex-II catalog device with at least the given
+    /// resources — the device-selection step of a real project. `None`
+    /// when even the largest part is too small. The full resource vector
+    /// is honored: a BRAM- or multiplier-heavy design skips parts whose
+    /// logic would suffice but whose hard blocks would not.
     pub fn smallest_fitting(r: &crate::resources::Resources) -> Option<Device> {
-        CATALOG
-            .iter()
-            .map(|&(n, rows, cols, brams)| Device::custom(n, rows, cols, brams))
+        Device::smallest_fitting_in(DeviceFamily::VirtexII, r)
+    }
+
+    /// The smallest catalog device of `family` with at least the given
+    /// resources.
+    pub fn smallest_fitting_in(
+        family: DeviceFamily,
+        r: &crate::resources::Resources,
+    ) -> Option<Device> {
+        Device::catalog_names_in(family)
+            .into_iter()
+            .map(|n| Device::by_name(n).expect("catalog name resolves"))
             .find(|d| r.fits_device(d))
     }
 
@@ -133,74 +203,48 @@ impl Device {
         self.clb_rows * self.clb_cols
     }
 
-    /// Total slices (4 per CLB).
+    /// Total slices (4 per CLB on Virtex-II, 2 on series7-like).
     pub fn slices(&self) -> u32 {
-        self.clbs() * SLICES_PER_CLB
+        self.clbs() * self.capabilities().slices_per_clb()
     }
 
-    /// Total 4-input LUTs.
+    /// Total LUTs.
     pub fn luts(&self) -> u32 {
-        self.slices() * LUTS_PER_SLICE
+        self.slices() * self.capabilities().luts_per_slice()
     }
 
     /// Total slice flip-flops.
     pub fn ffs(&self) -> u32 {
-        self.slices() * FFS_PER_SLICE
+        self.slices() * self.capabilities().ffs_per_slice()
     }
 
-    /// Total 18-Kbit block RAMs.
+    /// Total block RAMs.
     pub fn brams(&self) -> u32 {
-        self.bram_cols * (self.clb_rows / CLB_ROWS_PER_BRAM)
+        self.capabilities().device_brams(self)
     }
 
-    /// Total 18×18 multipliers (one per BRAM in Virtex-II).
+    /// Total multipliers (Virtex-II MULT18×18) / DSP slices (series7-like).
     pub fn multipliers(&self) -> u32 {
-        self.brams()
+        self.capabilities().device_mults(self)
     }
 
-    /// The ordered column plan of the device, left to right:
-    /// IOB, IOI, then CLB columns with BRAM column pairs (interconnect +
-    /// content) distributed evenly, a GCLK spine in the middle, IOI, IOB.
+    /// Clock-region rows of the device: 1 on Virtex-II (a single
+    /// full-height configuration row), `clb_rows / 50` on series7-like.
+    pub fn clock_regions(&self) -> u32 {
+        self.clb_rows / self.capabilities().clock_region_rows(self)
+    }
+
+    /// The ordered column plan of the device, left to right: IOB, IOI,
+    /// then CLB columns with the family's embedded BRAM (and, on
+    /// series7-like, DSP) columns distributed evenly and a GCLK spine in
+    /// the middle, IOI, IOB.
     pub fn column_plan(&self) -> Vec<ColumnKind> {
-        let mut plan = Vec::with_capacity((self.clb_cols + 2 * self.bram_cols + 5) as usize);
-        plan.push(ColumnKind::Iob);
-        plan.push(ColumnKind::Ioi);
-        // Distribute BRAM column pairs between CLB columns.
-        let stride = if self.bram_cols > 0 {
-            (self.clb_cols / (self.bram_cols + 1)).max(1)
-        } else {
-            u32::MAX
-        };
-        let mid = self.clb_cols / 2;
-        let mut brams_placed = 0;
-        for i in 0..self.clb_cols {
-            if i == mid {
-                plan.push(ColumnKind::Gclk);
-            }
-            if self.bram_cols > 0 && i > 0 && i % stride == 0 && brams_placed < self.bram_cols {
-                plan.push(ColumnKind::BramInterconnect);
-                plan.push(ColumnKind::Bram);
-                brams_placed += 1;
-            }
-            plan.push(ColumnKind::Clb);
-        }
-        // Any BRAM columns that did not fit in the stride pattern go at the end.
-        for _ in brams_placed..self.bram_cols {
-            plan.push(ColumnKind::BramInterconnect);
-            plan.push(ColumnKind::Bram);
-        }
-        plan.push(ColumnKind::Ioi);
-        plan.push(ColumnKind::Iob);
-        plan
+        self.capabilities().column_plan(self)
     }
 
     /// Frame counts per column kind for the whole device.
     pub fn frame_counts(&self) -> FrameCounts {
-        let mut counts = FrameCounts::default();
-        for kind in self.column_plan() {
-            counts.add(kind, kind.frames());
-        }
-        counts
+        self.capabilities().device_frame_counts(self)
     }
 
     /// Total configuration frames in the device.
@@ -208,9 +252,10 @@ impl Device {
         self.frame_counts().total()
     }
 
-    /// Words (32-bit) per configuration frame for this device height.
+    /// Words (32-bit) per configuration frame: height-scaled on Virtex-II,
+    /// fixed (101) on series7-like.
     pub fn words_per_frame(&self) -> u32 {
-        frame_words(self.clb_rows)
+        self.capabilities().words_per_frame(self)
     }
 
     /// Bits per configuration frame.
@@ -226,7 +271,8 @@ impl Device {
 
     /// Frames occupied by a full-height window of `width` CLB columns
     /// starting at CLB column `start` — the frame cost of a reconfigurable
-    /// region. Includes any BRAM columns falling inside the window.
+    /// region. Includes any BRAM (and series7-like DSP) columns falling
+    /// inside the window.
     pub fn frames_in_clb_window(&self, start: u32, width: u32) -> u32 {
         assert!(
             start + width <= self.clb_cols,
@@ -234,34 +280,8 @@ impl Device {
             start + width,
             self.clb_cols
         );
-        // Walk the column plan and count frames of columns whose CLB index
-        // falls inside [start, start+width).
-        let mut clb_index = 0u32;
-        let mut frames = 0u32;
-        let mut inside_prev = false;
-        for kind in self.column_plan() {
-            match kind {
-                ColumnKind::Clb => {
-                    let inside = clb_index >= start && clb_index < start + width;
-                    if inside {
-                        frames += kind.frames();
-                    }
-                    inside_prev = inside;
-                    clb_index += 1;
-                }
-                ColumnKind::Bram | ColumnKind::BramInterconnect | ColumnKind::Gclk => {
-                    // Embedded columns belong to the window if the window is
-                    // "open" at this point (previous CLB column was inside and
-                    // the next one will be too, approximated by inside_prev
-                    // and clb_index < start+width).
-                    if inside_prev && clb_index < start + width {
-                        frames += kind.frames();
-                    }
-                }
-                ColumnKind::Iob | ColumnKind::Ioi => {}
-            }
-        }
-        frames
+        self.capabilities()
+            .window_frames(self, start, width, 0, self.clb_rows)
     }
 }
 
@@ -279,6 +299,17 @@ const CATALOG: &[(&str, u32, u32, u32)] = &[
     ("XC2V4000", 80, 72, 6),
     ("XC2V6000", 96, 88, 6),
     ("XC2V8000", 112, 104, 6),
+];
+
+/// Series7-like catalog: (name, clb_rows, clb_cols, bram_cols, dsp_cols).
+/// Heights are whole 50-row clock regions; the parts roughly track the
+/// Artix/Kintex/Virtex-7 progression in logic and hard-block capacity.
+const S7_CATALOG: &[(&str, u32, u32, u32, u32)] = &[
+    ("XC7A15T", 50, 20, 2, 1),
+    ("XC7A50T", 100, 30, 3, 2),
+    ("XC7A100T", 150, 40, 4, 3),
+    ("XC7K160T", 200, 50, 6, 5),
+    ("XC7V585T", 250, 80, 10, 8),
 ];
 
 #[cfg(test)]
@@ -381,6 +412,83 @@ mod tests {
         assert_eq!(picked.name, "XC2V1000");
         let monster = Resources::logic(200_000, 0, 0);
         assert!(Device::smallest_fitting(&monster).is_none());
+    }
+
+    #[test]
+    fn smallest_fitting_honors_bram_demand() {
+        use crate::resources::Resources;
+        // A BRAM-heavy module: trivial logic (fits even the XC2V250) but 60
+        // block RAMs. XC2V1000 has 40 BRAMs and XC2V2000 has 56, so resource
+        // -vector selection must walk up to the XC2V3000 (96 BRAMs).
+        let bram_heavy = Resources {
+            slices: 500,
+            luts: 800,
+            ffs: 700,
+            brams: 60,
+            mults: 0,
+            tbufs: 0,
+        };
+        let picked = Device::smallest_fitting(&bram_heavy).unwrap();
+        assert_eq!(picked.name, "XC2V3000");
+        // Same demand on the series7-like catalog: XC7A15T offers 20 BRAMs,
+        // XC7A50T 60.
+        let picked_s7 = Device::smallest_fitting_in(DeviceFamily::Series7, &bram_heavy).unwrap();
+        assert_eq!(picked_s7.name, "XC7A50T");
+        // Multiplier-heavy selection walks the DSP columns on series7-like.
+        let dsp_heavy = Resources {
+            slices: 500,
+            luts: 800,
+            ffs: 700,
+            brams: 0,
+            mults: 100,
+            tbufs: 0,
+        };
+        let picked_dsp = Device::smallest_fitting_in(DeviceFamily::Series7, &dsp_heavy).unwrap();
+        assert_eq!(picked_dsp.name, "XC7A100T");
+    }
+
+    #[test]
+    fn s7_geometry_and_catalog() {
+        let d = Device::by_name("xc7a100t").unwrap();
+        assert_eq!(d.family, DeviceFamily::Series7);
+        assert_eq!(d.clock_regions(), 3);
+        assert_eq!(d.slices(), 150 * 40 * 2);
+        assert_eq!(d.luts(), d.slices() * 4);
+        assert_eq!(d.ffs(), d.slices() * 8);
+        assert_eq!(d.brams(), 4 * 3 * 10);
+        assert_eq!(d.multipliers(), 3 * 3 * 20);
+        assert_eq!(d.words_per_frame(), 101);
+        // Catalog is slice-monotone.
+        let mut prev = 0;
+        for n in Device::catalog_names_in(DeviceFamily::Series7) {
+            let d = Device::by_name(n).unwrap();
+            assert!(d.slices() > prev, "S7 catalog not monotone at {n}");
+            prev = d.slices();
+        }
+    }
+
+    #[test]
+    fn s7_frame_counts_scale_with_clock_regions() {
+        let small = Device::by_name("XC7A15T").unwrap();
+        // One clock region: 20 CLB × 36 + 2 BRAM × 128 + 1 DSP × 28 +
+        // GCLK 30 + 2 × IOB 42 + 2 × IOI 30.
+        assert_eq!(
+            small.total_frames(),
+            20 * 36 + 2 * 128 + 28 + 30 + 2 * 42 + 2 * 30
+        );
+        let d = Device::by_name("XC7A100T").unwrap();
+        let per_region: u32 = d
+            .column_plan()
+            .iter()
+            .map(|k| d.capabilities().column_frames(*k))
+            .sum();
+        assert_eq!(d.total_frames(), 3 * per_region);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock regions")]
+    fn s7_unaligned_height_rejected() {
+        let _ = Device::custom_s7("BAD7", 75, 20, 2, 1);
     }
 
     #[test]

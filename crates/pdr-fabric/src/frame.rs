@@ -47,9 +47,17 @@ impl BlockType {
     }
 }
 
-/// A frame address: (block type, major = column, minor = frame-in-column).
+/// A frame address: (clock-region row, block type, major = column, minor =
+/// frame-in-column).
+///
+/// Virtex-II has a single full-height configuration row, so its addresses
+/// always carry `row == 0` and pack exactly as before the series7-like
+/// family existed. On the 2D family the row selects the clock region whose
+/// frames the major/minor pair indexes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct FrameAddress {
+    /// Clock-region row (always 0 on Virtex-II).
+    pub row: u16,
     /// Block type.
     pub block: BlockType,
     /// Column (major) address within the block type.
@@ -59,9 +67,21 @@ pub struct FrameAddress {
 }
 
 impl FrameAddress {
-    /// Construct a frame address.
+    /// Construct a frame address in configuration row 0 (the only row a
+    /// Virtex-II device has).
     pub const fn new(block: BlockType, major: u16, minor: u16) -> Self {
         FrameAddress {
+            row: 0,
+            block,
+            major,
+            minor,
+        }
+    }
+
+    /// Construct a frame address in an explicit clock-region row.
+    pub const fn with_row(row: u16, block: BlockType, major: u16, minor: u16) -> Self {
+        FrameAddress {
+            row,
             block,
             major,
             minor,
@@ -69,20 +89,27 @@ impl FrameAddress {
     }
 
     /// Pack into the 32-bit FAR register layout used by our bitstream
-    /// encoding: `[31:24] block | [23:8] major | [7:0] minor`.
+    /// encoding: `[31:26] row | [25:24] block | [23:8] major | [7:0] minor`.
+    ///
+    /// Row 0 leaves bits 31:26 clear, so Virtex-II FAR words are bit-for-bit
+    /// what they were when the layout was `[31:24] block`.
     pub const fn pack(self) -> u32 {
-        (self.block.code() << 24) | ((self.major as u32) << 8) | (self.minor as u32 & 0xFF)
+        ((self.row as u32 & 0x3F) << 26)
+            | (self.block.code() << 24)
+            | ((self.major as u32) << 8)
+            | (self.minor as u32 & 0xFF)
     }
 
     /// Inverse of [`FrameAddress::pack`].
     pub fn unpack(word: u32) -> Option<FrameAddress> {
-        let block = match word >> 24 {
+        let block = match (word >> 24) & 0x3 {
             0 => BlockType::Clb,
             1 => BlockType::BramContent,
             2 => BlockType::BramInterconnect,
             _ => return None,
         };
         Some(FrameAddress {
+            row: (word >> 26) as u16,
             block,
             major: ((word >> 8) & 0xFFFF) as u16,
             minor: (word & 0xFF) as u16,
@@ -92,7 +119,15 @@ impl FrameAddress {
 
 impl fmt::Display for FrameAddress {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:?}/maj{}/min{}", self.block, self.major, self.minor)
+        if self.row == 0 {
+            write!(f, "{:?}/maj{}/min{}", self.block, self.major, self.minor)
+        } else {
+            write!(
+                f,
+                "row{}/{:?}/maj{}/min{}",
+                self.row, self.block, self.major, self.minor
+            )
+        }
     }
 }
 
@@ -167,6 +202,23 @@ mod tests {
     #[test]
     fn far_unpack_rejects_bad_block() {
         assert_eq!(FrameAddress::unpack(0xFF00_0000), None);
+    }
+
+    #[test]
+    fn far_row_roundtrip_and_v2_compat() {
+        // Row 0 packs exactly as the historical `[31:24] block` layout.
+        let v2 = FrameAddress::new(BlockType::BramInterconnect, 47, 21);
+        assert_eq!(v2.pack(), (2 << 24) | (47 << 8) | 21);
+        assert_eq!(v2.to_string(), "BramInterconnect/maj47/min21");
+        // Non-zero rows round-trip and render visibly.
+        for row in [1u16, 3, 5, 63] {
+            let a = FrameAddress::with_row(row, BlockType::Clb, 12, 30);
+            assert_eq!(FrameAddress::unpack(a.pack()), Some(a));
+        }
+        assert_eq!(
+            FrameAddress::with_row(2, BlockType::Clb, 12, 30).to_string(),
+            "row2/Clb/maj12/min30"
+        );
     }
 
     #[test]

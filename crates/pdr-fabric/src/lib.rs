@@ -49,6 +49,7 @@ pub mod compress;
 pub mod config_mem;
 pub mod device;
 pub mod error;
+pub mod family;
 pub mod frame;
 pub mod port;
 pub mod region;
@@ -60,9 +61,10 @@ pub use busmacro::{BusMacro, BusMacroDirection};
 pub use config_mem::ConfigMemory;
 pub use device::{ColumnKind, Device, DeviceFamily};
 pub use error::FabricError;
+pub use family::{FabricCapabilities, Series7Fabric, VirtexIiFabric, S7_CLOCK_REGION_ROWS};
 pub use frame::{BlockType, FrameAddress, FrameCounts};
 pub use port::{PortKind, PortProfile};
-pub use region::{Floorplan, ReconfigRegion, MIN_REGION_CLB_COLS};
+pub use region::{Floorplan, ReconfigRegion, RowSpan, MIN_REGION_CLB_COLS};
 pub use resources::Resources;
 pub use time::TimePs;
 
@@ -73,9 +75,10 @@ pub mod prelude {
     pub use crate::config_mem::ConfigMemory;
     pub use crate::device::{ColumnKind, Device, DeviceFamily};
     pub use crate::error::FabricError;
+    pub use crate::family::FabricCapabilities;
     pub use crate::frame::{BlockType, FrameAddress, FrameCounts};
     pub use crate::port::{PortKind, PortProfile};
-    pub use crate::region::{Floorplan, ReconfigRegion};
+    pub use crate::region::{Floorplan, ReconfigRegion, RowSpan};
     pub use crate::resources::Resources;
     pub use crate::time::TimePs;
 }

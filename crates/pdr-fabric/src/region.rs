@@ -11,14 +11,35 @@
 //! what the `pdr-codegen` modular back-end produces.
 
 use crate::busmacro::BusMacro;
-use crate::device::{Device, SLICES_PER_CLB};
+use crate::device::Device;
 use crate::error::FabricError;
-use serde::{Deserialize, Serialize};
+use crate::resources::Resources;
+use serde::{json, Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Minimum region width in CLB columns (four slices).
 pub const MIN_REGION_CLB_COLS: u32 = 2;
 
-/// A full-height reconfigurable region: a window of consecutive CLB columns.
+/// The row extent of a 2D reconfigurable region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RowSpan {
+    /// First CLB row of the rectangle.
+    pub clb_row_start: u32,
+    /// Height in CLB rows.
+    pub clb_row_count: u32,
+}
+
+impl RowSpan {
+    /// One-past-the-last CLB row.
+    pub fn end(&self) -> u32 {
+        self.clb_row_start + self.clb_row_count
+    }
+}
+
+/// A reconfigurable region: a window of consecutive CLB columns, spanning
+/// either the full device height (`rows == None`, the Virtex-II Modular
+/// Design shape) or an explicit [`RowSpan`] rectangle (series7-like 2D
+/// pblocks, aligned to clock-region rows).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ReconfigRegion {
     /// Region (dynamic operator) name, e.g. `"op_dyn"`.
@@ -27,12 +48,14 @@ pub struct ReconfigRegion {
     pub clb_col_start: u32,
     /// Width in CLB columns (≥ [`MIN_REGION_CLB_COLS`]).
     pub clb_col_width: u32,
+    /// Row extent; `None` means the full device height.
+    pub rows: Option<RowSpan>,
 }
 
 impl ReconfigRegion {
-    /// Create a region, enforcing the minimum-width rule. Device-bounds
-    /// checking happens when the region is added to a [`Floorplan`] (or via
-    /// [`ReconfigRegion::validate_on`]).
+    /// Create a full-height region, enforcing the minimum-width rule.
+    /// Device-bounds checking happens when the region is added to a
+    /// [`Floorplan`] (or via [`ReconfigRegion::validate_on`]).
     pub fn new(
         name: impl Into<String>,
         clb_col_start: u32,
@@ -52,7 +75,32 @@ impl ReconfigRegion {
             name,
             clb_col_start,
             clb_col_width,
+            rows: None,
         })
+    }
+
+    /// Create a 2D rectangular region. Family shape rules (clock-region
+    /// alignment on series7-like; full height on Virtex-II) are enforced by
+    /// [`ReconfigRegion::validate_on`].
+    pub fn rect(
+        name: impl Into<String>,
+        clb_col_start: u32,
+        clb_col_width: u32,
+        clb_row_start: u32,
+        clb_row_count: u32,
+    ) -> Result<Self, FabricError> {
+        let mut region = ReconfigRegion::new(name, clb_col_start, clb_col_width)?;
+        if clb_row_count == 0 {
+            return Err(FabricError::InvalidRegion {
+                name: region.name,
+                reason: "region row span is empty".into(),
+            });
+        }
+        region.rows = Some(RowSpan {
+            clb_row_start,
+            clb_row_count,
+        });
+        Ok(region)
     }
 
     /// One-past-the-last CLB column of the window.
@@ -60,12 +108,35 @@ impl ReconfigRegion {
         self.clb_col_start + self.clb_col_width
     }
 
-    /// Does this region overlap another (column-wise)?
-    pub fn overlaps(&self, other: &ReconfigRegion) -> bool {
-        self.clb_col_start < other.clb_col_end() && other.clb_col_start < self.clb_col_end()
+    /// The CLB-row interval of the region; full-height regions span
+    /// `[0, u32::MAX)` so they conflict with every row.
+    fn row_interval(&self) -> (u32, u32) {
+        match &self.rows {
+            Some(span) => (span.clb_row_start, span.end()),
+            None => (0, u32::MAX),
+        }
     }
 
-    /// Check that the region fits the device.
+    /// The row extent resolved against a device: full-height regions span
+    /// `[0, clb_rows)`.
+    pub fn rows_on(&self, device: &Device) -> (u32, u32) {
+        match &self.rows {
+            Some(span) => (span.clb_row_start, span.clb_row_count),
+            None => (0, device.clb_rows),
+        }
+    }
+
+    /// Does this region overlap another (column- and row-wise)?
+    pub fn overlaps(&self, other: &ReconfigRegion) -> bool {
+        let cols =
+            self.clb_col_start < other.clb_col_end() && other.clb_col_start < self.clb_col_end();
+        let (a0, a1) = self.row_interval();
+        let (b0, b1) = other.row_interval();
+        cols && a0 < b1 && b0 < a1
+    }
+
+    /// Check that the region fits the device and obeys its family's shape
+    /// rules.
     pub fn validate_on(&self, device: &Device) -> Result<(), FabricError> {
         if self.clb_col_end() > device.clb_cols {
             return Err(FabricError::InvalidRegion {
@@ -79,12 +150,41 @@ impl ReconfigRegion {
                 ),
             });
         }
-        Ok(())
+        if let Some(span) = &self.rows {
+            if span.end() > device.clb_rows {
+                return Err(FabricError::InvalidRegion {
+                    name: self.name.clone(),
+                    reason: format!(
+                        "rows [{}, {}) exceed device `{}` ({} CLB rows)",
+                        span.clb_row_start,
+                        span.end(),
+                        device.name,
+                        device.clb_rows
+                    ),
+                });
+            }
+        }
+        device.capabilities().validate_region_shape(device, self)
     }
 
-    /// Slices contained in the region (full height × width).
+    /// Slices contained in the region.
     pub fn slices(&self, device: &Device) -> u32 {
-        device.clb_rows * self.clb_col_width * SLICES_PER_CLB
+        let (_, row_count) = self.rows_on(device);
+        row_count * self.clb_col_width * device.capabilities().slices_per_clb()
+    }
+
+    /// The full resource capacity of the region window — slices/LUTs/FFs
+    /// plus the BRAMs and multipliers/DSPs of embedded columns inside it.
+    /// This is the feasibility vector 2D placement packs against.
+    pub fn resources(&self, device: &Device) -> Resources {
+        let (row_start, row_count) = self.rows_on(device);
+        device.capabilities().window_resources(
+            device,
+            self.clb_col_start,
+            self.clb_col_width,
+            row_start,
+            row_count,
+        )
     }
 
     /// Fraction of the device's slices covered by the region. The paper's
@@ -95,9 +195,18 @@ impl ReconfigRegion {
     }
 
     /// Configuration frames covered by the region, including embedded BRAM /
-    /// GCLK columns falling inside the window.
+    /// DSP / GCLK columns falling inside the window.
     pub fn frames(&self, device: &Device) -> u32 {
-        device.frames_in_clb_window(self.clb_col_start, self.clb_col_width)
+        match &self.rows {
+            None => device.frames_in_clb_window(self.clb_col_start, self.clb_col_width),
+            Some(span) => device.capabilities().window_frames(
+                device,
+                self.clb_col_start,
+                self.clb_col_width,
+                span.clb_row_start,
+                span.clb_row_count,
+            ),
+        }
     }
 
     /// Frame-payload bits of a partial bitstream for this region.
@@ -108,7 +217,11 @@ impl ReconfigRegion {
 
 /// A device floorplan: the static part plus validated, non-overlapping
 /// reconfigurable regions and their bus macros.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Region and bus-macro lookups go through name→index / column→index maps
+/// maintained at insertion time, so [`Floorplan::region`] and
+/// [`Floorplan::bus_macros_of`] are map lookups instead of O(n) scans.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Floorplan {
     /// Target device.
     pub device: Device,
@@ -116,6 +229,11 @@ pub struct Floorplan {
     regions: Vec<ReconfigRegion>,
     /// Bus macros bridging static ↔ dynamic boundaries.
     bus_macros: Vec<BusMacro>,
+    /// Region name → index into `regions` (first occurrence wins, matching
+    /// the linear-scan semantics under duplicate names from `from_parts`).
+    region_index: BTreeMap<String, usize>,
+    /// Boundary CLB column → indices into `bus_macros` at that boundary.
+    macros_by_col: BTreeMap<u32, Vec<usize>>,
 }
 
 impl Floorplan {
@@ -125,6 +243,8 @@ impl Floorplan {
             device,
             regions: Vec::new(),
             bus_macros: Vec::new(),
+            region_index: BTreeMap::new(),
+            macros_by_col: BTreeMap::new(),
         }
     }
 
@@ -139,11 +259,23 @@ impl Floorplan {
         regions: Vec<ReconfigRegion>,
         bus_macros: Vec<BusMacro>,
     ) -> Self {
-        Floorplan {
+        let mut fp = Floorplan {
             device,
             regions,
             bus_macros,
+            region_index: BTreeMap::new(),
+            macros_by_col: BTreeMap::new(),
+        };
+        for (i, r) in fp.regions.iter().enumerate() {
+            fp.region_index.entry(r.name.clone()).or_insert(i);
         }
+        for (i, bm) in fp.bus_macros.iter().enumerate() {
+            fp.macros_by_col
+                .entry(bm.boundary_clb_col)
+                .or_default()
+                .push(i);
+        }
+        fp
     }
 
     /// Add a reconfigurable region, enforcing bounds and non-overlap.
@@ -155,6 +287,9 @@ impl Floorplan {
                 b: region.name,
             });
         }
+        self.region_index
+            .entry(region.name.clone())
+            .or_insert(self.regions.len());
         self.regions.push(region);
         Ok(())
     }
@@ -164,7 +299,11 @@ impl Floorplan {
     /// height.
     pub fn add_bus_macro(&mut self, bm: BusMacro) -> Result<(), FabricError> {
         bm.validate(&self.device, &self.regions)?;
-        if self.bus_macros.iter().any(|other| other.collides_with(&bm)) {
+        let colliding = self
+            .macros_by_col
+            .get(&bm.boundary_clb_col)
+            .is_some_and(|ids| ids.iter().any(|&i| self.bus_macros[i].collides_with(&bm)));
+        if colliding {
             return Err(FabricError::InvalidBusMacro {
                 reason: format!(
                     "bus macro at row {} col {} collides with an existing macro",
@@ -172,6 +311,10 @@ impl Floorplan {
                 ),
             });
         }
+        self.macros_by_col
+            .entry(bm.boundary_clb_col)
+            .or_default()
+            .push(self.bus_macros.len());
         self.bus_macros.push(bm);
         Ok(())
     }
@@ -181,9 +324,9 @@ impl Floorplan {
         &self.regions
     }
 
-    /// Region lookup by name.
+    /// Region lookup by name (indexed; O(log n)).
     pub fn region(&self, name: &str) -> Option<&ReconfigRegion> {
-        self.regions.iter().find(|r| r.name == name)
+        self.region_index.get(name).map(|&i| &self.regions[i])
     }
 
     /// The bus macros of the floorplan.
@@ -191,18 +334,20 @@ impl Floorplan {
         &self.bus_macros
     }
 
-    /// Bus macros attached to the named region's boundaries.
+    /// Bus macros attached to the named region's boundaries (indexed;
+    /// returned in insertion order, as the historical linear scan did).
     pub fn bus_macros_of(&self, region_name: &str) -> Vec<&BusMacro> {
         let Some(region) = self.region(region_name) else {
             return Vec::new();
         };
-        self.bus_macros
+        let mut ids: Vec<usize> = [region.clb_col_start, region.clb_col_end()]
             .iter()
-            .filter(|bm| {
-                bm.boundary_clb_col == region.clb_col_start
-                    || bm.boundary_clb_col == region.clb_col_end()
-            })
-            .collect()
+            .flat_map(|col| self.macros_by_col.get(col).into_iter().flatten())
+            .copied()
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.into_iter().map(|i| &self.bus_macros[i]).collect()
     }
 
     /// Slices remaining for the static part.
@@ -219,6 +364,21 @@ impl Floorplan {
             .sum()
     }
 }
+
+// Manual impls: the lookup indices are derived state rebuilt by
+// `from_parts`, so only device/regions/bus_macros are serialized — the
+// same field set (and JSON bytes) the pre-index derive produced.
+impl Serialize for Floorplan {
+    fn to_json(&self) -> json::Value {
+        json::Value::Object(vec![
+            ("device".to_string(), self.device.to_json()),
+            ("regions".to_string(), self.regions.to_json()),
+            ("bus_macros".to_string(), self.bus_macros.to_json()),
+        ])
+    }
+}
+
+impl Deserialize for Floorplan {}
 
 #[cfg(test)]
 mod tests {
@@ -311,5 +471,87 @@ mod tests {
             .unwrap();
         assert!(fp.region("x").is_some());
         assert!(fp.region("y").is_none());
+    }
+
+    #[test]
+    fn lookup_indices_match_linear_scan_under_duplicates() {
+        // from_parts may carry duplicate names (illegal plans for lint);
+        // the index must preserve first-occurrence-wins.
+        let d = dev();
+        let regions = vec![
+            ReconfigRegion::new("dup", 2, 2).unwrap(),
+            ReconfigRegion::new("dup", 10, 4).unwrap(),
+        ];
+        let fp = Floorplan::from_parts(d, regions, Vec::new());
+        assert_eq!(fp.region("dup").unwrap().clb_col_start, 2);
+    }
+
+    fn s7() -> Device {
+        Device::by_name("XC7A100T").unwrap()
+    }
+
+    #[test]
+    fn rect_regions_stack_vertically_on_s7() {
+        // Two rectangles in the same columns but different clock regions
+        // coexist — impossible on Virtex-II.
+        let mut fp = Floorplan::new(s7());
+        fp.add_region(ReconfigRegion::rect("top", 10, 6, 0, 50).unwrap())
+            .unwrap();
+        fp.add_region(ReconfigRegion::rect("bottom", 10, 6, 50, 50).unwrap())
+            .unwrap();
+        assert_eq!(fp.regions().len(), 2);
+        // Same columns AND same rows overlaps.
+        let err = fp
+            .add_region(ReconfigRegion::rect("clash", 12, 4, 50, 50).unwrap())
+            .unwrap_err();
+        assert!(matches!(err, FabricError::RegionOverlap { .. }));
+    }
+
+    #[test]
+    fn rect_region_geometry_on_s7() {
+        let d = s7();
+        let r = ReconfigRegion::rect("r", 10, 6, 50, 50).unwrap();
+        r.validate_on(&d).unwrap();
+        assert_eq!(r.slices(&d), 50 * 6 * 2);
+        let res = r.resources(&d);
+        assert_eq!(res.slices, r.slices(&d));
+        assert_eq!(res.luts, res.slices * 4);
+        assert_eq!(res.ffs, res.slices * 8);
+        // One clock region tall → frames are a third of the full-height
+        // region over the same columns.
+        let full = ReconfigRegion::new("full", 10, 6).unwrap();
+        assert_eq!(full.frames(&d), 3 * r.frames(&d));
+        assert_eq!(r.config_bits(&d), r.frames(&d) as u64 * d.bits_per_frame());
+    }
+
+    #[test]
+    fn rect_rejected_on_v2_unless_full_height() {
+        let d = dev();
+        let partial = ReconfigRegion::rect("p", 10, 4, 0, 28).unwrap();
+        assert!(partial.validate_on(&d).is_err());
+        let full = ReconfigRegion::rect("f", 10, 4, 0, 56).unwrap();
+        assert!(full.validate_on(&d).is_ok());
+    }
+
+    #[test]
+    fn rect_row_bounds_checked() {
+        let d = s7();
+        let off = ReconfigRegion::rect("off", 10, 4, 100, 100).unwrap();
+        let err = off.validate_on(&d).unwrap_err();
+        assert!(err.to_string().contains("CLB rows"));
+        let misaligned = ReconfigRegion::rect("skew", 10, 4, 25, 50).unwrap();
+        assert!(misaligned.validate_on(&d).is_err());
+    }
+
+    #[test]
+    fn full_height_overlap_semantics_unchanged() {
+        // A rect and a column region in the same columns overlap; disjoint
+        // columns never do regardless of rows.
+        let col = ReconfigRegion::new("col", 10, 4).unwrap();
+        let rect = ReconfigRegion::rect("rect", 12, 4, 50, 50).unwrap();
+        assert!(col.overlaps(&rect));
+        assert!(rect.overlaps(&col));
+        let far = ReconfigRegion::rect("far", 30, 4, 50, 50).unwrap();
+        assert!(!col.overlaps(&far));
     }
 }

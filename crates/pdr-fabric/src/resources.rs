@@ -87,6 +87,18 @@ impl Resources {
         self.slices <= s && self.luts <= s * 2 && self.ffs <= s * 2
     }
 
+    /// Component-wise: does this supply cover `demand`? Used by 2D
+    /// placement to test a candidate rectangle's resource vector against a
+    /// region envelope (tbufs are routing, not a windowed resource, and are
+    /// not compared).
+    pub fn covers(&self, demand: &Resources) -> bool {
+        self.slices >= demand.slices
+            && self.luts >= demand.luts
+            && self.ffs >= demand.ffs
+            && self.brams >= demand.brams
+            && self.mults >= demand.mults
+    }
+
     /// Slice utilization as a percentage of the device.
     pub fn slice_percent(&self, d: &Device) -> f64 {
         100.0 * self.slices as f64 / d.slices() as f64

@@ -1,41 +1,83 @@
 //! Floorplan and bitstream lints (PDR008–PDR011).
 //!
-//! The Xilinx Modular Design rules the paper's §5 back-end relies on are
-//! re-checked here on the *artifact* rather than trusted from the
-//! constructors: regions are full-height column windows at least two CLB
-//! columns (four slices) wide, inside the device and pairwise disjoint;
-//! bus macros straddle a region boundary on an interior dividing line;
-//! and every dynamic module's partial bitstream is sized for exactly the
-//! frames of the region it reconfigures (the static stream for the whole
-//! device). Constructors in `pdr-fabric` enforce most of this on the way
-//! in, but artifacts can also be assembled by hand, patched, or produced
-//! by a future back-end — the lint is the independent witness.
+//! The back-end rules the paper's §5 flow relies on are re-checked here
+//! on the *artifact* rather than trusted from the constructors, and they
+//! are family-parameterized through
+//! [`FabricCapabilities`](pdr_fabric::FabricCapabilities): on Virtex-II
+//! regions are full-height column windows at least two CLB columns (four
+//! slices) wide; on 2D families they are clock-region-aligned rectangles.
+//! In both generations regions sit inside the device and pairwise
+//! disjoint; bus macros straddle a region boundary on an interior
+//! dividing line (within the region's row span on a rectangle); and every
+//! dynamic module's partial bitstream is sized for exactly the frames of
+//! the region it reconfigures (the static stream for the whole device).
+//! Constructors in `pdr-fabric` enforce most of this on the way in, but
+//! artifacts can also be assembled by hand, patched, or produced by a
+//! future back-end — the lint is the independent witness.
 
 use crate::diag::{Code, Diagnostic, Location, Severity};
 use pdr_codegen::floorplan::FloorplanResult;
-use pdr_fabric::{BitstreamKind, MIN_REGION_CLB_COLS};
+use pdr_fabric::BitstreamKind;
 
 /// Lint a placed design: floorplan geometry, bus macros, bitstreams.
 pub fn check(result: &FloorplanResult) -> Vec<Diagnostic> {
     let mut diagnostics = Vec::new();
     let fp = &result.floorplan;
     let device = &fp.device;
+    let caps = device.capabilities();
 
     // PDR008: per-region geometry.
     for r in fp.regions() {
-        if r.clb_col_width < MIN_REGION_CLB_COLS {
-            diagnostics.push(
-                Diagnostic::new(
-                    Code::RegionGeometry,
-                    format!(
-                        "region `{}` is {} CLB column{} wide; the Modular \
-                         Design minimum is {MIN_REGION_CLB_COLS} (four slices)",
-                        r.name,
-                        r.clb_col_width,
-                        if r.clb_col_width == 1 { "" } else { "s" },
-                    ),
+        let min_cols = caps.min_region_clb_cols();
+        if r.clb_col_width < min_cols {
+            let message = if caps.supports_2d_regions() {
+                format!(
+                    "region `{}` is {} CLB column{} wide; the {} \
+                     partial-reconfiguration minimum is {min_cols}",
+                    r.name,
+                    r.clb_col_width,
+                    if r.clb_col_width == 1 { "" } else { "s" },
+                    caps.family_name(),
                 )
-                .at(Location::Region(r.name.clone())),
+            } else {
+                format!(
+                    "region `{}` is {} CLB column{} wide; the Modular \
+                     Design minimum is {min_cols} (four slices)",
+                    r.name,
+                    r.clb_col_width,
+                    if r.clb_col_width == 1 { "" } else { "s" },
+                )
+            };
+            diagnostics.push(
+                Diagnostic::new(Code::RegionGeometry, message).at(Location::Region(r.name.clone())),
+            );
+        }
+        // Row-span shape rules: device row bounds plus the family's shape
+        // constraint (full height on Virtex-II, clock-region alignment on
+        // 2D families). Both are vacuous for a full-height region.
+        if let Some(span) = r.rows {
+            if span.end() > device.clb_rows {
+                diagnostics.push(
+                    Diagnostic::new(
+                        Code::RegionGeometry,
+                        format!(
+                            "region `{}` spans rows [{}, {}) but device \
+                             `{}` has only {} CLB rows",
+                            r.name,
+                            span.clb_row_start,
+                            span.end(),
+                            device.name,
+                            device.clb_rows
+                        ),
+                    )
+                    .at(Location::Region(r.name.clone())),
+                );
+            }
+        }
+        if let Err(e) = caps.validate_region_shape(device, r) {
+            diagnostics.push(
+                Diagnostic::new(Code::RegionGeometry, format!("region `{}`: {e}", r.name))
+                    .at(Location::Region(r.name.clone())),
             );
         }
         if r.clb_col_end() > device.clb_cols {
@@ -70,24 +112,42 @@ pub fn check(result: &FloorplanResult) -> Vec<Diagnostic> {
         }
     }
 
-    // PDR009: pairwise overlap.
+    // PDR009: pairwise overlap (columns × rows; the row interval is the
+    // whole device for a full-height region).
     for (i, a) in fp.regions().iter().enumerate() {
         for b in fp.regions().iter().skip(i + 1) {
             if a.overlaps(b) {
-                diagnostics.push(
-                    Diagnostic::new(
-                        Code::RegionOverlap,
-                        format!(
-                            "regions `{}` [{}, {}) and `{}` [{}, {}) overlap",
-                            a.name,
-                            a.clb_col_start,
-                            a.clb_col_end(),
-                            b.name,
-                            b.clb_col_start,
-                            b.clb_col_end()
-                        ),
+                let message = if a.rows.is_some() || b.rows.is_some() {
+                    let (ar0, arn) = a.rows_on(device);
+                    let (br0, brn) = b.rows_on(device);
+                    format!(
+                        "regions `{}` cols [{}, {}) rows [{}, {}) and `{}` \
+                         cols [{}, {}) rows [{}, {}) overlap",
+                        a.name,
+                        a.clb_col_start,
+                        a.clb_col_end(),
+                        ar0,
+                        ar0 + arn,
+                        b.name,
+                        b.clb_col_start,
+                        b.clb_col_end(),
+                        br0,
+                        br0 + brn
                     )
-                    .at(Location::Region(a.name.clone())),
+                } else {
+                    format!(
+                        "regions `{}` [{}, {}) and `{}` [{}, {}) overlap",
+                        a.name,
+                        a.clb_col_start,
+                        a.clb_col_end(),
+                        b.name,
+                        b.clb_col_start,
+                        b.clb_col_end()
+                    )
+                };
+                diagnostics.push(
+                    Diagnostic::new(Code::RegionOverlap, message)
+                        .at(Location::Region(a.name.clone())),
                 );
             }
         }
@@ -282,6 +342,7 @@ mod tests {
                 name: "thin".into(),
                 clb_col_start: 10,
                 clb_col_width: 1,
+                rows: None,
             }],
             vec![],
         );
@@ -368,5 +429,64 @@ mod tests {
             ds.iter().filter(|d| d.code == Code::BitstreamSize).count(),
             2
         );
+    }
+
+    #[test]
+    fn s7_stacked_regions_are_not_an_overlap() {
+        // Same columns, different clock-region bands: disjoint on a 2D
+        // family (a full-height model would flag these).
+        let device = Device::by_name("XC7A100T").unwrap();
+        let fp = Floorplan::from_parts(
+            device,
+            vec![
+                ReconfigRegion::rect("a", 10, 4, 0, 50).unwrap(),
+                ReconfigRegion::rect("b", 10, 4, 50, 50).unwrap(),
+            ],
+            vec![],
+        );
+        let ds = check(&result_with(fp));
+        assert!(ds.iter().all(|d| d.code != Code::RegionOverlap), "{ds:?}");
+        assert!(ds.iter().all(|d| d.code != Code::RegionGeometry), "{ds:?}");
+    }
+
+    #[test]
+    fn s7_misaligned_rect_is_pdr008() {
+        let device = Device::by_name("XC7A100T").unwrap();
+        let fp = Floorplan::from_parts(
+            device,
+            vec![ReconfigRegion {
+                name: "skew".into(),
+                clb_col_start: 10,
+                clb_col_width: 4,
+                rows: Some(pdr_fabric::RowSpan {
+                    clb_row_start: 25,
+                    clb_row_count: 50,
+                }),
+            }],
+            vec![],
+        );
+        let ds = check(&result_with(fp));
+        assert!(ds
+            .iter()
+            .any(|d| d.code == Code::RegionGeometry && d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn s7_overlap_message_reports_rows() {
+        let device = Device::by_name("XC7A100T").unwrap();
+        let fp = Floorplan::from_parts(
+            device,
+            vec![
+                ReconfigRegion::rect("a", 10, 4, 0, 100).unwrap(),
+                ReconfigRegion::rect("b", 12, 4, 50, 50).unwrap(),
+            ],
+            vec![],
+        );
+        let ds = check(&result_with(fp));
+        let overlap = ds
+            .iter()
+            .find(|d| d.code == Code::RegionOverlap)
+            .expect("rects sharing a band and columns must overlap");
+        assert!(overlap.message.contains("rows [50, 100)"), "{overlap:?}");
     }
 }

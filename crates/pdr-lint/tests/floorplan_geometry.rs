@@ -1,0 +1,108 @@
+//! Property test: `ReconfigRegion::validate_on` ⟺ PDR008, on both fabric
+//! generations.
+//!
+//! The floorplan lint re-checks region geometry on the artifact instead of
+//! trusting the `pdr-fabric` constructors, so the two must agree exactly:
+//! a region passes `validate_on` if and only if linting a floorplan that
+//! contains it (via the unvalidated `Floorplan::from_parts` escape hatch)
+//! raises no error-severity PDR008 diagnostic. Generated regions are at
+//! least the minimum width (that rule is enforced at construction, not by
+//! `validate_on`) but may exceed the device or misalign with clock
+//! regions — the interesting half of the space. A companion property pins
+//! PDR009 to `ReconfigRegion::overlaps` the same way.
+
+use pdr_codegen::floorplan::FloorplanResult;
+use pdr_fabric::{Device, Floorplan, ReconfigRegion};
+use pdr_lint::diag::{Code, Severity};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const DEVICES: [&str; 6] = [
+    "XC2V1000", "XC2V2000", "XC2V6000", "XC7A15T", "XC7A50T", "XC7A100T",
+];
+
+/// A region from raw seeds, deliberately *not* confined to the device:
+/// columns and rows range past every catalog part's dimensions, and row
+/// spans ignore clock-region alignment.
+fn wild_region(
+    name: &str,
+    ((col, width), (row, height), full): ((u32, u32), (u32, u32), bool),
+) -> ReconfigRegion {
+    let width = 2 + width % 10;
+    if full {
+        ReconfigRegion::new(name, col, width).expect("width >= 2")
+    } else {
+        ReconfigRegion::rect(name, col, width, row, 1 + height).expect("non-empty rect")
+    }
+}
+
+/// Seed strategy for [`wild_region`].
+#[allow(clippy::type_complexity)]
+fn region_seed() -> (
+    (std::ops::Range<u32>, std::ops::Range<u32>),
+    (std::ops::Range<u32>, std::ops::Range<u32>),
+    proptest::Any<bool>,
+) {
+    (
+        (0u32..128, 0u32..1024),
+        (0u32..512, 0u32..512),
+        any::<bool>(),
+    )
+}
+
+/// Lint a bare floorplan holding exactly `regions` (no bus macros, no
+/// bitstreams) and return the error-severity diagnostics of `code`.
+fn lint_errors(device: &Device, regions: Vec<ReconfigRegion>, code: Code) -> usize {
+    let result = FloorplanResult {
+        floorplan: Floorplan::from_parts(device.clone(), regions, Vec::new()),
+        bitstreams: BTreeMap::new(),
+        region_of: BTreeMap::new(),
+        region_envelopes: BTreeMap::new(),
+    };
+    pdr_lint::floorplan::check(&result)
+        .iter()
+        .filter(|d| d.code == code && d.severity == Severity::Error)
+        .count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn validate_on_agrees_with_pdr008(pick in 0u32..64, seed in region_seed()) {
+        let device = Device::by_name(DEVICES[pick as usize % DEVICES.len()]).expect("catalog");
+        let region = wild_region("r", seed);
+        let valid = region.validate_on(&device).is_ok();
+        let errors = lint_errors(&device, vec![region.clone()], Code::RegionGeometry);
+        prop_assert_eq!(
+            valid,
+            errors == 0,
+            "validate_on says {} but PDR008 raised {} error(s) for {:?} on {}",
+            if valid { "legal" } else { "illegal" },
+            errors,
+            region,
+            device.name
+        );
+    }
+
+    #[test]
+    fn overlaps_agrees_with_pdr009(
+        pick in 0u32..64,
+        a in region_seed(),
+        b in region_seed(),
+    ) {
+        let device = Device::by_name(DEVICES[pick as usize % DEVICES.len()]).expect("catalog");
+        let ra = wild_region("a", a);
+        let rb = wild_region("b", b);
+        let errors = lint_errors(&device, vec![ra.clone(), rb.clone()], Code::RegionOverlap);
+        prop_assert_eq!(
+            ra.overlaps(&rb),
+            errors == 1,
+            "overlaps() = {} but PDR009 raised {} error(s) for {:?} / {:?}",
+            ra.overlaps(&rb),
+            errors,
+            ra,
+            rb
+        );
+    }
+}
