@@ -39,8 +39,7 @@ use crate::schedule::{ItemKind, Schedule, ScheduledItem};
 use pdr_fabric::TimePs;
 use pdr_graph::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 
 /// Tunables of the adequation heuristic.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -97,38 +96,418 @@ pub struct AdequationResult {
     pub finish_times: HashMap<OpId, TimePs>,
 }
 
-/// Feasible operators of an operation, honoring constraints-file pins.
-/// Pins and region constraints bypass the WCET feasibility check, exactly
-/// like the pre-index path did (an infeasible constrained region is caught
-/// later as "no routable operator").
-fn feasible_operators(
-    op: &Operation,
-    id: OpId,
+/// Dense sentinel for "no operator assigned/pinned".
+const NO_OPR: u32 = u32::MAX;
+
+/// One resolved predecessor arc of the operation being placed: everything
+/// a probe needs, looked up once per operation instead of once per
+/// (edge × candidate) — the seed re-probed the mapping's B-tree and
+/// re-multiplied the route index on every candidate.
+#[derive(Debug, Clone, Copy)]
+struct PredArc {
+    /// Operator executing the source operation.
+    src_opr: u32,
+    /// Row base of that operator in [`AdequationIndex::route_table`].
+    route_base: usize,
+    /// Finish time of the source operation.
+    t0: TimePs,
+    /// Edge width in bits.
+    bits: u64,
+    /// Source operation (names the transfer item).
+    from: u32,
+}
+
+/// Reusable dense state of the scheduler core.
+///
+/// Everything the greedy list scheduler mutates lives here as a flat,
+/// index-addressed vector: remaining in-degrees, finish times, operator
+/// and medium horizons, the chosen operator per operation, resolved pins,
+/// the ready heap and the per-operation predecessor scratch. A workspace
+/// is reused across runs — the internal `prepare` step only clears and
+/// resizes — so after one warm-up call [`evaluate_makespan`] performs no
+/// heap allocation in steady state (`pdr-bench`'s `bench_scale` holds
+/// that with a counting allocator).
+#[derive(Debug, Default)]
+pub struct EvalWorkspace {
+    remaining: Vec<u32>,
+    finish: Vec<TimePs>,
+    operator_free: Vec<TimePs>,
+    medium_free: Vec<TimePs>,
+    op_operator: Vec<u32>,
+    pinned: Vec<u32>,
+    /// Pair-keyed binary max-heap on (bottom level, id): each operation
+    /// enters exactly once when its in-degree hits zero, so no re-keying
+    /// or deletion is ever needed, and the backing vector is reused
+    /// across runs.
+    ready: Vec<(TimePs, usize)>,
+    preds: Vec<PredArc>,
+    /// Per (predecessor, medium) transfer time of the operation being
+    /// placed, row-major by predecessor: the edge width is fixed per arc,
+    /// so the bandwidth division happens once per (arc, medium) instead of
+    /// once per (candidate, hop).
+    pred_tt: Vec<TimePs>,
+}
+
+impl EvalWorkspace {
+    /// A fresh, empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn prepare(&mut self, n_ops: usize, n_oprs: usize, n_media: usize) {
+        self.remaining.clear();
+        self.remaining.resize(n_ops, 0);
+        self.finish.clear();
+        self.finish.resize(n_ops, TimePs::ZERO);
+        self.operator_free.clear();
+        self.operator_free.resize(n_oprs, TimePs::ZERO);
+        self.medium_free.clear();
+        self.medium_free.resize(n_media, TimePs::ZERO);
+        self.op_operator.clear();
+        self.op_operator.resize(n_ops, NO_OPR);
+        self.pinned.clear();
+        self.pinned.resize(n_ops, NO_OPR);
+        self.ready.clear();
+        self.preds.clear();
+        self.pred_tt.clear();
+    }
+
+    /// Heap order: higher bottom level first, ties towards the lower id —
+    /// exactly the key the seed's full ready-list scan minimized.
+    #[inline]
+    fn ready_before(a: (TimePs, usize), b: (TimePs, usize)) -> bool {
+        a.0 > b.0 || (a.0 == b.0 && a.1 < b.1)
+    }
+
+    #[inline]
+    fn ready_push(&mut self, item: (TimePs, usize)) {
+        let mut i = self.ready.len();
+        self.ready.push(item);
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if Self::ready_before(self.ready[i], self.ready[parent]) {
+                self.ready.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    #[inline]
+    fn ready_pop(&mut self) -> Option<(TimePs, usize)> {
+        if self.ready.is_empty() {
+            return None;
+        }
+        let last = self.ready.len() - 1;
+        self.ready.swap(0, last);
+        let top = self.ready.pop();
+        let mut i = 0;
+        loop {
+            let l = 2 * i + 1;
+            if l >= self.ready.len() {
+                break;
+            }
+            let r = l + 1;
+            let c = if r < self.ready.len() && Self::ready_before(self.ready[r], self.ready[l]) {
+                r
+            } else {
+                l
+            };
+            if Self::ready_before(self.ready[c], self.ready[i]) {
+                self.ready.swap(i, c);
+                i = c;
+            } else {
+                break;
+            }
+        }
+        top
+    }
+}
+
+/// Recording buffers of the `RECORD = true` instantiation: per-id item
+/// vectors, folded into the [`Schedule`]'s B-trees once at the end.
+#[derive(Debug, Default)]
+struct RecordBufs {
+    operator_items: Vec<Vec<ScheduledItem>>,
+    medium_items: Vec<Vec<ScheduledItem>>,
+}
+
+/// The scheduler core, monomorphized over whether it records.
+///
+/// Both instantiations take identical decisions and perform identical
+/// commits (operator/medium horizon updates, finish times) — `RECORD =
+/// true` additionally materializes the schedule items and function-name
+/// strings, `RECORD = false` only tracks the running makespan.
+fn run_core<const RECORD: bool>(
+    algo: &AlgorithmGraph,
     arch: &ArchGraph,
     constraints: &ConstraintsFile,
+    options: &AdequationOptions,
     index: &AdequationIndex,
-    pinned: Option<OperatorId>,
-) -> Vec<OperatorId> {
-    if let Some(p) = pinned {
-        return vec![p];
+    ws: &mut EvalWorkspace,
+    bufs: &mut RecordBufs,
+) -> Result<TimePs, AdequationError> {
+    let n = algo.len();
+    let n_oprs = arch.operator_count();
+    let n_media = arch.medium_count();
+    ws.prepare(n, n_oprs, n_media);
+    if RECORD {
+        bufs.operator_items.resize_with(n_oprs, Vec::new);
+        bufs.medium_items.resize_with(n_media, Vec::new);
     }
-    // Region constraint: if any function is constrained, only that region.
-    let constrained_region: Option<&str> = op
-        .kind
-        .functions()
-        .iter()
-        .find_map(|f| constraints.module(f).map(|mc| mc.region.as_str()));
-    if let Some(region) = constrained_region {
-        return arch
-            .operators()
-            .filter(|(_, o)| o.name == region)
-            .map(|(opr, _)| opr)
-            .collect();
+
+    // Resolve pins into the dense table (a later pin of the same
+    // operation wins, as the seed's HashMap insert did).
+    for (op_name, opr_name) in &options.pins {
+        let op = algo
+            .by_name(op_name)
+            .ok_or_else(|| AdequationError::Graph(GraphError::UnknownVertex(op_name.clone())))?;
+        let opr = arch
+            .operator_by_name(opr_name)
+            .ok_or_else(|| AdequationError::Graph(GraphError::UnknownVertex(opr_name.clone())))?;
+        ws.pinned[op.0] = opr.0 as u32;
     }
-    arch.operators()
-        .map(|(opr, _)| opr)
-        .filter(|&opr| index.wcet(id, opr).is_some())
-        .collect()
+
+    for i in 0..n {
+        ws.remaining[i] = algo.in_degree(OpId(i)) as u32;
+        if ws.remaining[i] == 0 {
+            ws.ready_push((index.bottom_level(OpId(i)), i));
+        }
+    }
+
+    let route_table = index.route_table();
+    let mut makespan = TimePs::ZERO;
+    let mut scheduled = 0usize;
+    while scheduled < n {
+        let next = match ws.ready_pop() {
+            Some((_, i)) => OpId(i),
+            None => {
+                return Err(AdequationError::InvalidSchedule(
+                    "no ready operation although schedule incomplete (cycle?)".into(),
+                ))
+            }
+        };
+        let op = algo.op(next);
+
+        // Candidate set, never materialized: a pin or a constrained
+        // region names exactly one operator (operator names are unique),
+        // otherwise every operator is probed and the WCET matrix masks
+        // the infeasible ones. Pins and region constraints bypass the
+        // WCET feasibility check, exactly like the pre-index path did (an
+        // infeasible pinned/constrained operator is caught below as "no
+        // routable operator").
+        let single: Option<OperatorId> = if ws.pinned[next.0] != NO_OPR {
+            Some(OperatorId(ws.pinned[next.0] as usize))
+        } else {
+            let constrained_region: Option<&str> = op
+                .kind
+                .functions()
+                .iter()
+                .find_map(|f| constraints.module(f).map(|mc| mc.region.as_str()));
+            match constrained_region {
+                Some(region) => Some(arch.operator_by_name(region).ok_or_else(|| {
+                    AdequationError::Unmappable {
+                        operation: op.name.clone(),
+                        reason: "no feasible operator".into(),
+                    }
+                })?),
+                None => None,
+            }
+        };
+
+        // Predecessor arcs, resolved once per operation, with the per-
+        // medium transfer time of each arc's payload divided out up front
+        // (`t0`'s max doubles as the candidate-independent start bound).
+        ws.preds.clear();
+        ws.pred_tt.clear();
+        let mut max_t0 = TimePs::ZERO;
+        for e in algo.in_edges(next) {
+            let src = ws.op_operator[e.from.0];
+            debug_assert_ne!(src, NO_OPR, "predecessors scheduled first");
+            let t0 = ws.finish[e.from.0];
+            max_t0 = max_t0.max(t0);
+            ws.preds.push(PredArc {
+                src_opr: src,
+                route_base: src as usize * n_oprs,
+                t0,
+                bits: e.bits,
+                from: e.from.0 as u32,
+            });
+            for m in 0..n_media {
+                ws.pred_tt
+                    .push(arch.medium(MediumId(m)).transfer_time(e.bits));
+            }
+        }
+
+        // Pick the operator minimizing the finish-time estimate.
+        let mut best: Option<(TimePs, TimePs, OperatorId, TimePs, Option<usize>)> = None;
+        let mut any_feasible = false;
+        let (lo, hi) = match single {
+            Some(o) => (o.0, o.0 + 1),
+            None => (0, n_oprs),
+        };
+        let wcet_row = index.wcet_row(next);
+        for c in lo..hi {
+            let cand = OperatorId(c);
+            let Some(entry) = wcet_row[c].as_ref() else {
+                continue;
+            };
+            any_feasible = true;
+            let dur = entry.dur;
+            // Cheap lower bound before any route work: the start time is
+            // at least `max(operator_free, latest predecessor finish)`,
+            // and the penalty term only adds — so a candidate whose bound
+            // cannot *strictly* beat the incumbent would lose the `eft <
+            // best` comparison below anyway, and the first-wins tie-break
+            // is preserved exactly.
+            if let Some((b_eft, ..)) = &best {
+                if ws.operator_free[c].max(max_t0) + dur >= *b_eft {
+                    continue;
+                }
+            }
+            // Earliest start: operator free + data arrivals (simulated,
+            // not committed).
+            let mut est = ws.operator_free[c];
+            let mut routable = true;
+            for (pi, p) in ws.preds.iter().enumerate() {
+                match route_table[p.route_base + c].as_ref() {
+                    Some(route) => {
+                        // Estimate without reserving: each hop waits for
+                        // the medium then transfers.
+                        let tt = &ws.pred_tt[pi * n_media..];
+                        let mut t = p.t0;
+                        for &m in &route.media {
+                            t = t.max(ws.medium_free[m.0]) + tt[m.0];
+                        }
+                        est = est.max(t);
+                    }
+                    None => {
+                        routable = false;
+                        break;
+                    }
+                }
+            }
+            if !routable {
+                continue;
+            }
+            // Expected reconfiguration penalty (selection pressure only).
+            let mut eft = est + dur;
+            if options.reconfig_aware && index.is_conditioned(next) && index.is_dynamic(cand) {
+                let worst_fn = index.reconfig_worst(next, cand);
+                let penalty_ps =
+                    (worst_fn.as_ps() as f64 * options.switch_probability).round() as u64;
+                eft += TimePs::from_ps(penalty_ps);
+            }
+            let better = match &best {
+                None => true,
+                Some((b_eft, ..)) => eft < *b_eft,
+            };
+            if better {
+                best = Some((eft, est, cand, dur, entry.first_fn()));
+            }
+        }
+        let Some((_, est, chosen, dur, wcet_fn)) = best else {
+            // A pinned/constrained candidate set is never empty, so its
+            // failures are routing failures; the open set is empty only
+            // when no operator implements the operation.
+            return Err(AdequationError::Unmappable {
+                operation: op.name.clone(),
+                reason: if single.is_some() || any_feasible {
+                    "no routable operator"
+                } else {
+                    "no feasible operator"
+                }
+                .into(),
+            });
+        };
+
+        // Commit: reserve media for incoming transfers, then the operator.
+        let mut data_ready = TimePs::ZERO;
+        for (pi, p) in ws.preds.iter().enumerate() {
+            let route = route_table[p.route_base + chosen.0]
+                .as_ref()
+                .ok_or_else(|| {
+                    AdequationError::Graph(GraphError::NoRoute {
+                        from: arch.operator(OperatorId(p.src_opr as usize)).name.clone(),
+                        to: arch.operator(chosen).name.clone(),
+                    })
+                })?;
+            let tt = &ws.pred_tt[pi * n_media..];
+            let mut t = p.t0;
+            for &m in &route.media {
+                let start = t.max(ws.medium_free[m.0]);
+                let end = start + tt[m.0];
+                if RECORD {
+                    bufs.medium_items[m.0].push(ScheduledItem {
+                        kind: ItemKind::Transfer {
+                            from: OpId(p.from as usize),
+                            to: next,
+                            bits: p.bits,
+                            iteration: 0,
+                        },
+                        start,
+                        end,
+                    });
+                }
+                makespan = makespan.max(end);
+                ws.medium_free[m.0] = end;
+                t = end;
+            }
+            data_ready = data_ready.max(t);
+        }
+        let start = est.max(data_ready).max(ws.operator_free[chosen.0]);
+        let end = start + dur;
+        if !dur.is_zero() {
+            if RECORD {
+                bufs.operator_items[chosen.0].push(ScheduledItem {
+                    kind: ItemKind::Compute {
+                        op: next,
+                        function: index.fn_name(algo, next, wcet_fn),
+                        iteration: 0,
+                    },
+                    start,
+                    end,
+                });
+            }
+            makespan = makespan.max(end);
+            ws.operator_free[chosen.0] = end;
+        }
+        ws.op_operator[next.0] = chosen.0 as u32;
+        ws.finish[next.0] = end;
+        for e in algo.out_edges(next) {
+            let s = e.to.0;
+            ws.remaining[s] -= 1;
+            if ws.remaining[s] == 0 {
+                let bl = index.bottom_level(e.to);
+                ws.ready_push((bl, s));
+            }
+        }
+        scheduled += 1;
+    }
+
+    Ok(makespan)
+}
+
+/// Run the scheduler core without recording: same decisions, same
+/// commits, no `Schedule`/`Mapping`/`String` construction — only the
+/// makespan comes back. With a reused [`EvalWorkspace`], the steady-state
+/// loop performs zero heap allocations, which is what makes this the
+/// inner oracle for outer search loops (annealing moves, design-space
+/// sweeps) at 10k-operation scale.
+///
+/// Inputs are assumed validated — [`adequate_with_index`] is the checked
+/// entry point and returns the same makespan.
+pub fn evaluate_makespan(
+    algo: &AlgorithmGraph,
+    arch: &ArchGraph,
+    constraints: &ConstraintsFile,
+    options: &AdequationOptions,
+    index: &AdequationIndex,
+    ws: &mut EvalWorkspace,
+) -> Result<TimePs, AdequationError> {
+    let mut bufs = RecordBufs::default();
+    run_core::<false>(algo, arch, constraints, options, index, ws, &mut bufs)
 }
 
 /// Run the adequation: map and schedule one iteration of `algo` onto `arch`.
@@ -166,177 +545,28 @@ pub fn adequate_with_index(
     algo.validate()?;
     constraints.validate()?;
 
-    // Resolve pins.
-    let mut pinned: HashMap<OpId, OperatorId> = HashMap::new();
-    for (op_name, opr_name) in &options.pins {
-        let op = algo
-            .by_name(op_name)
-            .ok_or_else(|| AdequationError::Graph(GraphError::UnknownVertex(op_name.clone())))?;
-        let opr = arch
-            .operator_by_name(opr_name)
-            .ok_or_else(|| AdequationError::Graph(GraphError::UnknownVertex(opr_name.clone())))?;
-        pinned.insert(op, opr);
-    }
+    let mut ws = EvalWorkspace::new();
+    let mut bufs = RecordBufs::default();
+    run_core::<true>(algo, arch, constraints, options, index, &mut ws, &mut bufs)?;
 
+    // Assemble the B-tree-backed outputs once, in id order, from the
+    // dense per-id buffers the core filled — byte-identical to pushing
+    // them item by item, minus the per-push tree probes.
     let n = algo.len();
     let mut mapping = Mapping::new();
+    for i in 0..n {
+        mapping.assign(OpId(i), OperatorId(ws.op_operator[i] as usize));
+    }
     let mut schedule = Schedule::new();
-    let mut finish = vec![TimePs::ZERO; n];
-    let mut operator_free = vec![TimePs::ZERO; arch.operator_count()];
-    let mut medium_free = vec![TimePs::ZERO; arch.medium_count()];
-
-    // Ready queue keyed on (bottom level, lowest id): a heap pop selects
-    // exactly the operation the seed's full ready-list scan picked —
-    // highest bottom level, ties broken towards the lowest id — because
-    // each operation enters the heap exactly once, when its remaining
-    // predecessor count reaches zero.
-    let mut remaining: Vec<usize> = (0..n).map(|i| algo.in_degree(OpId(i))).collect();
-    let mut ready: BinaryHeap<(TimePs, Reverse<usize>)> = (0..n)
-        .filter(|&i| remaining[i] == 0)
-        .map(|i| (index.bottom_level(OpId(i)), Reverse(i)))
-        .collect();
-    let mut scheduled = 0usize;
-    while scheduled < n {
-        let next = match ready.pop() {
-            Some((_, Reverse(i))) => OpId(i),
-            None => {
-                return Err(AdequationError::InvalidSchedule(
-                    "no ready operation although schedule incomplete (cycle?)".into(),
-                ))
-            }
-        };
-        let op = algo.op(next);
-
-        let candidates = feasible_operators(
-            op,
-            next,
-            arch,
-            constraints,
-            index,
-            pinned.get(&next).copied(),
-        );
-        if candidates.is_empty() {
-            return Err(AdequationError::Unmappable {
-                operation: op.name.clone(),
-                reason: "no feasible operator".into(),
-            });
+    for (i, items) in bufs.operator_items.drain(..).enumerate() {
+        if !items.is_empty() {
+            schedule.operator_items.insert(OperatorId(i), items);
         }
-
-        // Pick the operator minimizing finish-time estimate.
-        let mut best: Option<(TimePs, TimePs, OperatorId, TimePs, Option<usize>)> = None;
-        for cand in candidates {
-            let Some(entry) = index.wcet(next, cand) else {
-                continue;
-            };
-            let dur = entry.dur;
-            // Earliest start: operator free + data arrivals (simulated, not
-            // committed).
-            let mut est = operator_free[cand.0];
-            let mut routable = true;
-            for e in algo.in_edges(next) {
-                let src_opr = mapping
-                    .operator_of(e.from)
-                    .expect("predecessors scheduled first");
-                let t0 = finish[e.from.0];
-                match index.route(src_opr, cand) {
-                    Some(route) => {
-                        // Estimate without reserving: each hop waits for the
-                        // medium then transfers.
-                        let mut t = t0;
-                        for &m in &route.media {
-                            t = t.max(medium_free[m.0]) + arch.medium(m).transfer_time(e.bits);
-                        }
-                        est = est.max(t);
-                    }
-                    None => {
-                        routable = false;
-                        break;
-                    }
-                }
-            }
-            if !routable {
-                continue;
-            }
-            // Expected reconfiguration penalty (selection pressure only).
-            let mut eft = est + dur;
-            if options.reconfig_aware && index.is_conditioned(next) && index.is_dynamic(cand) {
-                let worst_fn = index.reconfig_worst(next, cand);
-                let penalty_ps =
-                    (worst_fn.as_ps() as f64 * options.switch_probability).round() as u64;
-                eft += TimePs::from_ps(penalty_ps);
-            }
-            let better = match &best {
-                None => true,
-                Some((b_eft, ..)) => eft < *b_eft,
-            };
-            if better {
-                best = Some((eft, est, cand, dur, entry.first_fn()));
-            }
+    }
+    for (i, items) in bufs.medium_items.drain(..).enumerate() {
+        if !items.is_empty() {
+            schedule.medium_items.insert(MediumId(i), items);
         }
-        let (_, est, chosen, dur, wcet_fn) = best.ok_or_else(|| AdequationError::Unmappable {
-            operation: op.name.clone(),
-            reason: "no routable operator".into(),
-        })?;
-
-        // Commit: reserve media for incoming transfers, then the operator.
-        let mut data_ready = TimePs::ZERO;
-        for e in algo.in_edges(next) {
-            let src_opr = mapping.operator_of(e.from).expect("scheduled");
-            let route = index.route(src_opr, chosen).ok_or_else(|| {
-                AdequationError::Graph(GraphError::NoRoute {
-                    from: arch.operator(src_opr).name.clone(),
-                    to: arch.operator(chosen).name.clone(),
-                })
-            })?;
-            let mut t = finish[e.from.0];
-            for &m in &route.media {
-                let start = t.max(medium_free[m.0]);
-                let end = start + arch.medium(m).transfer_time(e.bits);
-                schedule.push_medium_item(
-                    m,
-                    ScheduledItem {
-                        kind: ItemKind::Transfer {
-                            from: e.from,
-                            to: e.to,
-                            bits: e.bits,
-                            iteration: 0,
-                        },
-                        start,
-                        end,
-                    },
-                );
-                medium_free[m.0] = end;
-                t = end;
-            }
-            data_ready = data_ready.max(t);
-        }
-        let start = est.max(data_ready).max(operator_free[chosen.0]);
-        let end = start + dur;
-        if !dur.is_zero() {
-            schedule.push_operator_item(
-                chosen,
-                ScheduledItem {
-                    kind: ItemKind::Compute {
-                        op: next,
-                        function: index.fn_name(algo, next, wcet_fn),
-                        iteration: 0,
-                    },
-                    start,
-                    end,
-                },
-            );
-            operator_free[chosen.0] = end;
-        }
-        mapping.assign(next, chosen);
-        finish[next.0] = end;
-        for e in algo.out_edges(next) {
-            let s = e.to.0;
-            remaining[s] -= 1;
-            if remaining[s] == 0 {
-                ready.push((index.bottom_level(e.to), Reverse(s)));
-            }
-        }
-        scheduled += 1;
     }
 
     schedule.validate()?;
@@ -346,7 +576,7 @@ pub fn adequate_with_index(
         mapping,
         schedule,
         makespan,
-        finish_times: (0..n).map(|i| (OpId(i), finish[i])).collect(),
+        finish_times: (0..n).map(|i| (OpId(i), ws.finish[i])).collect(),
     })
 }
 

@@ -29,6 +29,9 @@
 use crate::error::AdequationError;
 use pdr_fabric::TimePs;
 use pdr_graph::prelude::*;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Sentinel function index for operations with no function symbols
 /// (sources and sinks): they cost zero everywhere and schedule items never
@@ -67,9 +70,25 @@ impl WcetEntry {
     }
 }
 
+/// Knobs for [`AdequationIndex::build_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexOptions {
+    /// Worker threads for the build. `0` or `1` selects the sequential
+    /// reference build; anything higher fans the matrix rows across a
+    /// worker pool and memoizes the characterization probes (see
+    /// [`AdequationIndex::build_with`]).
+    pub threads: usize,
+}
+
+impl Default for IndexOptions {
+    fn default() -> Self {
+        IndexOptions { threads: 1 }
+    }
+}
+
 /// Precomputed tables shared by the indexed schedulers. Borrowing nothing:
 /// build once, use against the same `(algo, arch, chars)` triple.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AdequationIndex {
     n_oprs: usize,
     /// `n_ops × n_oprs`, row-major by operation: WCET or infeasibility.
@@ -169,6 +188,237 @@ impl AdequationIndex {
         })
     }
 
+    /// [`AdequationIndex::build`] with an explicit thread count.
+    ///
+    /// With `threads <= 1` this *is* the sequential build. With more, the
+    /// per-operation WCET/reconfiguration rows and the per-operator BFS
+    /// route rows are fanned across a scoped worker pool, and the
+    /// string-keyed characterization probes are resolved once per
+    /// *(function symbol, operator)* pair into dense tables first —
+    /// operations sharing function symbols (every generated flow, and any
+    /// realistic workspace) stop re-hashing the same strings per row. Rows
+    /// land in preallocated per-row slots and are concatenated in
+    /// operation/operator order, so the result compares equal to the
+    /// sequential build cell for cell regardless of thread count.
+    pub fn build_with(
+        algo: &AlgorithmGraph,
+        arch: &ArchGraph,
+        chars: &Characterization,
+        options: &IndexOptions,
+    ) -> Result<Self, AdequationError> {
+        if options.threads <= 1 {
+            return Self::build(algo, arch, chars);
+        }
+        let n_ops = algo.len();
+        let n_oprs = arch.operator_count();
+
+        // Fail on cycles before spending any work (same error the
+        // sequential build surfaces after its matrix pass).
+        let topo = algo.topo_order()?;
+
+        // Intern every function symbol to a dense id and resolve each
+        // (symbol, operator) characterization probe exactly once.
+        let opr_ids: Vec<OperatorId> = arch.operators().map(|(id, _)| id).collect();
+        let opr_names: Vec<&str> = arch.operators().map(|(_, o)| o.name.as_str()).collect();
+        let mut fn_ids: HashMap<&str, u32> = HashMap::new();
+        let mut fn_names: Vec<&str> = Vec::new();
+        // CSR layout: function ids of operation `i` live at
+        // `fns_flat[fns_off[i]..fns_off[i + 1]]`.
+        let mut fns_flat: Vec<u32> = Vec::new();
+        let mut fns_off: Vec<u32> = Vec::with_capacity(n_ops + 1);
+        fns_off.push(0);
+        for (_, op) in algo.ops() {
+            for f in op.kind.functions() {
+                let id = *fn_ids.entry(f.as_str()).or_insert_with(|| {
+                    fn_names.push(f.as_str());
+                    (fn_names.len() - 1) as u32
+                });
+                fns_flat.push(id);
+            }
+            fns_off.push(fns_flat.len() as u32);
+        }
+        let mut durations: Vec<Option<TimePs>> = Vec::with_capacity(fn_names.len() * n_oprs);
+        let mut reconfigs: Vec<Option<TimePs>> = Vec::with_capacity(fn_names.len() * n_oprs);
+        for f in &fn_names {
+            for o in &opr_names {
+                durations.push(chars.duration(f, o));
+                reconfigs.push(chars.reconfig_time(f, o).ok());
+            }
+        }
+
+        let conditioned: Vec<bool> = algo.ops().map(|(_, o)| o.kind.is_conditioned()).collect();
+
+        // Preallocated output tables, pre-split into per-block slots:
+        // workers claim contiguous blocks of operation rows off a shared
+        // cursor and write each block straight into its final position, so
+        // the assembly is just dropping the slot vectors — no per-block
+        // buffer allocation, no concatenation copy — while every cell
+        // still lands where the sequential build would have put it. The
+        // per-row feasible-duration minimum (the bottom-level base) is
+        // captured on the way while the row is cache-hot.
+        const ROW_BLOCK: usize = 64;
+        let mut wcet: Vec<Option<WcetEntry>> = vec![None; n_ops * n_oprs];
+        let mut reconfig_worst: Vec<TimePs> = vec![TimePs::ZERO; n_ops * n_oprs];
+        let mut row_best: Vec<TimePs> = vec![TimePs::ZERO; n_ops];
+        let mut routes: Vec<Option<Route>> = vec![None; n_oprs * n_oprs];
+        {
+            let wcet_slots: Vec<Mutex<&mut [Option<WcetEntry>]>> = wcet
+                .chunks_mut((ROW_BLOCK * n_oprs).max(1))
+                .map(Mutex::new)
+                .collect();
+            let reconfig_slots: Vec<Mutex<&mut [TimePs]>> = reconfig_worst
+                .chunks_mut((ROW_BLOCK * n_oprs).max(1))
+                .map(Mutex::new)
+                .collect();
+            let best_slots: Vec<Mutex<&mut [TimePs]>> =
+                row_best.chunks_mut(ROW_BLOCK).map(Mutex::new).collect();
+            let route_slots: Vec<Mutex<&mut [Option<Route>]>> =
+                routes.chunks_mut(n_oprs.max(1)).map(Mutex::new).collect();
+            // Zero operators leaves zero matrix slots while blocks of
+            // (empty) operation rows remain: size the cursor range off the
+            // actual slot count so the two stay in step.
+            let n_blocks = wcet_slots.len();
+            let block_cursor = AtomicUsize::new(0);
+            let route_cursor = AtomicUsize::new(0);
+
+            crossbeam::thread::scope(|s| {
+                for _ in 0..options.threads {
+                    s.spawn(|_| {
+                        loop {
+                            let blk = block_cursor.fetch_add(1, Ordering::Relaxed);
+                            if blk >= n_blocks {
+                                break;
+                            }
+                            let mut wrow = wcet_slots[blk].lock().unwrap();
+                            let mut rrow = reconfig_slots[blk].lock().unwrap();
+                            let mut brow = best_slots[blk].lock().unwrap();
+                            let lo = blk * ROW_BLOCK;
+                            let hi = (lo + ROW_BLOCK).min(n_ops);
+                            for i in lo..hi {
+                                let fids = &fns_flat[fns_off[i] as usize..fns_off[i + 1] as usize];
+                                let out = &mut wrow[(i - lo) * n_oprs..(i - lo + 1) * n_oprs];
+                                let mut best: Option<TimePs> = None;
+                                if let [f] = fids {
+                                    // Single-function fast path (the
+                                    // overwhelmingly common row shape):
+                                    // the row is the function's dense
+                                    // probe row, verbatim.
+                                    let base = *f as usize * n_oprs;
+                                    let drow = &durations[base..base + n_oprs];
+                                    for (cell, d) in out.iter_mut().zip(drow) {
+                                        *cell = d.map(|dur| WcetEntry {
+                                            dur,
+                                            first_fn: 0,
+                                            last_fn: 0,
+                                        });
+                                        if let Some(dur) = *d {
+                                            best = Some(best.map_or(dur, |b: TimePs| b.min(dur)));
+                                        }
+                                    }
+                                } else {
+                                    for (opr, cell) in out.iter_mut().enumerate() {
+                                        *cell =
+                                            Self::wcet_cell_interned(fids, opr, n_oprs, &durations);
+                                        if let Some(e) = cell {
+                                            let d = e.dur;
+                                            best = Some(best.map_or(d, |b: TimePs| b.min(d)));
+                                        }
+                                    }
+                                }
+                                brow[i - lo] = best.unwrap_or(TimePs::ZERO);
+                                if conditioned[i] {
+                                    let row = &mut rrow[(i - lo) * n_oprs..(i - lo + 1) * n_oprs];
+                                    for (opr, cell) in row.iter_mut().enumerate() {
+                                        *cell = fids
+                                            .iter()
+                                            .filter_map(|&f| reconfigs[f as usize * n_oprs + opr])
+                                            .max()
+                                            .unwrap_or(TimePs::ZERO);
+                                    }
+                                }
+                            }
+                        }
+                        loop {
+                            let i = route_cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= n_oprs {
+                                break;
+                            }
+                            let mut row = route_slots[i].lock().unwrap();
+                            for (dst, src) in row.iter_mut().zip(arch.routes_from(opr_ids[i])) {
+                                *dst = src;
+                            }
+                        }
+                    });
+                }
+            })
+            .expect("index build worker panicked");
+        }
+
+        // Bottom levels: same recursion as the sequential build, with the
+        // per-row minima already in hand.
+        let mut bottom_levels = vec![TimePs::ZERO; n_ops];
+        for &id in topo.iter().rev() {
+            let succ_max = algo
+                .out_edges(id)
+                .map(|e| bottom_levels[e.to.0])
+                .max()
+                .unwrap_or(TimePs::ZERO);
+            bottom_levels[id.0] = row_best[id.0] + succ_max;
+        }
+
+        let dynamic: Vec<bool> = arch.operators().map(|(_, o)| o.kind.is_dynamic()).collect();
+
+        Ok(AdequationIndex {
+            n_oprs,
+            wcet,
+            routes,
+            topo,
+            bottom_levels,
+            reconfig_worst,
+            dynamic,
+            conditioned,
+        })
+    }
+
+    /// [`AdequationIndex::wcet_cell`] over interned function ids and the
+    /// dense probe table — the same max/tie-break recurrence over the same
+    /// duration sequence, so the cells are identical.
+    fn wcet_cell_interned(
+        fids: &[u32],
+        opr: usize,
+        n_oprs: usize,
+        durations: &[Option<TimePs>],
+    ) -> Option<WcetEntry> {
+        if fids.is_empty() {
+            return Some(WcetEntry {
+                dur: TimePs::ZERO,
+                first_fn: NO_FN,
+                last_fn: NO_FN,
+            });
+        }
+        let mut entry: Option<WcetEntry> = None;
+        for (i, &f) in fids.iter().enumerate() {
+            let d = durations[f as usize * n_oprs + opr]?;
+            match &mut entry {
+                None => {
+                    entry = Some(WcetEntry {
+                        dur: d,
+                        first_fn: i as u32,
+                        last_fn: i as u32,
+                    });
+                }
+                Some(e) if d > e.dur => {
+                    e.dur = d;
+                    e.first_fn = i as u32;
+                    e.last_fn = i as u32;
+                }
+                Some(e) if d == e.dur => e.last_fn = i as u32,
+                Some(_) => {}
+            }
+        }
+        entry
+    }
+
     /// One WCET cell: max duration over `funcs` on `operator`, tracking
     /// first- and last-max function indices; `None` when any function is
     /// infeasible there (matching the seed's `wcet_on` semantics).
@@ -214,10 +464,28 @@ impl AdequationIndex {
         self.wcet[op.0 * self.n_oprs + opr.0].as_ref()
     }
 
+    /// The full WCET row of an operation (`n_oprs` cells, indexed by
+    /// operator). Hot loops hoist the row once per operation instead of
+    /// paying the row-base multiply per candidate probe.
+    #[inline]
+    pub fn wcet_row(&self, op: OpId) -> &[Option<WcetEntry>] {
+        &self.wcet[op.0 * self.n_oprs..(op.0 + 1) * self.n_oprs]
+    }
+
     /// Cached route between two operators (`None` when unreachable).
     #[inline]
     pub fn route(&self, from: OperatorId, to: OperatorId) -> Option<&Route> {
         self.routes[from.0 * self.n_oprs + to.0].as_ref()
+    }
+
+    /// The raw all-pairs route table, row-major by source operator
+    /// (`n_oprs × n_oprs`). Hot loops hoist a source's row base
+    /// (`src.0 * operator_count()`) once per operation and index the
+    /// slice per candidate, instead of paying the multiply-and-lookup
+    /// per probe.
+    #[inline]
+    pub fn route_table(&self) -> &[Option<Route>] {
+        &self.routes
     }
 
     /// The topological order computed at build time.
@@ -385,6 +653,31 @@ mod tests {
         assert!(index.reconfig_worst(modu, dynop) > TimePs::ZERO);
         let ifft = algo.by_name("ifft64").unwrap();
         assert_eq!(index.reconfig_worst(ifft, dynop), TimePs::ZERO);
+    }
+
+    #[test]
+    fn parallel_build_equals_sequential() {
+        let (algo, arch, chars, index) = paper_index();
+        for threads in [0, 1, 2, 4] {
+            let par = AdequationIndex::build_with(&algo, &arch, &chars, &IndexOptions { threads })
+                .unwrap();
+            assert_eq!(par, index, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_build_propagates_cycle_error() {
+        let mut algo = AlgorithmGraph::new("t");
+        let a = algo.add_compute("a").unwrap();
+        let b = algo.add_compute("b").unwrap();
+        algo.connect(a, b, 8).unwrap();
+        algo.connect(b, a, 8).unwrap();
+        let arch = ArchGraph::new("t");
+        let chars = Characterization::new();
+        assert!(matches!(
+            AdequationIndex::build_with(&algo, &arch, &chars, &IndexOptions { threads: 4 }),
+            Err(AdequationError::Graph(GraphError::Cycle { .. }))
+        ));
     }
 
     #[test]

@@ -45,10 +45,13 @@ pub use annealing::{anneal, schedule_with_mapping, AnnealOptions};
 pub use bounds::{critical_path_bound, lower_bound, quality_ratio, work_bound};
 pub use error::AdequationError;
 pub use executive::{Executive, MacroInstr};
-pub use heuristic::{adequate, adequate_with_index, AdequationOptions, AdequationResult};
-pub use index::{AdequationIndex, WcetEntry};
+pub use heuristic::{
+    adequate, adequate_with_index, evaluate_makespan, AdequationOptions, AdequationResult,
+    EvalWorkspace,
+};
+pub use index::{AdequationIndex, IndexOptions, WcetEntry};
 pub use mapping::Mapping;
-pub use reference::adequate_reference;
+pub use reference::{adequate_indexed_reference, adequate_reference};
 pub use schedule::{ItemKind, Schedule, ScheduledItem};
 pub use trace::{schedule_trace, ReconfigSplit, TraceOptions, TraceResult, TraceStats};
 
@@ -59,8 +62,10 @@ pub mod prelude {
     pub use crate::error::AdequationError;
     pub use crate::executive::{Executive, MacroInstr};
     pub use crate::heuristic::{
-        adequate, adequate_with_index, AdequationOptions, AdequationResult,
+        adequate, adequate_with_index, evaluate_makespan, AdequationOptions, AdequationResult,
+        EvalWorkspace,
     };
+    pub use crate::index::{AdequationIndex, IndexOptions, WcetEntry};
     pub use crate::mapping::Mapping;
     pub use crate::schedule::{ItemKind, Schedule, ScheduledItem};
     pub use crate::trace::{schedule_trace, ReconfigSplit, TraceOptions, TraceResult, TraceStats};

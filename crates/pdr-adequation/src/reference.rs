@@ -22,11 +22,13 @@
 
 use crate::error::AdequationError;
 use crate::heuristic::{AdequationOptions, AdequationResult};
+use crate::index::AdequationIndex;
 use crate::mapping::Mapping;
 use crate::schedule::{ItemKind, Schedule, ScheduledItem};
 use pdr_fabric::TimePs;
 use pdr_graph::prelude::*;
-use std::collections::{HashMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 /// The seed's O(V·E) Kahn topological sort: the edge list is rescanned
 /// once per popped vertex. Identical order to
@@ -339,6 +341,241 @@ pub fn adequate_reference(
     })
 }
 
+/// Feasible operators of an operation, as the first indexed scheduler
+/// materialized them (one allocation per operation); see
+/// [`adequate_indexed_reference`].
+fn feasible_operators_indexed(
+    op: &Operation,
+    id: OpId,
+    arch: &ArchGraph,
+    constraints: &ConstraintsFile,
+    index: &AdequationIndex,
+    pinned: Option<OperatorId>,
+) -> Vec<OperatorId> {
+    if let Some(p) = pinned {
+        return vec![p];
+    }
+    // Region constraint: if any function is constrained, only that region.
+    let constrained_region: Option<&str> = op
+        .kind
+        .functions()
+        .iter()
+        .find_map(|f| constraints.module(f).map(|mc| mc.region.as_str()));
+    if let Some(region) = constrained_region {
+        return arch
+            .operators()
+            .filter(|(_, o)| o.name == region)
+            .map(|(opr, _)| opr)
+            .collect();
+    }
+    arch.operators()
+        .map(|(opr, _)| opr)
+        .filter(|&opr| index.wcet(id, opr).is_some())
+        .collect()
+}
+
+/// The *first* indexed scheduler loop, kept verbatim as the measurement
+/// baseline for the hot-path overhaul — the same role
+/// [`adequate_reference`] plays for the index itself.
+///
+/// This is what `adequate_with_index` looked like when the
+/// [`AdequationIndex`] landed: a materialized candidate vector per
+/// operation, mapping B-tree probes per (edge × candidate), one
+/// bandwidth division per probed hop, `BinaryHeap<(TimePs,
+/// Reverse<usize>)>` for the ready queue, and per-item B-tree pushes into
+/// the schedule. The overhauled core in [`crate::heuristic`] replaces all
+/// of that with reused dense workspaces; `bench_scale` measures the gap
+/// and the differential suites prove the results stayed byte-identical.
+pub fn adequate_indexed_reference(
+    algo: &AlgorithmGraph,
+    arch: &ArchGraph,
+    chars: &Characterization,
+    constraints: &ConstraintsFile,
+    options: &AdequationOptions,
+    index: &AdequationIndex,
+) -> Result<AdequationResult, AdequationError> {
+    algo.validate()?;
+    constraints.validate()?;
+
+    // Resolve pins.
+    let mut pinned: HashMap<OpId, OperatorId> = HashMap::new();
+    for (op_name, opr_name) in &options.pins {
+        let op = algo
+            .by_name(op_name)
+            .ok_or_else(|| AdequationError::Graph(GraphError::UnknownVertex(op_name.clone())))?;
+        let opr = arch
+            .operator_by_name(opr_name)
+            .ok_or_else(|| AdequationError::Graph(GraphError::UnknownVertex(opr_name.clone())))?;
+        pinned.insert(op, opr);
+    }
+
+    let n = algo.len();
+    let mut mapping = Mapping::new();
+    let mut schedule = Schedule::new();
+    let mut finish = vec![TimePs::ZERO; n];
+    let mut operator_free = vec![TimePs::ZERO; arch.operator_count()];
+    let mut medium_free = vec![TimePs::ZERO; arch.medium_count()];
+
+    let mut remaining: Vec<usize> = (0..n).map(|i| algo.in_degree(OpId(i))).collect();
+    let mut ready: BinaryHeap<(TimePs, Reverse<usize>)> = (0..n)
+        .filter(|&i| remaining[i] == 0)
+        .map(|i| (index.bottom_level(OpId(i)), Reverse(i)))
+        .collect();
+    let mut scheduled = 0usize;
+    while scheduled < n {
+        let next = match ready.pop() {
+            Some((_, Reverse(i))) => OpId(i),
+            None => {
+                return Err(AdequationError::InvalidSchedule(
+                    "no ready operation although schedule incomplete (cycle?)".into(),
+                ))
+            }
+        };
+        let op = algo.op(next);
+
+        let candidates = feasible_operators_indexed(
+            op,
+            next,
+            arch,
+            constraints,
+            index,
+            pinned.get(&next).copied(),
+        );
+        if candidates.is_empty() {
+            return Err(AdequationError::Unmappable {
+                operation: op.name.clone(),
+                reason: "no feasible operator".into(),
+            });
+        }
+
+        // Pick the operator minimizing finish-time estimate.
+        let mut best: Option<(TimePs, TimePs, OperatorId, TimePs, Option<usize>)> = None;
+        for cand in candidates {
+            let Some(entry) = index.wcet(next, cand) else {
+                continue;
+            };
+            let dur = entry.dur;
+            // Earliest start: operator free + data arrivals (simulated, not
+            // committed).
+            let mut est = operator_free[cand.0];
+            let mut routable = true;
+            for e in algo.in_edges(next) {
+                let src_opr = mapping
+                    .operator_of(e.from)
+                    .expect("predecessors scheduled first");
+                let t0 = finish[e.from.0];
+                match index.route(src_opr, cand) {
+                    Some(route) => {
+                        // Estimate without reserving: each hop waits for the
+                        // medium then transfers.
+                        let mut t = t0;
+                        for &m in &route.media {
+                            t = t.max(medium_free[m.0]) + arch.medium(m).transfer_time(e.bits);
+                        }
+                        est = est.max(t);
+                    }
+                    None => {
+                        routable = false;
+                        break;
+                    }
+                }
+            }
+            if !routable {
+                continue;
+            }
+            // Expected reconfiguration penalty (selection pressure only).
+            let mut eft = est + dur;
+            if options.reconfig_aware && index.is_conditioned(next) && index.is_dynamic(cand) {
+                let worst_fn = index.reconfig_worst(next, cand);
+                let penalty_ps =
+                    (worst_fn.as_ps() as f64 * options.switch_probability).round() as u64;
+                eft += TimePs::from_ps(penalty_ps);
+            }
+            let better = match &best {
+                None => true,
+                Some((b_eft, ..)) => eft < *b_eft,
+            };
+            if better {
+                best = Some((eft, est, cand, dur, entry.first_fn()));
+            }
+        }
+        let (_, est, chosen, dur, wcet_fn) = best.ok_or_else(|| AdequationError::Unmappable {
+            operation: op.name.clone(),
+            reason: "no routable operator".into(),
+        })?;
+
+        // Commit: reserve media for incoming transfers, then the operator.
+        let mut data_ready = TimePs::ZERO;
+        for e in algo.in_edges(next) {
+            let src_opr = mapping.operator_of(e.from).expect("scheduled");
+            let route = index.route(src_opr, chosen).ok_or_else(|| {
+                AdequationError::Graph(GraphError::NoRoute {
+                    from: arch.operator(src_opr).name.clone(),
+                    to: arch.operator(chosen).name.clone(),
+                })
+            })?;
+            let mut t = finish[e.from.0];
+            for &m in &route.media {
+                let start = t.max(medium_free[m.0]);
+                let end = start + arch.medium(m).transfer_time(e.bits);
+                schedule.push_medium_item(
+                    m,
+                    ScheduledItem {
+                        kind: ItemKind::Transfer {
+                            from: e.from,
+                            to: e.to,
+                            bits: e.bits,
+                            iteration: 0,
+                        },
+                        start,
+                        end,
+                    },
+                );
+                medium_free[m.0] = end;
+                t = end;
+            }
+            data_ready = data_ready.max(t);
+        }
+        let start = est.max(data_ready).max(operator_free[chosen.0]);
+        let end = start + dur;
+        if !dur.is_zero() {
+            schedule.push_operator_item(
+                chosen,
+                ScheduledItem {
+                    kind: ItemKind::Compute {
+                        op: next,
+                        function: index.fn_name(algo, next, wcet_fn),
+                        iteration: 0,
+                    },
+                    start,
+                    end,
+                },
+            );
+            operator_free[chosen.0] = end;
+        }
+        mapping.assign(next, chosen);
+        finish[next.0] = end;
+        for e in algo.out_edges(next) {
+            let s = e.to.0;
+            remaining[s] -= 1;
+            if remaining[s] == 0 {
+                ready.push((index.bottom_level(e.to), Reverse(s)));
+            }
+        }
+        scheduled += 1;
+    }
+
+    schedule.validate()?;
+    mapping.validate(algo, arch, chars, constraints)?;
+    let makespan = schedule.makespan();
+    Ok(AdequationResult {
+        mapping,
+        schedule,
+        makespan,
+        finish_times: (0..n).map(|i| (OpId(i), finish[i])).collect(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -358,6 +595,23 @@ mod tests {
         let reference = adequate_reference(&algo, &arch, &chars, &cons, &opts).unwrap();
         let indexed = adequate(&algo, &arch, &chars, &cons, &opts).unwrap();
         assert_eq!(reference, indexed);
+    }
+
+    #[test]
+    fn indexed_reference_matches_overhauled_core_on_the_paper_flow() {
+        let algo = paper::mccdma_algorithm();
+        let arch = paper::sundance_architecture();
+        let chars = paper::mccdma_characterization();
+        let cons = paper::mccdma_constraints();
+        let opts = AdequationOptions::default()
+            .pin("interface_in", "dsp")
+            .pin("select", "dsp")
+            .pin("interface_out", "fpga_static");
+        let index = AdequationIndex::build(&algo, &arch, &chars).unwrap();
+        let baseline =
+            adequate_indexed_reference(&algo, &arch, &chars, &cons, &opts, &index).unwrap();
+        let overhauled = adequate(&algo, &arch, &chars, &cons, &opts).unwrap();
+        assert_eq!(baseline, overhauled);
     }
 
     #[test]

@@ -123,7 +123,8 @@ fn main() {
     assert_duration_probes_are_allocation_free();
 
     let reps = if test_mode { 3 } else { 5 };
-    let cmp = adequation_perf::run(reps).expect("gallery flows schedule");
+    let threads = 4;
+    let cmp = adequation_perf::run(reps, threads).expect("gallery flows schedule");
     print!("{}", cmp.render());
     assert!(
         cmp.all_match(),
@@ -150,7 +151,8 @@ fn main() {
                 "mode",
                 Value::String(if test_mode { "test" } else { "full" }.into()),
             )
-            .with_field("reps", Value::UInt(reps as u64));
+            .with_field("reps", Value::UInt(reps as u64))
+            .with_field("threads", Value::UInt(threads as u64));
         artifact.push_section("comparison", cmp.to_json());
         artifact.write(path).expect("artifact written");
         println!("wrote {path}");

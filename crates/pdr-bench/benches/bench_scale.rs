@@ -1,0 +1,186 @@
+//! Criterion bench behind the scale-out adequation tentpole: parallel
+//! index construction plus the overhauled scheduler core, proven on the
+//! generated 10k-operation flow.
+//!
+//! Flags (after `--`):
+//!
+//! * `--test` — quick mode for CI: asserts parallel-vs-sequential index
+//!   byte-parity and thread-count-invariant digests on every gallery and
+//!   generated flow, the ≥ 3× index-build speedup floor at 4 threads and
+//!   the ≥ 2× end-to-end model→adequation speedup floor on the
+//!   10k-operation flow (both against the retained first-generation
+//!   path), and that the warm scheduler core performs zero steady-state
+//!   heap allocations;
+//! * `--out <path>` — persist the study as a `BENCH_scale.json` artifact
+//!   through the `pdr-sweep` JSON writer.
+
+use criterion::Criterion;
+use pdr_adequation::{
+    adequate_with_index, evaluate_makespan, AdequationIndex, EvalWorkspace, IndexOptions,
+};
+use pdr_bench::scale::{self, BUILD_SPEEDUP_FLOOR, E2E_SPEEDUP_FLOOR, FLOOR_CASE};
+use pdr_core::gallery;
+use pdr_sweep::artifact::Artifact;
+use serde::json::Value;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Allocation counter wrapping the system allocator, so the bench can
+/// assert that the warm scheduler core stays allocation-free.
+struct CountingAlloc;
+
+/// Heap allocations observed since process start.
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Assert that [`evaluate_makespan`] over a warm [`EvalWorkspace`] is
+/// allocation-free in steady state: one warm-up call sizes every dense
+/// buffer, then repeated evaluations of the 10k-operation flow must not
+/// touch the heap at all. This is what makes the core usable as the inner
+/// oracle of outer search loops (annealing, design-space sweeps).
+fn assert_scheduler_steady_state_is_allocation_free() {
+    let flow = gallery::synthetic_10k();
+    let (algo, arch, chars) = (
+        flow.algorithm(),
+        flow.architecture(),
+        flow.characterization(),
+    );
+    let (cons, opts) = (flow.constraints(), flow.adequation_options());
+    let index = AdequationIndex::build(algo, arch, chars).expect("index builds");
+    let mut ws = EvalWorkspace::new();
+    let reference = evaluate_makespan(algo, arch, cons, opts, &index, &mut ws).expect("schedules");
+
+    let mut acc = 0u64;
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..10 {
+        let makespan =
+            evaluate_makespan(algo, arch, cons, opts, &index, &mut ws).expect("schedules");
+        assert_eq!(makespan, reference);
+        acc = acc.wrapping_add(makespan.as_ps());
+    }
+    let delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    black_box(acc);
+    assert_eq!(
+        delta, 0,
+        "warm evaluate_makespan allocated {delta} times over 10 reps of the \
+         10k-operation flow (steady state must be allocation-free)"
+    );
+    println!("ok: warm evaluate_makespan x10 on synthetic_10k, 0 heap allocations");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let test_mode = args.iter().any(|a| a == "--test");
+    let out = args
+        .windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| w[1].clone());
+
+    assert_scheduler_steady_state_is_allocation_free();
+
+    let reps = if test_mode { 3 } else { 5 };
+    let threads = 4;
+    let study = scale::run(reps, threads).expect("flows schedule");
+    print!("{}", study.render());
+    assert!(
+        study.all_parity(),
+        "parallel build or overhauled core diverged from the sequential \
+         reference on a flow"
+    );
+    assert!(
+        study.all_digests_invariant(),
+        "index digest varies with thread count on a flow"
+    );
+
+    let floor = study.case(FLOOR_CASE).expect("floor flow present");
+    if test_mode {
+        assert!(
+            floor.build_speedup() >= BUILD_SPEEDUP_FLOOR,
+            "parallel index build is only {:.2}x faster than sequential on \
+             {FLOOR_CASE} at {threads} threads (floor: {BUILD_SPEEDUP_FLOOR}x)",
+            floor.build_speedup()
+        );
+        assert!(
+            floor.e2e_speedup() >= E2E_SPEEDUP_FLOOR,
+            "scale-out end-to-end path is only {:.2}x faster than the \
+             first-generation path on {FLOOR_CASE} (floor: {E2E_SPEEDUP_FLOOR}x)",
+            floor.e2e_speedup()
+        );
+        println!(
+            "ok: {FLOOR_CASE} build speedup {:.2}x (floor {BUILD_SPEEDUP_FLOOR}x), \
+             e2e speedup {:.2}x (floor {E2E_SPEEDUP_FLOOR}x)",
+            floor.build_speedup(),
+            floor.e2e_speedup()
+        );
+    }
+
+    if let Some(path) = &out {
+        let mut artifact = Artifact::new("scale")
+            .with_field(
+                "mode",
+                Value::String(if test_mode { "test" } else { "full" }.into()),
+            )
+            .with_field("reps", Value::UInt(reps as u64))
+            .with_field("threads", Value::UInt(threads as u64));
+        artifact.push_section("study", study.to_json());
+        artifact.write(path).expect("artifact written");
+        println!("wrote {path}");
+    }
+
+    if !test_mode {
+        // Criterion timing display on the floor flow: sequential vs
+        // parallel index builds, the numbers behind the speedup column.
+        let flow = gallery::synthetic_10k();
+        let (algo, arch, chars) = (
+            flow.algorithm(),
+            flow.architecture(),
+            flow.characterization(),
+        );
+        let (cons, opts) = (flow.constraints(), flow.adequation_options());
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("scale");
+        group.sample_size(10);
+        group.bench_function("index_build/sequential", |b| {
+            b.iter(|| black_box(AdequationIndex::build(algo, arch, chars).expect("builds")))
+        });
+        group.bench_function(format!("index_build/parallel_{threads}"), |b| {
+            b.iter(|| {
+                black_box(
+                    AdequationIndex::build_with(algo, arch, chars, &IndexOptions { threads })
+                        .expect("builds"),
+                )
+            })
+        });
+        let index = AdequationIndex::build(algo, arch, chars).expect("builds");
+        group.bench_function("schedule/overhauled_core", |b| {
+            b.iter(|| {
+                black_box(adequate_with_index(algo, arch, chars, cons, opts, &index).expect("maps"))
+            })
+        });
+        group.finish();
+    }
+}

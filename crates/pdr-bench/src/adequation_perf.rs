@@ -16,8 +16,11 @@
 //! faster on the 512-op `synthetic_large` flow (asserted by
 //! `benches/bench_adequation.rs` in `--test` mode, which gates ci.sh).
 
-use pdr_adequation::{adequate, adequate_reference};
+use pdr_adequation::{
+    adequate, adequate_reference, adequate_with_index, AdequationIndex, IndexOptions,
+};
 use pdr_core::{gallery, FlowError};
+use pdr_sweep::{percentiles, Percentiles};
 use serde::json::Value;
 use std::time::Instant;
 
@@ -42,6 +45,21 @@ pub struct CaseResult {
     pub results_match: bool,
     /// The (shared) makespan, picoseconds.
     pub makespan_ps: u64,
+    /// p50/p90/p99 of the index build time across the repetitions, ns
+    /// (built with the study's thread count).
+    pub build_ns: Percentiles<u64>,
+    /// p50/p90/p99 of the schedule time over a prebuilt index across the
+    /// repetitions, ns.
+    pub schedule_ns: Percentiles<u64>,
+}
+
+/// JSON form of a percentile triple.
+fn percentiles_json(p: &Percentiles<u64>) -> Value {
+    Value::obj(vec![
+        ("p50", Value::UInt(p.p50)),
+        ("p90", Value::UInt(p.p90)),
+        ("p99", Value::UInt(p.p99)),
+    ])
 }
 
 impl CaseResult {
@@ -64,6 +82,8 @@ impl CaseResult {
             ("speedup", Value::Float(self.speedup())),
             ("results_match", Value::Bool(self.results_match)),
             ("makespan_ps", Value::UInt(self.makespan_ps)),
+            ("build_ns", percentiles_json(&self.build_ns)),
+            ("schedule_ns", percentiles_json(&self.schedule_ns)),
         ])
     }
 }
@@ -71,6 +91,8 @@ impl CaseResult {
 /// The whole comparison.
 #[derive(Debug, Clone, Default)]
 pub struct AdequationComparison {
+    /// Thread count used for the percentile-timed index builds.
+    pub threads: usize,
     /// One entry per gallery flow, in gallery order.
     pub cases: Vec<CaseResult>,
 }
@@ -88,27 +110,33 @@ impl AdequationComparison {
 
     /// JSON form for the artifact.
     pub fn to_json(&self) -> Value {
-        Value::obj(vec![(
-            "cases",
-            Value::Array(self.cases.iter().map(CaseResult::to_json).collect()),
-        )])
+        Value::obj(vec![
+            ("threads", Value::UInt(self.threads as u64)),
+            (
+                "cases",
+                Value::Array(self.cases.iter().map(CaseResult::to_json).collect()),
+            ),
+        ])
     }
 
     /// Text table, one line per flow.
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(
-            "flow                      ops   edges      ref_ms  indexed_ms  speedup  match\n",
+            "flow                      ops   edges      ref_ms  indexed_ms  speedup  \
+             build_p50  sched_p50  match\n",
         );
         for c in &self.cases {
             out.push_str(&format!(
-                "{:<24} {:>5} {:>7} {:>11.3} {:>11.3} {:>7.2}x {:>6}\n",
+                "{:<24} {:>5} {:>7} {:>11.3} {:>11.3} {:>7.2}x {:>9.3} {:>10.3} {:>6}\n",
                 c.name,
                 c.operations,
                 c.edges,
                 c.reference_ns as f64 / 1e6,
                 c.indexed_ns as f64 / 1e6,
                 c.speedup(),
+                c.build_ns.p50 as f64 / 1e6,
+                c.schedule_ns.p50 as f64 / 1e6,
                 if c.results_match { "yes" } else { "NO" },
             ));
         }
@@ -118,9 +146,13 @@ impl AdequationComparison {
 
 /// Run the comparison over every gallery flow: `reps` timed repetitions
 /// per implementation (best time kept), one extra untimed run per path
-/// for the parity check.
-pub fn run(reps: usize) -> Result<AdequationComparison, FlowError> {
+/// for the parity check. On top of the end-to-end comparison, the index
+/// build (at `threads` workers) and the schedule-over-a-prebuilt-index
+/// phases are each timed separately and reported as p50/p90/p99 across
+/// the repetitions.
+pub fn run(reps: usize, threads: usize) -> Result<AdequationComparison, FlowError> {
     let reps = reps.max(1);
+    let index_opts = IndexOptions { threads };
     let mut cases = Vec::new();
     for g in gallery::all() {
         let algo = g.flow.algorithm();
@@ -145,6 +177,24 @@ pub fn run(reps: usize) -> Result<AdequationComparison, FlowError> {
             indexed_ns = indexed_ns.min(t0.elapsed().as_nanos() as u64);
         }
 
+        // Phase timings, each in its own loop so the allocator reaches a
+        // steady state: index build (at the study's thread count), then
+        // scheduling over a prebuilt index.
+        let mut build_samples = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let index = AdequationIndex::build_with(algo, arch, chars, &index_opts)?;
+            build_samples.push(t0.elapsed().as_nanos() as u64);
+            drop(index);
+        }
+        let index = AdequationIndex::build_with(algo, arch, chars, &index_opts)?;
+        let mut schedule_samples = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            adequate_with_index(algo, arch, chars, cons, opts, &index)?;
+            schedule_samples.push(t0.elapsed().as_nanos() as u64);
+        }
+
         cases.push(CaseResult {
             name: g.name.to_string(),
             operations: algo.len(),
@@ -153,9 +203,11 @@ pub fn run(reps: usize) -> Result<AdequationComparison, FlowError> {
             indexed_ns,
             results_match,
             makespan_ps: indexed.makespan.as_ps(),
+            build_ns: percentiles(&mut build_samples),
+            schedule_ns: percentiles(&mut schedule_samples),
         });
     }
-    Ok(AdequationComparison { cases })
+    Ok(AdequationComparison { threads, cases })
 }
 
 #[cfg(test)]
@@ -164,22 +216,41 @@ mod tests {
 
     #[test]
     fn comparison_covers_the_gallery_and_results_agree() {
-        let cmp = run(1).expect("gallery flows schedule");
+        let cmp = run(1, 2).expect("gallery flows schedule");
+        assert_eq!(cmp.threads, 2);
         assert_eq!(cmp.cases.len(), gallery::names().len());
         assert!(cmp.all_match(), "{}", cmp.render());
         let largest = cmp.case(LARGEST).expect("largest flow present");
         assert!(largest.operations > 500, "{}", largest.operations);
         for c in &cmp.cases {
             assert!(c.makespan_ps > 0, "{} has empty makespan", c.name);
+            assert!(c.build_ns.p50 > 0, "{} build percentiles empty", c.name);
+            assert!(
+                c.schedule_ns.p50 > 0,
+                "{} schedule percentiles empty",
+                c.name
+            );
+            assert!(c.build_ns.p50 <= c.build_ns.p99);
+            assert!(c.schedule_ns.p50 <= c.schedule_ns.p99);
         }
     }
 
     #[test]
     fn render_lists_every_flow() {
-        let cmp = run(1).expect("gallery flows schedule");
+        let cmp = run(1, 2).expect("gallery flows schedule");
         let text = cmp.render();
         for name in gallery::names() {
             assert!(text.contains(name), "{name} missing from\n{text}");
         }
+    }
+
+    #[test]
+    fn json_records_thread_count_and_percentiles() {
+        let cmp = run(2, 3).expect("gallery flows schedule");
+        let json = serde::json::to_string_pretty(&cmp.to_json());
+        assert!(json.contains("\"threads\": 3"), "{json}");
+        assert!(json.contains("\"build_ns\""), "{json}");
+        assert!(json.contains("\"schedule_ns\""), "{json}");
+        assert!(json.contains("\"p99\""), "{json}");
     }
 }

@@ -30,7 +30,7 @@ use serde::json::Value;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Every study name, in suite order (`--skip` validates against this).
-const STUDY_NAMES: [&str; 13] = [
+const STUDY_NAMES: [&str; 14] = [
     "table1",
     "fig2",
     "fig3",
@@ -40,6 +40,7 @@ const STUDY_NAMES: [&str; 13] = [
     "area_latency",
     "compression",
     "adequation_perf",
+    "scale",
     "server",
     "model",
     "rtr",
@@ -308,12 +309,26 @@ fn study_compression(_: &mut Artifact, _: &SweepEngine, _: &Cli) -> Result<(), S
 
 fn study_adequation_perf(artifact: &mut Artifact, _: &SweepEngine, _: &Cli) -> Result<(), String> {
     println!("--- X-IDX: indexed adequation -----------------------------------");
-    let perf = pdr_bench::adequation_perf::run(2).map_err(|e| e.to_string())?;
+    let perf = pdr_bench::adequation_perf::run(2, 4).map_err(|e| e.to_string())?;
     print!("{}", perf.render());
     if !perf.all_match() {
         return Err("reference and indexed schedulers disagree on a gallery flow".into());
     }
     artifact.push_section("adequation_perf", perf.to_json());
+    Ok(())
+}
+
+fn study_scale(artifact: &mut Artifact, _: &SweepEngine, _: &Cli) -> Result<(), String> {
+    println!("--- X-SCALE: scale-out adequation -------------------------------");
+    let study = pdr_bench::scale::run(2, 4).map_err(|e| e.to_string())?;
+    print!("{}", study.render());
+    if !study.all_parity() {
+        return Err("parallel build or overhauled core diverged from the reference".into());
+    }
+    if !study.all_digests_invariant() {
+        return Err("index digest varies with thread count".into());
+    }
+    artifact.push_section("scale", study.to_json());
     Ok(())
 }
 
@@ -509,7 +524,7 @@ fn main() {
             Value::Array(cli.skip.iter().map(|s| Value::String(s.clone())).collect()),
         );
 
-    let studies: [(&str, StudyFn); 13] = [
+    let studies: [(&str, StudyFn); 14] = [
         ("table1", study_table1),
         ("fig2", study_fig2),
         ("fig3", study_fig3),
@@ -519,6 +534,7 @@ fn main() {
         ("area_latency", study_area_latency),
         ("compression", study_compression),
         ("adequation_perf", study_adequation_perf),
+        ("scale", study_scale),
         ("server", study_server),
         ("model", study_model),
         ("rtr", study_rtr),

@@ -289,6 +289,25 @@ pub fn run_ber(es_n0_points: &[f64], frames: usize) -> Fig4Ber {
     }
 }
 
+/// Canonical digest of a BER sweep: FNV-1a over the raw IEEE-754 bits of
+/// every point, in sweep order. Bit-exact — any change to the modulation /
+/// spreading / OFDM arithmetic moves it.
+pub fn ber_digest(sweep: &Fig4Ber) -> u64 {
+    let mut h = pdr_sweep::digest::Fnv64::new();
+    for p in &sweep.points {
+        for v in [
+            p.es_n0_db,
+            p.ber_qpsk,
+            p.ber_qam16,
+            p.ber_adaptive,
+            p.adaptive_bits_per_symbol,
+        ] {
+            h.eat_u64(v.to_bits());
+        }
+    }
+    h.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -341,5 +360,20 @@ mod tests {
             sweep.points[2].adaptive_bits_per_symbol > sweep.points[0].adaptive_bits_per_symbol
         );
         assert!(sweep.render().contains("adaptive"));
+    }
+
+    /// Pin of the BER waterfall bits. The value was captured *before* the
+    /// pdr-mccdma inner loops were vectorized (flat slice iteration,
+    /// hoisted per-chip allocations, reused scratch buffers) and must
+    /// never move: the optimization is required to be bit-exact, not just
+    /// statistically equivalent.
+    #[test]
+    fn ber_waterfall_digest_is_pinned() {
+        let sweep = run_ber(&[-12.0, -6.0, 0.0], 2);
+        assert_eq!(
+            ber_digest(&sweep),
+            209_253_832_394_521_988,
+            "BER waterfall bits changed — the vectorized chain is no longer bit-exact"
+        );
     }
 }

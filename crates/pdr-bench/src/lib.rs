@@ -22,6 +22,7 @@
 //! | [`server_study`] | infrastructure — multi-tenant serving layer load test |
 //! | [`rtr_study`] | infrastructure — indexed runtime engine parity, throughput and policy sweep |
 //! | [`fabric_study`] | infrastructure — Virtex-II byte-parity + series7-like 2D fabric sweep |
+//! | [`scale`] | infrastructure — parallel index build + hot-path scheduler on generated 10k-op flows |
 
 pub mod adequation_perf;
 pub mod adequation_study;
@@ -34,5 +35,6 @@ pub mod fig4;
 pub mod ir_sim;
 pub mod prefetch;
 pub mod rtr_study;
+pub mod scale;
 pub mod server_study;
 pub mod table1;

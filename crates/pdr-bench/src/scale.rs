@@ -1,0 +1,392 @@
+//! Scale-out adequation: parallel index construction and the overhauled
+//! scheduler core, measured against the first-generation indexed path.
+//!
+//! The tentpole behind this study has three measured claims, each gated
+//! by `benches/bench_scale.rs --test` in CI:
+//!
+//! 1. **Parity** — [`AdequationIndex::build_with`] returns an index that
+//!    compares equal, cell for cell, to the sequential
+//!    [`AdequationIndex::build`] on every gallery flow and every generated
+//!    flow of the size sweep, at every probed thread count, and the index
+//!    content digest is thread-count-invariant.
+//! 2. **Index build speedup** — the fan-out build (worker pool plus
+//!    interned characterization probes) is ≥ 3× faster than the
+//!    sequential build on the 10 000-operation generated flow at 4
+//!    threads.
+//! 3. **End-to-end speedup** — sequential build + the first indexed
+//!    scheduler (retained verbatim as
+//!    [`pdr_adequation::adequate_indexed_reference`]) versus parallel
+//!    build + the overhauled dense-workspace core: ≥ 2× on the same flow,
+//!    with byte-identical [`pdr_adequation::AdequationResult`]s.
+//!
+//! The generated flows come from [`pdr_core::gallery::synthetic`], the
+//! seeded parametric generator, over [`SWEEP_SIZES`] (512 → 10k compute
+//! operations).
+
+use pdr_adequation::{
+    adequate_indexed_reference, adequate_with_index, AdequationIndex, IndexOptions,
+};
+use pdr_core::{gallery, DesignFlow, FlowError};
+use pdr_sweep::digest::Fnv64;
+use serde::json::Value;
+use std::time::Instant;
+
+/// Generated-flow compute-operation counts of the size sweep. The largest
+/// is the floor case.
+pub const SWEEP_SIZES: &[usize] = &[512, 2048, 10_000];
+
+/// The flow both speedup floors are asserted on.
+pub const FLOOR_CASE: &str = "synthetic_gen_10000";
+
+/// Index-build speedup floor at [`ScaleStudy::threads`] workers.
+pub const BUILD_SPEEDUP_FLOOR: f64 = 3.0;
+
+/// End-to-end (model → adequation) speedup floor versus the retained
+/// first-generation path.
+pub const E2E_SPEEDUP_FLOOR: f64 = 2.0;
+
+/// Content digest of an [`AdequationIndex`], covering every table the
+/// schedulers read: WCET cells (duration plus both tie-break function
+/// indices), the all-pairs route table, topological order, bottom levels,
+/// reconfiguration worst cases and the dynamic/conditioned masks. Built
+/// only from public accessors, so it hashes what callers can observe —
+/// equal digests across thread counts is the determinism claim in
+/// checkable form.
+pub fn index_digest(index: &AdequationIndex) -> u64 {
+    let mut h = Fnv64::new();
+    let n_ops = index.topo().len();
+    let n_oprs = index.operator_count();
+    h.eat_u64(n_ops as u64).eat_u64(n_oprs as u64);
+    for i in 0..n_ops {
+        let op = pdr_graph::OpId(i);
+        h.eat_u64(index.bottom_level(op).as_ps());
+        h.eat_u64(u64::from(index.is_conditioned(op)));
+        for (o, cell) in index.wcet_row(op).iter().enumerate() {
+            match cell {
+                Some(e) => {
+                    h.eat_u64(1)
+                        .eat_u64(e.dur.as_ps())
+                        .eat_u64(e.first_fn().map_or(u64::MAX, |f| f as u64))
+                        .eat_u64(e.last_fn().map_or(u64::MAX, |f| f as u64));
+                }
+                None => {
+                    h.eat_u64(0);
+                }
+            }
+            h.eat_u64(index.reconfig_worst(op, pdr_graph::OperatorId(o)).as_ps());
+        }
+    }
+    for &op in index.topo() {
+        h.eat_u64(op.0 as u64);
+    }
+    for cell in index.route_table() {
+        match cell {
+            Some(route) => {
+                h.eat_u64(1).eat_u64(route.media.len() as u64);
+                for m in &route.media {
+                    h.eat_u64(m.0 as u64);
+                }
+            }
+            None => {
+                h.eat_u64(0);
+            }
+        }
+    }
+    for o in 0..n_oprs {
+        h.eat_u64(u64::from(index.is_dynamic(pdr_graph::OperatorId(o))));
+    }
+    h.finish()
+}
+
+/// One flow, measured end to end on both generations of the path.
+#[derive(Debug, Clone)]
+pub struct ScaleCase {
+    /// Flow name (gallery name, or `synthetic_gen_<n>` for sweep flows).
+    pub name: String,
+    /// Operations in the algorithm graph.
+    pub operations: usize,
+    /// Edges in the algorithm graph.
+    pub edges: usize,
+    /// Best-of-reps sequential [`AdequationIndex::build`] wall time, ns.
+    pub seq_build_ns: u64,
+    /// Best-of-reps [`AdequationIndex::build_with`] wall time, ns.
+    pub par_build_ns: u64,
+    /// Best-of-reps overhauled-core schedule time (index prebuilt), ns.
+    pub schedule_ns: u64,
+    /// Best-of-reps first-generation end-to-end time (sequential build +
+    /// retained first indexed scheduler), ns.
+    pub e2e_base_ns: u64,
+    /// Best-of-reps scale-out end-to-end time (parallel build +
+    /// overhauled core), ns.
+    pub e2e_fast_ns: u64,
+    /// Parallel index equals sequential index, and both schedulers
+    /// returned byte-identical results.
+    pub parity: bool,
+    /// [`index_digest`] of the sequential index.
+    pub digest: u64,
+    /// The digest is identical at thread counts 1, 2 and the study's
+    /// thread count.
+    pub digests_invariant: bool,
+    /// The (shared) makespan, picoseconds.
+    pub makespan_ps: u64,
+}
+
+impl ScaleCase {
+    /// Sequential over parallel index-build time.
+    pub fn build_speedup(&self) -> f64 {
+        if self.par_build_ns == 0 {
+            return f64::INFINITY;
+        }
+        self.seq_build_ns as f64 / self.par_build_ns as f64
+    }
+
+    /// First-generation over scale-out end-to-end time.
+    pub fn e2e_speedup(&self) -> f64 {
+        if self.e2e_fast_ns == 0 {
+            return f64::INFINITY;
+        }
+        self.e2e_base_ns as f64 / self.e2e_fast_ns as f64
+    }
+
+    /// JSON form for the artifact.
+    pub fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("flow", Value::String(self.name.clone())),
+            ("operations", Value::UInt(self.operations as u64)),
+            ("edges", Value::UInt(self.edges as u64)),
+            ("seq_build_ns", Value::UInt(self.seq_build_ns)),
+            ("par_build_ns", Value::UInt(self.par_build_ns)),
+            ("schedule_ns", Value::UInt(self.schedule_ns)),
+            ("e2e_base_ns", Value::UInt(self.e2e_base_ns)),
+            ("e2e_fast_ns", Value::UInt(self.e2e_fast_ns)),
+            ("build_speedup", Value::Float(self.build_speedup())),
+            ("e2e_speedup", Value::Float(self.e2e_speedup())),
+            ("parity", Value::Bool(self.parity)),
+            ("index_digest", Value::UInt(self.digest)),
+            ("digests_invariant", Value::Bool(self.digests_invariant)),
+            ("makespan_ps", Value::UInt(self.makespan_ps)),
+        ])
+    }
+}
+
+/// The whole study: every gallery flow plus the generated size sweep.
+#[derive(Debug, Clone, Default)]
+pub struct ScaleStudy {
+    /// Worker threads used for the parallel builds.
+    pub threads: usize,
+    /// One entry per flow: gallery order, then sweep sizes ascending.
+    pub cases: Vec<ScaleCase>,
+}
+
+impl ScaleStudy {
+    /// Did every flow hold index parity and result parity?
+    pub fn all_parity(&self) -> bool {
+        self.cases.iter().all(|c| c.parity)
+    }
+
+    /// Were all index digests thread-count-invariant?
+    pub fn all_digests_invariant(&self) -> bool {
+        self.cases.iter().all(|c| c.digests_invariant)
+    }
+
+    /// The named case, if present.
+    pub fn case(&self, name: &str) -> Option<&ScaleCase> {
+        self.cases.iter().find(|c| c.name == name)
+    }
+
+    /// JSON form for the artifact.
+    pub fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("threads", Value::UInt(self.threads as u64)),
+            (
+                "cases",
+                Value::Array(self.cases.iter().map(ScaleCase::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Text table, one line per flow.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "flow                      ops   edges  seq_build_ms  par_build_ms  build_x  \
+             e2e_base_ms  e2e_fast_ms  e2e_x  parity ({} threads)\n",
+            self.threads
+        ));
+        for c in &self.cases {
+            out.push_str(&format!(
+                "{:<24} {:>5} {:>7} {:>13.3} {:>13.3} {:>7.2}x {:>12.3} {:>12.3} {:>5.2}x {:>6}\n",
+                c.name,
+                c.operations,
+                c.edges,
+                c.seq_build_ns as f64 / 1e6,
+                c.par_build_ns as f64 / 1e6,
+                c.build_speedup(),
+                c.e2e_base_ns as f64 / 1e6,
+                c.e2e_fast_ns as f64 / 1e6,
+                c.e2e_speedup(),
+                if c.parity { "yes" } else { "NO" },
+            ));
+        }
+        out
+    }
+}
+
+/// Every flow the study measures: the gallery, then the generated size
+/// sweep (each `synthetic_gen_<n>`; the largest is [`FLOOR_CASE`]).
+pub fn flows() -> Vec<(String, DesignFlow)> {
+    let mut out: Vec<(String, DesignFlow)> = gallery::all()
+        .into_iter()
+        .map(|g| (g.name.to_string(), g.flow))
+        .collect();
+    for &n in SWEEP_SIZES {
+        let params = gallery::SyntheticParams::sized(n);
+        out.push((format!("synthetic_gen_{n}"), gallery::synthetic(&params)));
+    }
+    out
+}
+
+/// Run the study: `reps` timed repetitions per measurement (best kept),
+/// parallel builds at `threads` workers, untimed parity and digest
+/// checks on every flow.
+pub fn run(reps: usize, threads: usize) -> Result<ScaleStudy, FlowError> {
+    let reps = reps.max(1);
+    let threads = threads.max(2);
+    let mut cases = Vec::new();
+    for (name, flow) in flows() {
+        let algo = flow.algorithm();
+        let arch = flow.architecture();
+        let chars = flow.characterization();
+        let cons = flow.constraints();
+        let opts = flow.adequation_options();
+        let par_opts = IndexOptions { threads };
+
+        // Parity and digests, untimed.
+        let seq_index = AdequationIndex::build(algo, arch, chars)?;
+        let par_index = AdequationIndex::build_with(algo, arch, chars, &par_opts)?;
+        let digest = index_digest(&seq_index);
+        let digests_invariant = [2, threads].iter().all(|&t| {
+            AdequationIndex::build_with(algo, arch, chars, &IndexOptions { threads: t })
+                .map(|ix| index_digest(&ix) == digest)
+                .unwrap_or(false)
+        });
+        let baseline = adequate_indexed_reference(algo, arch, chars, cons, opts, &seq_index)?;
+        let overhauled = adequate_with_index(algo, arch, chars, cons, opts, &seq_index)?;
+        let parity = par_index == seq_index && baseline == overhauled;
+        let makespan_ps = overhauled.makespan.as_ps();
+        drop((par_index, baseline, overhauled));
+
+        // Timed, each quantity in its own tight loop so the allocator
+        // reaches a steady state per shape instead of churning between
+        // differently-sized live sets.
+        let mut schedule_ns = u64::MAX;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            adequate_with_index(algo, arch, chars, cons, opts, &seq_index)?;
+            schedule_ns = schedule_ns.min(t0.elapsed().as_nanos() as u64);
+        }
+        drop(seq_index);
+        let mut seq_build_ns = u64::MAX;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let ix = AdequationIndex::build(algo, arch, chars)?;
+            seq_build_ns = seq_build_ns.min(t0.elapsed().as_nanos() as u64);
+            drop(ix);
+        }
+        let mut par_build_ns = u64::MAX;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let ix = AdequationIndex::build_with(algo, arch, chars, &par_opts)?;
+            par_build_ns = par_build_ns.min(t0.elapsed().as_nanos() as u64);
+            drop(ix);
+        }
+        let mut e2e_base_ns = u64::MAX;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let ix = AdequationIndex::build(algo, arch, chars)?;
+            adequate_indexed_reference(algo, arch, chars, cons, opts, &ix)?;
+            e2e_base_ns = e2e_base_ns.min(t0.elapsed().as_nanos() as u64);
+        }
+        let mut e2e_fast_ns = u64::MAX;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let ix = AdequationIndex::build_with(algo, arch, chars, &par_opts)?;
+            adequate_with_index(algo, arch, chars, cons, opts, &ix)?;
+            e2e_fast_ns = e2e_fast_ns.min(t0.elapsed().as_nanos() as u64);
+        }
+
+        cases.push(ScaleCase {
+            name,
+            operations: algo.len(),
+            edges: algo.edges().len(),
+            seq_build_ns,
+            par_build_ns,
+            schedule_ns,
+            e2e_base_ns,
+            e2e_fast_ns,
+            parity,
+            digest,
+            digests_invariant,
+            makespan_ps,
+        });
+    }
+    Ok(ScaleStudy { threads, cases })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_thread_count_invariant_and_sensitive() {
+        let flow = gallery::synthetic(&gallery::SyntheticParams {
+            layers: 6,
+            width: 6,
+            ..Default::default()
+        });
+        let (algo, arch, chars) = (
+            flow.algorithm(),
+            flow.architecture(),
+            flow.characterization(),
+        );
+        let seq = AdequationIndex::build(algo, arch, chars).unwrap();
+        let d = index_digest(&seq);
+        for threads in [2, 3, 4] {
+            let par =
+                AdequationIndex::build_with(algo, arch, chars, &IndexOptions { threads }).unwrap();
+            assert_eq!(index_digest(&par), d, "threads = {threads}");
+        }
+        // A different seed must move the digest.
+        let other = gallery::synthetic(&gallery::SyntheticParams {
+            seed: 99,
+            layers: 6,
+            width: 6,
+            ..Default::default()
+        });
+        let other_ix = AdequationIndex::build(
+            other.algorithm(),
+            other.architecture(),
+            other.characterization(),
+        )
+        .unwrap();
+        assert_ne!(index_digest(&other_ix), d);
+    }
+
+    #[test]
+    fn study_covers_gallery_and_sweep_with_parity() {
+        // One rep and the two smallest sweep sizes via the public runner
+        // would re-measure 10k; keep the unit test on the real flow list
+        // but assert only structure and parity flags.
+        let study = run(1, 2).expect("flows schedule");
+        assert_eq!(
+            study.cases.len(),
+            gallery::names().len() + SWEEP_SIZES.len()
+        );
+        assert!(study.all_parity(), "{}", study.render());
+        assert!(study.all_digests_invariant(), "{}", study.render());
+        assert!(study.case(FLOOR_CASE).is_some());
+        for c in &study.cases {
+            assert!(c.makespan_ps > 0, "{} has empty makespan", c.name);
+        }
+    }
+}

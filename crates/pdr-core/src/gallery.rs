@@ -517,6 +517,285 @@ pub fn synthetic_large_flow() -> DesignFlow {
     )
 }
 
+/// Parameters for the seeded flow generator [`synthetic`].
+///
+/// Everything is derived from `seed` through a splitmix64 stream, so a
+/// given parameter set names exactly one flow — across runs, sessions and
+/// thread counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyntheticParams {
+    /// PRNG seed; every structural and timing choice derives from it.
+    pub seed: u64,
+    /// Compute layers in the DAG.
+    pub layers: usize,
+    /// Compute operations per layer.
+    pub width: usize,
+    /// Every `coupling`-th layer reads up to three slots of the previous
+    /// layer instead of one (`0` disables coupling entirely).
+    pub coupling: usize,
+    /// Processor count on the host bus.
+    pub cpus: usize,
+    /// Dynamic regions behind the static FPGA (each gets one conditioned
+    /// tail operation and its own selector source).
+    pub regions: usize,
+    /// Function symbols the plain computes draw from: realistic designs
+    /// instantiate a handful of kernels many times, and the pool is what
+    /// makes characterization probes repeat.
+    pub fn_pool: usize,
+    /// Alternatives per conditioned tail operation (≥ 2).
+    pub alternatives: usize,
+    /// Base WCET of a pool kernel, microseconds.
+    pub wcet_base_us: u64,
+    /// Uniform jitter added on top of the base, microseconds.
+    pub wcet_spread_us: u64,
+}
+
+impl Default for SyntheticParams {
+    fn default() -> Self {
+        SyntheticParams {
+            seed: 1,
+            layers: 32,
+            width: 16,
+            coupling: 6,
+            cpus: 16,
+            regions: 2,
+            fn_pool: 64,
+            alternatives: 4,
+            wcet_base_us: 6,
+            wcet_spread_us: 5,
+        }
+    }
+}
+
+impl SyntheticParams {
+    /// A parameter set with roughly `n_ops` compute operations (width 16,
+    /// defaults elsewhere) — the size-sweep constructor.
+    pub fn sized(n_ops: usize) -> Self {
+        let width = 16;
+        SyntheticParams {
+            layers: n_ops.div_ceil(width).max(1),
+            width,
+            ..SyntheticParams::default()
+        }
+    }
+
+    /// Compute operations the generated DAG will contain.
+    pub fn compute_ops(&self) -> usize {
+        self.layers * self.width
+    }
+}
+
+/// Inline splitmix64: pdr-core carries no RNG dependency, and the
+/// generator only needs a deterministic, well-mixed u64 stream.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..n` (n ≥ 1); bias is irrelevant for a generator.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Generate a complete, lint-clean design flow from `params`.
+///
+/// The shape mirrors `synthetic_large` — a layered compute DAG with
+/// periodic coupling layers, feeding one conditioned operation per
+/// dynamic region — but every count is a parameter and the edge widths,
+/// kernel assignment and WCET tables are drawn from the seed. The same
+/// `params` always yields the same flow (see the determinism test), which
+/// is what lets differential suites quote failures by seed.
+pub fn synthetic(params: &SyntheticParams) -> DesignFlow {
+    assert!(params.width >= 1 && params.layers >= 1, "non-empty DAG");
+    assert!(params.cpus >= 1, "at least one processor");
+    assert!(params.regions >= 1, "at least one dynamic region");
+    assert!(params.alternatives >= 2, "conditioned ops need ≥ 2 alts");
+    assert!(params.fn_pool >= 1, "non-empty kernel pool");
+    let mut rng = SplitMix64(params.seed ^ 0xa076_1d64_78bd_642f);
+
+    // --- algorithm -----------------------------------------------------
+    let mut g = AlgorithmGraph::new("synthetic_gen");
+    let src = g.add_op("stream_in", OpKind::Source).expect("fresh graph");
+    let mut prev: Vec<OpId> = Vec::new();
+    for layer in 0..params.layers {
+        let mut row = Vec::with_capacity(params.width);
+        for slot in 0..params.width {
+            let kern = rng.below(params.fn_pool as u64);
+            let op = g
+                .add_op(
+                    format!("g{layer:03}_{slot:02}"),
+                    OpKind::Compute {
+                        function: format!("synth_block_{kern:02}_fir_decim_q15"),
+                    },
+                )
+                .expect("fresh graph");
+            let bits = 256 + rng.below(5) * 128;
+            if layer == 0 {
+                g.connect(src, op, bits).expect("valid edge");
+            } else if params.coupling != 0 && layer % params.coupling == 0 {
+                let mut preds = vec![
+                    slot,
+                    (slot + 1) % params.width,
+                    (slot + layer) % params.width,
+                ];
+                preds.sort_unstable();
+                preds.dedup();
+                for p in preds {
+                    g.connect(prev[p], op, bits).expect("valid edge");
+                }
+            } else {
+                g.connect(prev[slot], op, bits).expect("valid edge");
+            }
+            row.push(op);
+        }
+        prev = row;
+    }
+    // One conditioned stage per region, chained after the compute block.
+    let mut stage_prev: Option<OpId> = None;
+    for r in 0..params.regions {
+        let sel = g
+            .add_op(format!("sel{r}"), OpKind::Source)
+            .expect("fresh graph");
+        let stage = g
+            .add_op(
+                format!("stage{r}"),
+                OpKind::Conditioned {
+                    alternatives: (0..params.alternatives)
+                        .map(|a| format!("pr_region{r}_alt{a}_bitstream"))
+                        .collect(),
+                },
+            )
+            .expect("fresh graph");
+        match stage_prev {
+            None => {
+                for &op in &prev {
+                    g.connect(op, stage, 1024).expect("valid edge");
+                }
+            }
+            Some(p) => {
+                g.connect(p, stage, 2048).expect("valid edge");
+            }
+        }
+        g.connect(sel, stage, 2).expect("valid edge");
+        stage_prev = Some(stage);
+    }
+    let sink = g.add_op("stream_out", OpKind::Sink).expect("fresh graph");
+    g.connect(stage_prev.expect("≥ 1 region"), sink, 512)
+        .expect("valid edge");
+
+    // --- architecture --------------------------------------------------
+    let mut a = ArchGraph::new("synthetic_gen_platform");
+    let bus = a
+        .add_medium(
+            "host_bus",
+            MediumKind::Bus,
+            800_000_000,
+            TimePs::from_ns(300),
+        )
+        .expect("fresh graph");
+    for i in 0..params.cpus {
+        let cpu = a
+            .add_operator(format!("cpu{i}"), OperatorKind::Processor)
+            .expect("fresh graph");
+        a.link(cpu, bus).expect("valid link");
+    }
+    let f1 = a
+        .add_operator("f1", OperatorKind::FpgaStatic)
+        .expect("fresh graph");
+    let il = a
+        .add_medium(
+            "il",
+            MediumKind::InternalLink,
+            1_600_000_000,
+            TimePs::from_ns(20),
+        )
+        .expect("fresh graph");
+    a.link(f1, bus).expect("valid link");
+    a.link(f1, il).expect("valid link");
+    for r in 0..params.regions {
+        let d = a
+            .add_operator(
+                format!("d{}", r + 1),
+                OperatorKind::FpgaDynamic { host: "f1".into() },
+            )
+            .expect("fresh graph");
+        a.link(d, il).expect("valid link");
+    }
+
+    // --- characterization ----------------------------------------------
+    let us = TimePs::from_us;
+    let mut c = Characterization::new();
+    for k in 0..params.fn_pool {
+        let f = format!("synth_block_{k:02}_fir_decim_q15");
+        let jitter = rng.below(params.wcet_spread_us.max(1));
+        for i in 0..params.cpus {
+            // Each kernel has a home processor it is tuned for; everywhere
+            // else costs a fixed detuning penalty (same shape as
+            // `synthetic_large`'s slot affinity).
+            let affinity = if k % params.cpus == i { 0 } else { 12 };
+            c.set_duration(
+                &f,
+                &format!("cpu{i}"),
+                us(params.wcet_base_us + affinity + jitter),
+            );
+        }
+    }
+    let mut constraints = ConstraintsFile::new();
+    for r in 0..params.regions {
+        let region = format!("d{}", r + 1);
+        for aidx in 0..params.alternatives {
+            let f = format!("pr_region{r}_alt{aidx}_bitstream");
+            let w = 6 + rng.below(12);
+            c.set_duration(&f, &region, us(w));
+            c.set_duration(&f, "cpu0", us(w * 20));
+            let step = aidx as u32;
+            c.set_resources(
+                &f,
+                Resources::logic(240 + step * 140, 420 + step * 260, 380 + step * 220),
+            );
+            let mut mc = ModuleConstraints::new(&f, &region);
+            if aidx == 0 {
+                mc.load = LoadPolicy::AtStart;
+            }
+            mc.share_group = Some(region.clone());
+            constraints.add(mc).expect("unique module names");
+        }
+        c.set_reconfig_default(&region, TimePs::from_ms(3 * (r as u64 + 1)));
+    }
+
+    // --- flow ----------------------------------------------------------
+    let mut options = AdequationOptions::default()
+        .pin("stream_in", "cpu0")
+        .pin("stream_out", "cpu0");
+    for r in 0..params.regions {
+        options = options.pin(&format!("sel{r}"), &format!("cpu{}", r % params.cpus));
+    }
+    DesignFlow::new(
+        g,
+        a,
+        c,
+        Device::by_name("XC2V4000").expect("catalog device"),
+    )
+    .with_constraints(constraints)
+    .with_adequation_options(options)
+}
+
+/// The 10 000-compute-operation flow the scale benchmarks run on
+/// (625 × 16 layered DAG over 19 operators, 2 dynamic regions).
+///
+/// Deliberately *not* part of [`all`]: gallery-wide tests and lints stay
+/// fast, and the scale tooling names it explicitly.
+pub fn synthetic_10k() -> DesignFlow {
+    synthetic(&SyntheticParams::sized(10_000))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -543,6 +822,69 @@ mod tests {
             });
             assert!(!art.executive.is_empty(), "{}", g.name);
         }
+    }
+
+    #[test]
+    fn generated_flow_is_deterministic_by_seed() {
+        let p = SyntheticParams {
+            layers: 6,
+            width: 4,
+            cpus: 3,
+            fn_pool: 8,
+            ..SyntheticParams::default()
+        };
+        assert_eq!(synthetic(&p).model_digest(), synthetic(&p).model_digest());
+        let other = SyntheticParams { seed: 2, ..p };
+        assert_ne!(
+            synthetic(&p).model_digest(),
+            synthetic(&other).model_digest()
+        );
+    }
+
+    #[test]
+    fn small_generated_flow_runs_and_verifies_clean() {
+        let p = SyntheticParams {
+            layers: 4,
+            width: 4,
+            cpus: 3,
+            fn_pool: 6,
+            ..SyntheticParams::default()
+        };
+        let flow = synthetic(&p);
+        let art = flow.run().unwrap();
+        assert!(!art.executive.is_empty());
+        let report = flow.verify_with(&art, None);
+        assert!(report.is_clean(), "{}", pdr_lint::render::to_text(&report));
+    }
+
+    #[test]
+    fn sized_params_hit_the_requested_op_count() {
+        assert_eq!(SyntheticParams::sized(10_000).compute_ops(), 10_000);
+        assert_eq!(SyntheticParams::sized(512).compute_ops(), 512);
+        let flow = synthetic(&SyntheticParams::sized(512));
+        let computes = flow
+            .algorithm()
+            .ops()
+            .filter(|(_, op)| matches!(op.kind, OpKind::Compute { .. }))
+            .count();
+        assert_eq!(computes, 512);
+        // 16 CPUs + static FPGA + 2 regions.
+        assert_eq!(flow.architecture().operators().count(), 19);
+    }
+
+    #[test]
+    fn synthetic_10k_is_not_in_the_gallery_listing() {
+        // The scale flow is named explicitly by the benches; keeping it
+        // out of `all()` keeps gallery-wide suites fast.
+        assert_eq!(names().len(), 7);
+        let flow = synthetic_10k();
+        assert_eq!(
+            flow.algorithm()
+                .ops()
+                .filter(|(_, op)| matches!(op.kind, OpKind::Compute { .. }))
+                .count(),
+            10_000
+        );
     }
 
     #[test]

@@ -51,15 +51,21 @@ impl Modulation {
     /// Map a bit slice to symbols. Length must be a multiple of
     /// [`Modulation::bits_per_symbol`].
     pub fn modulate(self, bits: &[u8]) -> Vec<Cplx> {
+        let mut out = Vec::with_capacity(bits.len() / self.bits_per_symbol().max(1));
+        self.modulate_into(bits, &mut out);
+        out
+    }
+
+    /// [`Modulation::modulate`] appending into a caller-owned buffer, so
+    /// per-OFDM-symbol loops can reuse one allocation across a frame.
+    pub fn modulate_into(self, bits: &[u8], out: &mut Vec<Cplx>) {
         let bps = self.bits_per_symbol();
         assert!(
             bits.len().is_multiple_of(bps),
             "{} bits is not a multiple of {bps}",
             bits.len()
         );
-        bits.chunks_exact(bps)
-            .map(|chunk| self.map_symbol(chunk))
-            .collect()
+        out.extend(bits.chunks_exact(bps).map(|chunk| self.map_symbol(chunk)));
     }
 
     /// Map one symbol's bits.
@@ -93,9 +99,18 @@ impl Modulation {
 
     /// Hard-decision demap a symbol back to bits.
     pub fn demap_symbol(self, s: Cplx) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.bits_per_symbol());
+        self.demap_into(s, &mut out);
+        out
+    }
+
+    /// [`Modulation::demap_symbol`] appending into a caller-owned buffer —
+    /// the allocation-free form the receiver's inner loop runs on.
+    pub fn demap_into(self, s: Cplx, out: &mut Vec<u8>) {
         match self {
             Modulation::Qpsk => {
-                vec![u8::from(s.re < 0.0), u8::from(s.im < 0.0)]
+                out.push(u8::from(s.re < 0.0));
+                out.push(u8::from(s.im < 0.0));
             }
             Modulation::Qam16 => {
                 let k = 1.0 / 10f64.sqrt();
@@ -113,14 +128,26 @@ impl Modulation {
                 };
                 let (b0, b1) = axis(s.re);
                 let (b2, b3) = axis(s.im);
-                vec![b0, b1, b2, b3]
+                out.push(b0);
+                out.push(b1);
+                out.push(b2);
+                out.push(b3);
             }
         }
     }
 
     /// Demodulate a symbol slice to bits.
     pub fn demodulate(self, symbols: &[Cplx]) -> Vec<u8> {
-        symbols.iter().flat_map(|&s| self.demap_symbol(s)).collect()
+        let mut out = Vec::with_capacity(symbols.len() * self.bits_per_symbol());
+        self.demodulate_into(symbols, &mut out);
+        out
+    }
+
+    /// [`Modulation::demodulate`] appending into a caller-owned buffer.
+    pub fn demodulate_into(self, symbols: &[Cplx], out: &mut Vec<u8>) {
+        for &s in symbols {
+            self.demap_into(s, out);
+        }
     }
 
     /// Average constellation energy (should be 1.0 by construction).

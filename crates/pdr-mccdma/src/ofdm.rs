@@ -52,43 +52,70 @@ impl OfdmModem {
     /// Modulate one OFDM symbol: `chips` (one per subcarrier) → time-domain
     /// samples with cyclic prefix.
     pub fn modulate_symbol(&self, chips: &[Cplx]) -> Vec<Cplx> {
+        let mut scratch = vec![Cplx::ZERO; self.subcarriers];
+        let mut out = Vec::with_capacity(self.symbol_len());
+        self.modulate_symbol_into(chips, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`OfdmModem::modulate_symbol`] through caller-owned buffers: the
+    /// IFFT runs in `scratch` (length `subcarriers`) and the CP + body are
+    /// appended to `out`. Same float operations in the same order — the
+    /// output is bit-identical to the allocating form.
+    pub fn modulate_symbol_into(&self, chips: &[Cplx], scratch: &mut [Cplx], out: &mut Vec<Cplx>) {
         assert_eq!(
             chips.len(),
             self.subcarriers,
             "need one chip per subcarrier"
         );
-        let mut freq = chips.to_vec();
-        ifft(&mut freq);
-        let mut out = Vec::with_capacity(self.symbol_len());
-        out.extend_from_slice(&freq[self.subcarriers - self.cp_len..]);
-        out.extend_from_slice(&freq);
-        out
+        assert_eq!(scratch.len(), self.subcarriers, "scratch sized to the FFT");
+        scratch.copy_from_slice(chips);
+        ifft(scratch);
+        out.reserve(self.symbol_len());
+        out.extend_from_slice(&scratch[self.subcarriers - self.cp_len..]);
+        out.extend_from_slice(scratch);
     }
 
     /// Demodulate one OFDM symbol: strip CP, FFT back to subcarriers.
     pub fn demodulate_symbol(&self, samples: &[Cplx]) -> Vec<Cplx> {
+        let mut out = vec![Cplx::ZERO; self.subcarriers];
+        self.demodulate_symbol_into(samples, &mut out);
+        out
+    }
+
+    /// [`OfdmModem::demodulate_symbol`] into a caller-owned buffer of
+    /// length `subcarriers` (the FFT runs in place there).
+    pub fn demodulate_symbol_into(&self, samples: &[Cplx], out: &mut [Cplx]) {
         assert_eq!(samples.len(), self.symbol_len(), "one full symbol");
-        let mut time = samples[self.cp_len..].to_vec();
-        fft(&mut time);
-        time
+        assert_eq!(out.len(), self.subcarriers, "buffer sized to the FFT");
+        out.copy_from_slice(&samples[self.cp_len..]);
+        fft(out);
     }
 
     /// Modulate a chip stream (length a multiple of the carrier count).
     pub fn modulate(&self, chips: &[Cplx]) -> Vec<Cplx> {
         assert!(chips.len().is_multiple_of(self.subcarriers));
-        chips
-            .chunks_exact(self.subcarriers)
-            .flat_map(|sym| self.modulate_symbol(sym))
-            .collect()
+        let symbols = chips.len() / self.subcarriers;
+        let mut scratch = vec![Cplx::ZERO; self.subcarriers];
+        let mut out = Vec::with_capacity(symbols * self.symbol_len());
+        for sym in chips.chunks_exact(self.subcarriers) {
+            self.modulate_symbol_into(sym, &mut scratch, &mut out);
+        }
+        out
     }
 
     /// Demodulate a sample stream (length a multiple of the symbol length).
     pub fn demodulate(&self, samples: &[Cplx]) -> Vec<Cplx> {
         assert!(samples.len().is_multiple_of(self.symbol_len()));
-        samples
+        let symbols = samples.len() / self.symbol_len();
+        let mut out = vec![Cplx::ZERO; symbols * self.subcarriers];
+        for (sym, dst) in samples
             .chunks_exact(self.symbol_len())
-            .flat_map(|sym| self.demodulate_symbol(sym))
-            .collect()
+            .zip(out.chunks_exact_mut(self.subcarriers))
+        {
+            self.demodulate_symbol_into(sym, dst);
+        }
+        out
     }
 }
 

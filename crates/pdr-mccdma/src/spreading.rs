@@ -51,24 +51,38 @@ impl WalshHadamard {
 
     /// Spread one symbol of one user into `sf` chips.
     pub fn spread_symbol(&self, user: usize, symbol: Cplx) -> Vec<Cplx> {
-        self.code(user)
-            .iter()
-            .map(|&c| symbol.scale(c as f64))
-            .collect()
+        let mut out = Vec::with_capacity(self.sf);
+        self.spread_into(user, &[symbol], &mut out);
+        out
     }
 
     /// Spread a symbol stream of one user (concatenated chip blocks).
     pub fn spread(&self, user: usize, symbols: &[Cplx]) -> Vec<Cplx> {
         let mut out = Vec::with_capacity(symbols.len() * self.sf);
-        for &s in symbols {
-            out.extend(self.spread_symbol(user, s));
-        }
+        self.spread_into(user, symbols, &mut out);
         out
+    }
+
+    /// [`WalshHadamard::spread`] appending into a caller-owned buffer: one
+    /// flat pass over the code row per symbol, no per-symbol chip vector.
+    pub fn spread_into(&self, user: usize, symbols: &[Cplx], out: &mut Vec<Cplx>) {
+        let code = self.code(user);
+        out.reserve(symbols.len() * self.sf);
+        for &s in symbols {
+            out.extend(code.iter().map(|&c| s.scale(c as f64)));
+        }
     }
 
     /// Despread chips back to symbols (correlate with the user's code and
     /// normalize by `sf`).
     pub fn despread(&self, user: usize, chips: &[Cplx]) -> Vec<Cplx> {
+        let mut out = Vec::with_capacity(chips.len() / self.sf);
+        self.despread_into(user, chips, &mut out);
+        out
+    }
+
+    /// [`WalshHadamard::despread`] appending into a caller-owned buffer.
+    pub fn despread_into(&self, user: usize, chips: &[Cplx], out: &mut Vec<Cplx>) {
         assert!(
             chips.len().is_multiple_of(self.sf),
             "chip count {} is not a multiple of SF {}",
@@ -76,17 +90,14 @@ impl WalshHadamard {
             self.sf
         );
         let code = self.code(user);
-        chips
-            .chunks_exact(self.sf)
-            .map(|block| {
-                let acc: Cplx = block
-                    .iter()
-                    .zip(code)
-                    .map(|(&chip, &c)| chip.scale(c as f64))
-                    .sum();
-                acc / self.sf as f64
-            })
-            .collect()
+        out.extend(chips.chunks_exact(self.sf).map(|block| {
+            let acc: Cplx = block
+                .iter()
+                .zip(code)
+                .map(|(&chip, &c)| chip.scale(c as f64))
+                .sum();
+            acc / self.sf as f64
+        }));
     }
 
     /// Sum the spread streams of several users (multi-user MC-CDMA symbol).

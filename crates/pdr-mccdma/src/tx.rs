@@ -127,18 +127,26 @@ impl McCdmaTransmitter {
             info.to_vec()
         };
         let mut out = Vec::with_capacity(mods.len() * (self.cfg.subcarriers + self.cfg.cp_len));
+        // Scratch buffers reused across the whole frame: the per-symbol
+        // loop is allocation-free after the first OFDM symbol.
+        let mut symbols = Vec::with_capacity(self.cfg.data_symbols_per_ofdm());
+        let mut chips = Vec::with_capacity(self.cfg.subcarriers);
+        let mut fft_scratch = vec![Cplx::ZERO; self.cfg.subcarriers];
         let mut cursor = 0usize;
         for &m in mods {
             let bits_this_symbol = self.cfg.data_symbols_per_ofdm() * m.bits_per_symbol();
             let chunk = &coded[cursor..cursor + bits_this_symbol];
             cursor += bits_this_symbol;
             // modulation
-            let symbols = m.modulate(chunk);
+            symbols.clear();
+            m.modulate_into(chunk, &mut symbols);
             // spreading + chip mapping
-            let chips = self.wh.spread(self.cfg.user, &symbols);
+            chips.clear();
+            self.wh.spread_into(self.cfg.user, &symbols, &mut chips);
             debug_assert_eq!(chips.len(), self.cfg.subcarriers);
             // OFDM (IFFT) + guard interval (framing = concatenation)
-            out.extend(self.ofdm.modulate_symbol(&chips));
+            self.ofdm
+                .modulate_symbol_into(&chips, &mut fft_scratch, &mut out);
         }
         debug_assert_eq!(cursor, coded.len());
         out
@@ -175,12 +183,20 @@ impl McCdmaReceiver {
             mods.len() * sym_len,
             "sample count must match the modulation sequence"
         );
-        let mut coded = Vec::new();
+        let mut coded = Vec::with_capacity(
+            mods.iter()
+                .map(|m| self.cfg.data_symbols_per_ofdm() * m.bits_per_symbol())
+                .sum(),
+        );
+        // Per-symbol scratch reused across the frame (see `transmit`).
+        let mut chips = vec![Cplx::ZERO; self.cfg.subcarriers];
+        let mut symbols = Vec::with_capacity(self.cfg.data_symbols_per_ofdm());
         for (i, &m) in mods.iter().enumerate() {
             let sym = &samples[i * sym_len..(i + 1) * sym_len];
-            let chips = self.ofdm.demodulate_symbol(sym);
-            let symbols = self.wh.despread(self.cfg.user, &chips);
-            coded.extend(m.demodulate(&symbols));
+            self.ofdm.demodulate_symbol_into(sym, &mut chips);
+            symbols.clear();
+            self.wh.despread_into(self.cfg.user, &chips, &mut symbols);
+            m.demodulate_into(&symbols, &mut coded);
         }
         if self.cfg.use_fec {
             ViterbiDecoder::decode(&coded)

@@ -11,8 +11,11 @@
 
 use proptest::prelude::*;
 
-use pdr_adequation::{adequate, adequate_reference, AdequationOptions};
-use pdr_core::gallery;
+use pdr_adequation::{
+    adequate, adequate_reference, adequate_with_index, AdequationIndex, AdequationOptions,
+    IndexOptions,
+};
+use pdr_core::gallery::{self, synthetic, SyntheticParams};
 use pdr_fabric::TimePs;
 use pdr_graph::prelude::*;
 
@@ -173,5 +176,44 @@ proptest! {
         let reference = adequate_reference(&g, &arch, &chars, &cons, &opts).unwrap();
         let indexed = adequate(&g, &arch, &chars, &cons, &opts).unwrap();
         prop_assert_eq!(reference, indexed);
+    }
+
+    /// Differential check over the seeded flow generator: complete flows
+    /// (conditioned operations, region constraints, heterogeneous WCETs)
+    /// drawn from [`gallery::synthetic`] schedule identically through the
+    /// pre-index reference, the overhauled indexed core, and the indexed
+    /// core over a *parallel-built* index. A failure quotes the seed, so
+    /// any divergence is a one-line reproducer.
+    #[test]
+    fn generated_flows_schedule_identically_on_every_path(
+        seed in 0u64..10_000,
+        layers in 1usize..5,
+        width in 1usize..5,
+        regions in 1usize..3,
+    ) {
+        let params = SyntheticParams {
+            seed,
+            layers,
+            width,
+            cpus: 2,
+            regions,
+            fn_pool: 6,
+            ..SyntheticParams::default()
+        };
+        let flow = synthetic(&params);
+        let (algo, arch) = (flow.algorithm(), flow.architecture());
+        let chars = flow.characterization();
+        let (cons, opts) = (flow.constraints(), flow.adequation_options());
+
+        let reference = adequate_reference(algo, arch, chars, cons, opts).unwrap();
+        let indexed = adequate(algo, arch, chars, cons, opts).unwrap();
+        prop_assert_eq!(&reference, &indexed, "seed {}", seed);
+
+        let seq = AdequationIndex::build(algo, arch, chars).unwrap();
+        let par = AdequationIndex::build_with(algo, arch, chars, &IndexOptions { threads: 3 })
+            .unwrap();
+        prop_assert!(par == seq, "parallel index diverges at seed {}", seed);
+        let via_par = adequate_with_index(algo, arch, chars, cons, opts, &par).unwrap();
+        prop_assert_eq!(&reference, &via_par, "seed {}", seed);
     }
 }
